@@ -1,0 +1,103 @@
+// Experiment C3 (DESIGN.md): the survey's §2 core systems argument —
+// breadth-first subgraph extension (Arabesque / RStream / Pangolin)
+// materializes every size-i embedding before producing size i+1, so its
+// memory footprint explodes with the instance count, while depth-first
+// backtracking (G-thinker / Fractal / STMatch) keeps O(depth) state per
+// worker.
+//
+// Workload: 4-clique enumeration over Erdős–Rényi graphs of rising
+// density. Both engines produce identical counts; only their memory
+// behavior differs.
+
+#include <atomic>
+
+#include "bench_util.h"
+#include "graph/generators.h"
+#include "tlag/algos/subgraph_enum.h"
+#include "tlag/bfs_engine.h"
+
+namespace {
+
+using namespace gal;
+
+/// Canonical clique extension shared by both engines.
+BfsExtensionEngine::ExtendFn CliqueExtend(const Graph& g) {
+  return [&g](const Embedding& e, std::vector<VertexId>& out) {
+    for (VertexId u : g.Neighbors(e.back())) {
+      if (u <= e.back()) continue;
+      bool ok = true;
+      for (size_t i = 0; i + 1 < e.size(); ++i) {
+        if (!g.HasEdge(e[i], u)) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) out.push_back(u);
+    }
+  };
+}
+
+/// DFS 4-clique counting via the connected-subgraph task engine with a
+/// clique-only prune; peak state is the recursion footprint.
+struct DfsCliqueResult {
+  uint64_t count = 0;
+  uint64_t peak_state_bytes = 0;
+};
+DfsCliqueResult DfsCliques(const Graph& g, uint32_t k) {
+  std::atomic<uint64_t> count{0};
+  SubgraphEnumOptions options;
+  options.max_size = k;
+  options.engine.num_threads = 8;
+  SubgraphEnumStats stats = EnumerateConnectedSubgraphs(
+      g, options, [&g, &count, k](const std::vector<VertexId>& s) {
+        // Prune to cliques only: every new vertex must close with all.
+        for (size_t i = 0; i < s.size(); ++i) {
+          for (size_t j = i + 1; j < s.size(); ++j) {
+            if (!g.HasEdge(s[i], s[j])) return false;
+          }
+        }
+        if (s.size() == k) {
+          count.fetch_add(1, std::memory_order_relaxed);
+          return false;
+        }
+        return true;
+      });
+  return {count.load(), stats.peak_state_bytes};
+}
+
+}  // namespace
+
+int main() {
+  using namespace gal::bench;
+  Banner("C3", "BFS materialization explosion vs DFS backtracking (Sec. 2)");
+
+  Table table({"density p", "4-cliques", "BFS peak embeds", "BFS peak KB",
+               "DFS peak state B", "BFS/DFS memory"});
+  for (double p : {0.05, 0.10, 0.15, 0.20, 0.25}) {
+    Graph g = ErdosRenyi(400, p, 3);
+
+    BfsExtensionEngine bfs(BfsEngineConfig{});
+    std::vector<VertexId> roots(g.NumVertices());
+    for (VertexId v = 0; v < g.NumVertices(); ++v) roots[v] = v;
+    std::atomic<uint64_t> bfs_count{0};
+    BfsEngineStats bfs_stats =
+        bfs.Run(roots, 4, CliqueExtend(g),
+                [&bfs_count](const Embedding&) { bfs_count++; });
+
+    DfsCliqueResult dfs = DfsCliques(g, 4);
+    GAL_CHECK(dfs.count == bfs_count.load());
+
+    table.AddRow(
+        {Fmt("%.2f", p), Human(dfs.count), Human(bfs_stats.peak_materialized),
+         Fmt("%.1f", bfs_stats.peak_bytes / 1024.0),
+         Fmt("%llu", static_cast<unsigned long long>(dfs.peak_state_bytes)),
+         Fmt("%.0fx", static_cast<double>(bfs_stats.peak_bytes) /
+                          std::max<uint64_t>(1, dfs.peak_state_bytes))});
+  }
+  table.Print();
+  std::printf("\nShape check: BFS peak memory grows with the embedding count "
+              "(thousands-fold over DFS at high density), while DFS state\n"
+              "stays flat at O(depth) per worker — the reason the recent "
+              "systems moved to depth-first task engines.\n");
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Experiment C12 (DESIGN.md): Dorylus's cost-effectiveness claim — GPUs
+// are the fastest way to train a GNN but CPU servers + serverless
+// threads deliver more throughput per dollar ("value"). The epoch time
+// baseline comes from an actual CPU training run of this library; the
+// deployments are priced by the cost model in dist/cost_model.h.
+
+#include "bench_util.h"
+#include "dist/cost_model.h"
+#include "dist/dist_gcn.h"
+#include "gnn/dataset.h"
+
+int main() {
+  using namespace gal;
+  using namespace gal::bench;
+  Banner("C12", "Dorylus: serverless value per dollar (Sec. 3)");
+
+  PlantedDatasetOptions data_options;
+  data_options.num_vertices = 900;
+  data_options.num_classes = 4;
+  NodeClassificationDataset ds = MakePlantedDataset(data_options);
+  DistGcnConfig config;
+  config.epochs = 10;
+  DistGcnReport train = TrainDistGcn(ds, config);
+  const double cpu_epoch_seconds =
+      train.simulated_epoch_seconds / config.epochs;
+  std::printf("measured CPU-cluster epoch: %.2f ms (accuracy %.3f)\n\n",
+              cpu_epoch_seconds * 1e3, train.final_test_accuracy);
+
+  Table table({"deployment", "$/hour", "epoch ms", "$/1k epochs",
+               "value (epochs/$, cpu=1)"});
+  for (const CloudDeployment& d :
+       {CloudDeployment::CpuServer(), CloudDeployment::GpuServer(),
+        CloudDeployment::CpuPlusServerless()}) {
+    CostReport r = EvaluateDeployment(d, cpu_epoch_seconds);
+    table.AddRow({r.name, Fmt("%.2f", d.dollars_per_hour),
+                  Fmt("%.2f", r.epoch_seconds * 1e3),
+                  Fmt("%.4f", r.dollars_per_epoch * 1000),
+                  Fmt("%.2f", r.value)});
+  }
+  table.Print();
+  std::printf("\nShape check: the GPU row has the lowest epoch time but the "
+              "cpu+serverless row the highest value — Dorylus's headline\n"
+              "result (GPUs win on speed, lambdas win on dollars).\n");
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Ablation (survey §7 context: the presenters' LWCP line of work —
+// lightweight fault tolerance in Pregel-like systems): checkpoint-
+// interval sweep on a long-running TLAV job, with one injected failure.
+// The classic trade-off: frequent checkpoints cost bytes every interval
+// but bound the recomputation a failure causes.
+
+#include <thread>
+
+#include "bench_util.h"
+#include "graph/generators.h"
+#include "tlav/algos/wcc.h"
+
+int main() {
+  using namespace gal;
+  using namespace gal::bench;
+  Banner("FT", "LWCP checkpointing: overhead vs recovery cost");
+
+  // A path graph gives hash-min WCC a long superstep schedule (~|V|),
+  // the regime where fault tolerance matters.
+  Graph g = Path(1500);
+  const uint32_t kFailAt = 1200;
+  WccResult clean = Wcc(g, TlavConfig{.num_workers = 2});
+  std::printf("job: hash-min WCC on a 1500-vertex path (%u supersteps); "
+              "failure injected at superstep %u\n\n",
+              clean.stats.supersteps, kFailAt);
+
+  Table table({"checkpoint every", "checkpoints", "checkpoint MB",
+               "recomputed supersteps", "total supersteps run",
+               "overhead vs clean"});
+  for (uint32_t interval : {500u, 200u, 50u, 10u}) {
+    TlavConfig config;
+    config.num_workers = 2;
+    config.checkpoint_every = interval;
+    config.fail_at_superstep = kFailAt;
+    WccResult r = Wcc(g, config);
+    GAL_CHECK(r.component == clean.component);
+    const uint64_t total_run =
+        r.stats.supersteps + r.stats.recomputed_supersteps;
+    table.AddRow({Fmt("%u", interval),
+                  Fmt("%u", r.stats.checkpoints_taken),
+                  Fmt("%.2f", r.stats.checkpoint_bytes / 1e6),
+                  Fmt("%u", r.stats.recomputed_supersteps),
+                  Fmt("%llu", static_cast<unsigned long long>(total_run)),
+                  Fmt("%.1f%%", 100.0 * (static_cast<double>(total_run) /
+                                             clean.stats.supersteps -
+                                         1.0))});
+  }
+  table.Print();
+  std::printf("\nShape check: sparse checkpoints are cheap until a failure "
+              "hits (hundreds of recomputed supersteps); dense checkpoints\n"
+              "bound recomputation at the cost of snapshot volume — the "
+              "interval is the knob LWCP tunes, with its lightweight\n"
+              "checkpoints shrinking the per-snapshot cost term.\n");
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Experiment C6 (DESIGN.md): frequent subgraph mining in both settings
+// the survey distinguishes — a single big graph with MNI support
+// (GraMi / ScaleMine / T-FSM) and a transaction database (gSpan /
+// PrefixFPM) — with a support-threshold sweep and a thread-scaling
+// column for the parallel support evaluation that is T-FSM's
+// contribution.
+
+#include <thread>
+
+#include "bench_util.h"
+#include "common/logging.h"
+#include "common/timer.h"
+#include "fsm/fsm.h"
+#include "graph/generators.h"
+#include "graph/transaction_db.h"
+
+int main() {
+  using namespace gal;
+  using namespace gal::bench;
+  Banner("C6", "frequent subgraph mining: single-graph (MNI) and "
+               "transactions (Sec. 2)");
+
+  // --- single big graph --------------------------------------------------
+  Graph data = WithRandomLabels(Rmat(10, 6, 3), 4, 9);
+  std::printf("single graph: %s, 4 labels\n\n", data.ToString().c_str());
+
+  const uint32_t cores = std::max(2u, std::thread::hardware_concurrency());
+  Table single({"MNI threshold", "frequent patterns", "evaluated",
+                "existence checks", "1-thread ms", "N-thread ms",
+                "speedup"});
+  for (uint32_t support : {160u, 80u, 40u}) {
+    SingleGraphFsmOptions options;
+    options.min_support = support;
+    options.max_edges = 3;
+    options.num_threads = 1;
+    Timer t1;
+    SingleGraphFsmResult serial = MineSingleGraph(data, options);
+    const double serial_ms = t1.ElapsedMillis();
+    options.num_threads = cores;
+    Timer t8;
+    SingleGraphFsmResult parallel = MineSingleGraph(data, options);
+    const double parallel_ms = t8.ElapsedMillis();
+    GAL_CHECK(serial.patterns.size() == parallel.patterns.size());
+    single.AddRow({Fmt("%u", support), Fmt("%zu", serial.patterns.size()),
+                   Human(serial.stats.patterns_evaluated),
+                   Human(serial.stats.existence_checks),
+                   Fmt("%.1f", serial_ms), Fmt("%.1f", parallel_ms),
+                   Fmt("%.1fx", serial_ms / std::max(1e-9, parallel_ms))});
+  }
+  single.Print();
+
+  // --- transaction database ----------------------------------------------
+  MoleculeDbOptions db_options;
+  db_options.num_transactions = 120;
+  db_options.vertices_per_graph = 16;
+  TransactionDb db = SyntheticMoleculeDb(db_options, 17);
+  std::printf("\ntransaction DB: %zu synthetic molecules, 2 classes\n\n",
+              db.size());
+
+  Table tx({"support", "frequent patterns", "evaluated", "1-thread ms",
+            "N-thread ms", "speedup"});
+  for (uint32_t support : {80u, 50u, 30u}) {
+    TransactionFsmOptions options;
+    options.min_support = support;
+    options.max_edges = 4;
+    options.num_threads = 1;
+    Timer t1;
+    TransactionFsmResult serial = MineTransactions(db, options);
+    const double serial_ms = t1.ElapsedMillis();
+    options.num_threads = cores;
+    Timer t8;
+    TransactionFsmResult parallel = MineTransactions(db, options);
+    const double parallel_ms = t8.ElapsedMillis();
+    GAL_CHECK(serial.patterns.size() == parallel.patterns.size());
+    tx.AddRow({Fmt("%u", support), Fmt("%zu", serial.patterns.size()),
+               Human(serial.stats.patterns_evaluated), Fmt("%.1f", serial_ms),
+               Fmt("%.1f", parallel_ms),
+               Fmt("%.1fx", serial_ms / std::max(1e-9, parallel_ms))});
+  }
+  tx.Print();
+  std::printf("\nShape check: pattern counts rise as the threshold drops; "
+              "parallel support evaluation (T-FSM) and parallel pattern\n"
+              "tasks (PrefixFPM) scale with the available cores (%u here) "
+              "at low thresholds where support evaluation dominates.\n",
+              cores);
+  return 0;
+}

@@ -1,0 +1,103 @@
+// Microbenchmarks (google-benchmark) of the kernels everything else is
+// built from: CSR construction, neighborhood intersection, SpMM, dense
+// matmul, sampling, and the TLAV superstep loop. These are the numbers
+// to watch when optimizing the library itself.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "gnn/sampler.h"
+#include "graph/generators.h"
+#include "tensor/matrix.h"
+#include "tensor/sparse.h"
+#include "tlag/algos/triangles.h"
+#include "tlav/algos/wcc.h"
+
+namespace gal {
+namespace {
+
+void BM_CsrConstruction(benchmark::State& state) {
+  const uint32_t scale = static_cast<uint32_t>(state.range(0));
+  Graph g = Rmat(scale, 8, 3);
+  std::vector<Edge> edges = g.CollectEdges();
+  for (auto _ : state) {
+    auto copy = edges;
+    Result<Graph> built = Graph::FromEdges(g.NumVertices(), std::move(copy), {});
+    benchmark::DoNotOptimize(built.value().NumEdges());
+  }
+  state.SetItemsProcessed(state.iterations() * g.NumEdges());
+}
+BENCHMARK(BM_CsrConstruction)->Arg(10)->Arg(12);
+
+void BM_TriangleCountSerial(benchmark::State& state) {
+  Graph g = Rmat(static_cast<uint32_t>(state.range(0)), 8, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SerialTriangleCount(g).triangles);
+  }
+  state.SetItemsProcessed(state.iterations() * g.NumEdges());
+}
+BENCHMARK(BM_TriangleCountSerial)->Arg(10)->Arg(12);
+
+void BM_TriangleCountTask8(benchmark::State& state) {
+  Graph g = Rmat(static_cast<uint32_t>(state.range(0)), 8, 3);
+  TaskEngineConfig config;
+  config.num_threads = 8;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(TaskTriangleCount(g, config).triangles);
+  }
+  state.SetItemsProcessed(state.iterations() * g.NumEdges());
+}
+BENCHMARK(BM_TriangleCountTask8)->Arg(10)->Arg(12);
+
+void BM_SpMM(benchmark::State& state) {
+  Graph g = Rmat(11, 8, 5);
+  SparseMatrix adj = NormalizedAdjacency(g, AdjNorm::kSymmetric);
+  Rng rng(1);
+  Matrix h = Matrix::Xavier(g.NumVertices(), static_cast<uint32_t>(state.range(0)), rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(adj.Multiply(h).rows());
+  }
+  state.SetItemsProcessed(state.iterations() * adj.nnz() * state.range(0));
+}
+BENCHMARK(BM_SpMM)->Arg(16)->Arg(64);
+
+void BM_DenseMatmul(benchmark::State& state) {
+  const uint32_t n = static_cast<uint32_t>(state.range(0));
+  Rng rng(2);
+  Matrix a = Matrix::Xavier(n, n, rng);
+  Matrix b = Matrix::Xavier(n, n, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Matmul(a, b).rows());
+  }
+  state.SetItemsProcessed(state.iterations() * uint64_t{n} * n * n);
+}
+BENCHMARK(BM_DenseMatmul)->Arg(64)->Arg(128);
+
+void BM_WccSuperstepLoop(benchmark::State& state) {
+  Graph g = Rmat(static_cast<uint32_t>(state.range(0)), 8, 7);
+  TlavConfig config;
+  config.num_workers = 8;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Wcc(g, config).num_components);
+  }
+  state.SetItemsProcessed(state.iterations() * g.NumEdges());
+}
+BENCHMARK(BM_WccSuperstepLoop)->Arg(10)->Arg(12);
+
+void BM_MiniBatchSampling(benchmark::State& state) {
+  Graph g = Rmat(12, 8, 9);
+  std::vector<VertexId> seeds;
+  for (VertexId v = 0; v < 64; ++v) seeds.push_back(v * 17 % g.NumVertices());
+  const uint32_t fanout = static_cast<uint32_t>(state.range(0));
+  uint64_t seed = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        BuildMiniBatch(g, seeds, {fanout, fanout}, ++seed).input_rows);
+  }
+}
+BENCHMARK(BM_MiniBatchSampling)->Arg(5)->Arg(25);
+
+}  // namespace
+}  // namespace gal
+
+BENCHMARK_MAIN();

@@ -1,0 +1,111 @@
+// Experiment C4 (DESIGN.md): matching order matters — the claim behind
+// the compilation-based systems (AutoMine / GraphPi / GraphZero). The
+// same backtracking kernel run under a naive id order, a deliberately
+// bad order, and the greedy cost-based order, with and without
+// symmetry-breaking restrictions.
+//
+// Expected shape: the optimized order explores far fewer search-tree
+// nodes on skewed graphs, and symmetry breaking removes the |Aut(p)|
+// duplication — multiplicative savings, matching GraphPi's report of
+// order-of-magnitude gaps between orders.
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "graph/generators.h"
+#include "match/executor.h"
+#include "match/pattern.h"
+
+int main() {
+  using namespace gal;
+  using namespace gal::bench;
+  Banner("C4", "matching-order optimization and symmetry breaking (Sec. 2)");
+
+  Graph data = BarabasiAlbert(3000, 4, 11);
+  std::printf("data graph: %s (skewed degrees, BA model)\n\n",
+              data.ToString().c_str());
+
+  struct NamedPattern {
+    const char* name;
+    Graph pattern;
+  };
+  std::vector<NamedPattern> patterns;
+  patterns.push_back({"tailed-triangle", TailedTrianglePattern()});
+  patterns.push_back({"diamond", DiamondPattern()});
+  patterns.push_back({"4-cycle", CyclePattern(4)});
+  patterns.push_back({"4-clique", CliquePattern(4)});
+
+  Table table({"pattern", "matches", "nodes(by-id)", "nodes(worst)",
+               "nodes(greedy)", "worst/greedy", "nodes(greedy+sym)",
+               "|Aut|"});
+  for (const NamedPattern& np : patterns) {
+    auto run = [&](OrderStrategy order, bool sym) {
+      MatchOptions options;
+      options.order = order;
+      options.symmetry_breaking = sym;
+      options.engine.num_threads = 8;
+      return SubgraphMatch(data, np.pattern, options).stats;
+    };
+    MatchStats by_id = run(OrderStrategy::kById, false);
+    MatchStats worst = run(OrderStrategy::kWorst, false);
+    MatchStats greedy = run(OrderStrategy::kGreedyCost, false);
+    MatchStats greedy_sym = run(OrderStrategy::kGreedyCost, true);
+    GAL_CHECK(by_id.matches == worst.matches);
+    GAL_CHECK(by_id.matches == greedy.matches);
+    const size_t aut = Automorphisms(np.pattern).size();
+    GAL_CHECK(greedy_sym.matches * aut == greedy.matches);
+
+    table.AddRow({np.name, Human(greedy.matches), Human(by_id.search_nodes),
+                  Human(worst.search_nodes), Human(greedy.search_nodes),
+                  Fmt("%.1fx", static_cast<double>(worst.search_nodes) /
+                                   std::max<uint64_t>(1, greedy.search_nodes)),
+                  Human(greedy_sym.search_nodes), Fmt("%zu", aut)});
+  }
+  table.Print();
+
+  // --- labeled queries: candidate selectivity drives the order ----------
+  // Skewed label distribution: label 0 covers most vertices, label 3 is
+  // rare. Starting the search at the rare end is the classic win of
+  // cost-based ordering.
+  Graph labeled = data;
+  {
+    std::vector<Label> labels(labeled.NumVertices());
+    Rng rng(3);
+    for (Label& l : labels) {
+      const double r = rng.NextDouble();
+      l = r < 0.70 ? 0 : r < 0.90 ? 1 : r < 0.98 ? 2 : 3;
+    }
+    GAL_CHECK_OK(labeled.SetLabels(std::move(labels)));
+  }
+  std::printf("\n-- labeled data (70%%/20%%/8%%/2%% label skew), labeled "
+              "tailed-triangle query --\n");
+  Table labeled_table({"query labels", "matches", "nodes(worst)",
+                       "nodes(greedy)", "worst/greedy"});
+  for (const auto& [name, qlabels] :
+       std::vector<std::pair<const char*, std::vector<Label>>>{
+           {"common anchor (0,0,0,0)", {0, 0, 0, 0}},
+           {"rare tail (0,0,0,3)", {0, 0, 0, 3}},
+           {"rare core (3,0,0,0)", {3, 0, 0, 0}}}) {
+    Graph q = TailedTrianglePattern();
+    GAL_CHECK_OK(q.SetLabels(std::vector<Label>(qlabels)));
+    MatchOptions worst;
+    worst.order = OrderStrategy::kWorst;
+    MatchOptions greedy;
+    greedy.order = OrderStrategy::kGreedyCost;
+    MatchStats w = SubgraphMatch(labeled, q, worst).stats;
+    MatchStats g = SubgraphMatch(labeled, q, greedy).stats;
+    GAL_CHECK(w.matches == g.matches);
+    labeled_table.AddRow(
+        {name, Human(g.matches), Human(w.search_nodes),
+         Human(g.search_nodes),
+         Fmt("%.1fx", static_cast<double>(w.search_nodes) /
+                          std::max<uint64_t>(1, g.search_nodes))});
+  }
+  labeled_table.Print();
+  std::printf("\nShape check: on unlabeled skewed data the greedy order "
+              "beats the pessimal one where connectivity allows a choice;\n"
+              "with label selectivity the gap grows to an order of "
+              "magnitude, and symmetry breaking divides result multiplicity "
+              "by |Aut| —\nthe two levers AutoMine/GraphPi/GraphZero "
+              "compile into their plans.\n");
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Experiment C8 (DESIGN.md): how the partitioning strategy changes the
+// communication of one identical distributed GNN training job — the
+// DistDGL/DGCL (METIS) vs ByteGNN/BGL (seed-centric BFS blocks) vs P3
+// (feature-dimension split) design space, plus the DistGNN vertex-cut
+// replication metric.
+
+#include "bench_util.h"
+#include "dist/dist_gcn.h"
+#include "gnn/dataset.h"
+#include "gnn/sampler.h"
+#include "partition/partition.h"
+
+int main() {
+  using namespace gal;
+  using namespace gal::bench;
+  Banner("C8", "partitioning strategies under one GNN job (Sec. 3)");
+
+  PlantedDatasetOptions data_options;
+  data_options.num_vertices = 900;
+  data_options.num_classes = 4;
+  data_options.feature_dim = 64;  // fat features: where partitioning bites
+  NodeClassificationDataset ds = MakePlantedDataset(data_options);
+  std::printf("dataset: %s, 64-dim features, 4 workers, 10 epochs\n\n",
+              ds.graph.ToString().c_str());
+
+  Table table({"strategy", "edge cut", "halo rows/exchange", "comm MB",
+               "accuracy", "sim epoch ms"});
+  struct Row {
+    const char* name;
+    PartitionScheme scheme;
+    bool p3;
+  };
+  for (const Row& row : std::initializer_list<Row>{
+           {"hash (Pregel default)", PartitionScheme::kHash, false},
+           {"range", PartitionScheme::kRange, false},
+           {"LDG streaming", PartitionScheme::kLdg, false},
+           {"multilevel (METIS-like)", PartitionScheme::kMultilevel, false},
+           {"BFS-Voronoi (ByteGNN)", PartitionScheme::kBfsVoronoi, false},
+           {"P3 feature split", PartitionScheme::kHash, true}}) {
+    DistGcnConfig config;
+    config.partition = row.scheme;
+    config.p3_feature_split = row.p3;
+    config.epochs = 10;
+    DistGcnReport r = TrainDistGcn(ds, config);
+    table.AddRow({row.name, Human(r.edge_cut),
+                  Human(r.halo_rows_exchanged / (2 * config.epochs * 2)),
+                  Fmt("%.2f", r.comm_bytes / 1e6),
+                  Fmt("%.3f", r.final_test_accuracy),
+                  Fmt("%.2f", r.simulated_epoch_seconds * 1e3 /
+                                  config.epochs)});
+  }
+  table.Print();
+
+  std::printf("\n-- vertex-cut (DistGNN/PowerGraph view): replication "
+              "factor --\n");
+  Table vc({"workers", "greedy vertex-cut RF", "hash edge-cut %"});
+  for (uint32_t workers : {2u, 4u, 8u}) {
+    EdgePartition ep = GreedyVertexCut(ds.graph, workers);
+    PartitionQuality q =
+        EvaluatePartition(ds.graph, HashPartition(ds.graph, workers));
+    vc.AddRow({Fmt("%u", workers), Fmt("%.2f", ep.replication_factor),
+               Fmt("%.0f%%", q.cut_ratio * 100)});
+  }
+  vc.Print();
+  std::printf("\nShape check: topology-aware partitions (multilevel, "
+              "BFS-Voronoi) cut the halo traffic several-fold vs hash;\n"
+              "P3 sidesteps fat-feature exchange entirely (its all-reduce "
+              "volume depends on the hidden size, not the input width);\n"
+              "vertex-cut replication stays well under the worst case.\n");
+  return 0;
+}

@@ -1,0 +1,103 @@
+// Experiment C11 (DESIGN.md): operator scheduling — pipelining the
+// sample -> gather -> compute stages of mini-batch GNN training (BGL's
+// factored executors, ByteGNN's two-level scheduling, P3's pipelined
+// phases) vs running them back-to-back.
+
+#include <memory>
+
+#include "bench_util.h"
+#include "dist/pipeline.h"
+#include "gnn/dataset.h"
+#include "gnn/sampler.h"
+#include "nn/gcn.h"
+#include "nn/optimizer.h"
+
+int main() {
+  using namespace gal;
+  using namespace gal::bench;
+  Banner("C11", "pipelined operator scheduling for mini-batch GNN (Sec. 3)");
+
+  PlantedDatasetOptions data_options;
+  data_options.num_vertices = 2000;
+  data_options.num_classes = 4;
+  data_options.feature_dim = 64;
+  data_options.p_in = 0.02;
+  NodeClassificationDataset ds = MakePlantedDataset(data_options);
+
+  const uint32_t kBatch = 64;
+  std::vector<VertexId> train = ds.TrainVertices();
+  const uint32_t num_batches =
+      static_cast<uint32_t>(train.size() / kBatch);
+  std::printf("dataset: %s; %u batches of %u seeds, fanout {10,10}\n\n",
+              ds.graph.ToString().c_str(), num_batches, kBatch);
+
+  GcnConfig model_config;
+  model_config.dims = {ds.features.cols(), 32, ds.num_classes};
+  GcnModel model(model_config);
+  Adam opt(0.01f);
+  opt.Attach(model.Parameters());
+
+  // Stage state handed batch-to-batch (single producer/consumer per
+  // stage boundary because the pipeline is batch-ordered).
+  std::vector<MiniBatch> sampled(num_batches);
+  std::vector<Matrix> gathered(num_batches);
+
+  std::vector<PipelineStage> stages;
+  stages.push_back({"sample", [&](uint32_t b) {
+    std::vector<VertexId> seeds(train.begin() + b * kBatch,
+                                train.begin() + (b + 1) * kBatch);
+    sampled[b] = BuildMiniBatch(ds.graph, seeds, {10, 10}, 7 + b);
+  }});
+  stages.push_back({"gather", [&](uint32_t b) {
+    const std::vector<VertexId>& rows = sampled[b].blocks[0].input_vertices;
+    Matrix x(static_cast<uint32_t>(rows.size()), ds.features.cols());
+    for (uint32_t i = 0; i < rows.size(); ++i) {
+      const float* src = ds.features.row(rows[i]);
+      std::copy(src, src + ds.features.cols(), x.row(i));
+    }
+    gathered[b] = std::move(x);
+  }});
+  stages.push_back({"compute", [&](uint32_t b) {
+    const MiniBatch& batch = sampled[b];
+    AggregateFn agg = [&batch](const Matrix& h, uint32_t layer,
+                               bool backward) {
+      const SparseMatrix& op = batch.blocks[layer].op;
+      return backward ? op.TransposeMultiply(h) : op.Multiply(h);
+    };
+    Matrix logits = model.Forward(gathered[b], agg);
+    const std::vector<VertexId>& seeds = batch.blocks.back().output_vertices;
+    std::vector<int32_t> labels(seeds.size());
+    std::vector<uint8_t> mask(seeds.size(), 1);
+    for (size_t i = 0; i < seeds.size(); ++i) {
+      labels[i] = ds.labels[seeds[i]];
+    }
+    SoftmaxXentResult loss = SoftmaxCrossEntropy(logits, labels, mask);
+    opt.Step(model.Backward(loss.grad, agg));
+  }});
+
+  PipelineReport report = RunPipeline(stages, num_batches);
+
+  Table table({"execution", "epoch wall ms", "speedup"});
+  table.AddRow({"serial (stage-by-stage)",
+                Fmt("%.1f", report.serial_seconds * 1e3), "1.00x"});
+  table.AddRow({"pipelined (one executor/stage)",
+                Fmt("%.1f", report.pipelined_seconds * 1e3),
+                Fmt("%.2fx", report.speedup)});
+  table.Print();
+
+  std::printf("\n-- stage occupancy --\n");
+  Table stages_table({"stage", "busy ms", "share of serial"});
+  for (size_t s = 0; s < report.stage_names.size(); ++s) {
+    stages_table.AddRow(
+        {report.stage_names[s],
+         Fmt("%.1f", report.stage_busy_seconds[s] * 1e3),
+         Fmt("%.0f%%", 100.0 * report.stage_busy_seconds[s] /
+                           std::max(1e-9, report.serial_seconds))});
+  }
+  stages_table.Print();
+  std::printf("\nShape check: pipelined wall time approaches the busiest "
+              "single stage instead of the stage sum — the utilization win\n"
+              "BGL/ByteGNN get from giving sampling, gathering and compute "
+              "their own executors.\n");
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Experiment C10 (DESIGN.md): compressed GNN training via lossy message
+// quantization (EXACT / EC-Graph / F²CGT / Sylvie): fp32 / fp16 / int8 /
+// int4 on the wire, with and without EC-Graph-style error compensation.
+
+#include "bench_util.h"
+#include "dist/dist_gcn.h"
+#include "dist/quantization.h"
+#include "gnn/dataset.h"
+
+int main() {
+  using namespace gal;
+  using namespace gal::bench;
+  Banner("C10", "quantized message compression for GNN training (Sec. 3)");
+
+  PlantedDatasetOptions data_options;
+  data_options.num_vertices = 900;
+  data_options.num_classes = 4;
+  data_options.noise = 2.0;
+  NodeClassificationDataset ds = MakePlantedDataset(data_options);
+  std::printf("dataset: %s, 4 workers, 40 epochs\n\n",
+              ds.graph.ToString().c_str());
+
+  Table table({"wire format", "error comp", "comm MB", "vs fp32", "accuracy",
+               "final loss"});
+  uint64_t fp32_bytes = 0;
+  auto run = [&](const char* name, Quantization q, bool ec) {
+    DistGcnConfig config;
+    config.epochs = 40;
+    config.quantization = q;
+    config.error_compensation = ec;
+    DistGcnReport r = TrainDistGcn(ds, config);
+    if (q == Quantization::kNone) fp32_bytes = r.comm_bytes;
+    table.AddRow({name, ec ? "yes" : "no", Fmt("%.2f", r.comm_bytes / 1e6),
+                  Fmt("%.0f%%", 100.0 * r.comm_bytes /
+                                    std::max<uint64_t>(1, fp32_bytes)),
+                  Fmt("%.3f", r.final_test_accuracy),
+                  Fmt("%.3f", r.epoch_loss.back())});
+  };
+  run("fp32", Quantization::kNone, false);
+  run("fp16", Quantization::kFp16, false);
+  run("int8", Quantization::kInt8, false);
+  run("int8", Quantization::kInt8, true);
+  run("int4", Quantization::kInt4, false);
+  run("int4", Quantization::kInt4, true);
+  table.Print();
+
+  std::printf("\n-- codec fidelity in isolation (64-dim activations) --\n");
+  Table codec({"format", "bytes/row", "mean abs error", "EC mean abs error "
+               "(64-round avg)"});
+  Rng rng(3);
+  Matrix activations = Matrix::Xavier(256, 64, rng);
+  for (Quantization q : {Quantization::kFp16, Quantization::kInt8,
+                         Quantization::kInt4}) {
+    const double err =
+        activations.MeanAbsDiff(QuantizeDequantize(activations, q));
+    ErrorCompensatedCodec ec(q);
+    Matrix mean(activations.rows(), activations.cols());
+    for (int i = 0; i < 64; ++i) {
+      mean.AddScaled(ec.Transmit(activations), 1.0f / 64);
+    }
+    codec.AddRow({QuantizationName(q),
+                  Fmt("%.1f", static_cast<double>(WireBytes(q, 1, 64))),
+                  Fmt("%.5f", err),
+                  Fmt("%.5f", activations.MeanAbsDiff(mean))});
+  }
+  codec.Print();
+  std::printf("\nShape check: int8 cuts traffic ~3x with negligible accuracy "
+              "loss; int4 shows visible degradation that error compensation\n"
+              "recovers — the EC-Graph result. The codec table shows EC "
+              "driving the *time-averaged* error toward zero.\n");
+  return 0;
+}

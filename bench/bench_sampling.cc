@@ -1,0 +1,78 @@
+// Experiment C7 (DESIGN.md): neighborhood sampling bounds the graph
+// data communication of GNN training (the Euler / AliGraph / ByteGNN
+// technique). Fanout sweep on a 2-layer GraphSAGE job: gathered feature
+// volume collapses as fanout shrinks while accuracy degrades only
+// mildly; an AliGraph-style hot-vertex cache recovers much of the
+// remaining remote traffic.
+
+#include "bench_util.h"
+#include "dist/cache.h"
+#include "gnn/dataset.h"
+#include "gnn/sage.h"
+#include "gnn/sampler.h"
+#include "partition/partition.h"
+
+int main() {
+  using namespace gal;
+  using namespace gal::bench;
+  Banner("C7", "neighborhood sampling vs communication (Sec. 3)");
+
+  PlantedDatasetOptions data_options;
+  data_options.num_vertices = 4000;
+  data_options.num_classes = 8;
+  data_options.p_in = 0.08;   // avg degree ~50: fanout truly truncates
+  data_options.p_out = 0.004; // 2-hop neighborhoods
+  data_options.noise = 3.0;
+  NodeClassificationDataset ds = MakePlantedDataset(data_options);
+  std::printf("dataset: %s, %u-dim features\n\n", ds.graph.ToString().c_str(),
+              ds.features.cols());
+
+  Table table({"fanout", "accuracy", "feature rows", "feature MB",
+               "sampled edges", "MB vs full"});
+  uint64_t full_bytes = 0;
+  for (uint32_t fanout : {0u, 25u, 10u, 5u, 2u}) {
+    SageConfig config;
+    config.fanouts = {fanout, fanout};
+    config.epochs = 2;
+    config.batch_size = 16;  // small batches: expansion cannot saturate
+    SageReport r = TrainSageMinibatch(ds, config);
+    if (fanout == 0) full_bytes = r.feature_bytes_gathered;
+    table.AddRow({fanout == 0 ? "full" : Fmt("%u", fanout),
+                  Fmt("%.3f", r.final_test_accuracy),
+                  Human(r.feature_rows_gathered),
+                  Fmt("%.2f", r.feature_bytes_gathered / 1e6),
+                  Human(r.sampled_edges),
+                  Fmt("%.0f%%", 100.0 * r.feature_bytes_gathered /
+                                    std::max<uint64_t>(1, full_bytes))});
+  }
+  table.Print();
+
+  // AliGraph-style cache on top of fanout-10 sampling, 4 workers.
+  std::printf("\n-- hot-vertex feature cache (AliGraph), fanout 10, "
+              "4 workers --\n");
+  VertexPartition parts = HashPartition(ds.graph, 4);
+  Table cache_table({"cache fraction", "hit rate", "remote fetches avoided"});
+  for (double fraction : {0.0, 0.05, 0.2, 0.5}) {
+    StaticFeatureCache cache(ds.graph, parts, fraction);
+    // Replay the sampled reads of one epoch.
+    std::vector<VertexId> train = ds.TrainVertices();
+    for (size_t begin = 0; begin < train.size(); begin += 16) {
+      const size_t end = std::min(train.size(), begin + 16);
+      std::vector<VertexId> seeds(train.begin() + begin, train.begin() + end);
+      MiniBatch batch = BuildMiniBatch(ds.graph, seeds, {10, 10}, 3);
+      const uint32_t worker = parts.PartOf(seeds[0]);
+      for (VertexId v : batch.blocks[0].input_vertices) {
+        cache.Fetch(worker, v);
+      }
+    }
+    cache_table.AddRow({Fmt("%.0f%%", fraction * 100),
+                        Fmt("%.2f", cache.HitRate()),
+                        Human(cache.hits())});
+  }
+  cache_table.Print();
+  std::printf("\nShape check: fanout 10 keeps accuracy within a few points "
+              "of full neighborhoods at a fraction of the gathered bytes;\n"
+              "caching the hottest vertices pushes the hit rate up steeply "
+              "because power-law access concentrates on hubs.\n");
+  return 0;
+}

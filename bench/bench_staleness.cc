@@ -1,0 +1,74 @@
+// Experiment C9 (DESIGN.md): model-synchronization paradigms — BSP
+// (fresh halo exchange every epoch), bounded staleness s ∈ {2,4,8}
+// (P3 / Dorylus), and Sancus's drift-adaptive broadcast skipping. Same
+// model, same data, same partition; only the freshness policy differs.
+
+#include "bench_util.h"
+#include "dist/dist_gcn.h"
+#include "gnn/dataset.h"
+
+int main() {
+  using namespace gal;
+  using namespace gal::bench;
+  Banner("C9", "sync vs bounded staleness vs Sancus (Sec. 3)");
+
+  PlantedDatasetOptions data_options;
+  data_options.num_vertices = 900;
+  data_options.num_classes = 4;
+  data_options.noise = 2.0;
+  NodeClassificationDataset ds = MakePlantedDataset(data_options);
+  const uint32_t kEpochs = 40;
+  std::printf("dataset: %s, 4 workers, %u epochs\n\n",
+              ds.graph.ToString().c_str(), kEpochs);
+
+  Table table({"paradigm", "comm MB", "exchanges", "skipped", "accuracy",
+               "final loss", "sim total ms"});
+  auto run = [&](const char* name, SyncMode mode, uint32_t bound,
+                 double drift) {
+    DistGcnConfig config;
+    config.epochs = kEpochs;
+    config.sync = mode;
+    config.staleness_bound = bound;
+    config.sancus_drift_threshold = drift;
+    config.overlap_comm_compute = true;
+    DistGcnReport r = TrainDistGcn(ds, config);
+    table.AddRow({name, Fmt("%.2f", r.comm_bytes / 1e6),
+                  Human(r.broadcasts_sent), Human(r.broadcasts_skipped),
+                  Fmt("%.3f", r.final_test_accuracy),
+                  Fmt("%.3f", r.epoch_loss.back()),
+                  Fmt("%.1f", r.simulated_epoch_seconds * 1e3)});
+    return r;
+  };
+
+  DistGcnReport bsp = run("BSP (sync)", SyncMode::kBsp, 0, 0.0);
+  run("bounded s=2", SyncMode::kBoundedStaleness, 2, 0.0);
+  run("bounded s=4", SyncMode::kBoundedStaleness, 4, 0.0);
+  run("bounded s=8", SyncMode::kBoundedStaleness, 8, 0.0);
+  run("Sancus (drift 5%)", SyncMode::kSancus, 0, 0.05);
+  run("Sancus (drift 15%)", SyncMode::kSancus, 0, 0.15);
+  table.Print();
+
+  std::printf("\n-- convergence curve (loss at epoch k) --\n");
+  Table curve({"epoch", "BSP", "bounded s=4", "Sancus 5%"});
+  DistGcnConfig c4;
+  c4.epochs = kEpochs;
+  c4.sync = SyncMode::kBoundedStaleness;
+  c4.staleness_bound = 4;
+  DistGcnReport r4 = TrainDistGcn(ds, c4);
+  DistGcnConfig cs;
+  cs.epochs = kEpochs;
+  cs.sync = SyncMode::kSancus;
+  cs.sancus_drift_threshold = 0.05;
+  DistGcnReport rs = TrainDistGcn(ds, cs);
+  for (uint32_t e : {0u, 4u, 9u, 19u, 39u}) {
+    curve.AddRow({Fmt("%u", e + 1), Fmt("%.3f", bsp.epoch_loss[e]),
+                  Fmt("%.3f", r4.epoch_loss[e]),
+                  Fmt("%.3f", rs.epoch_loss[e])});
+  }
+  curve.Print();
+  std::printf("\nShape check: staleness cuts exchanges (and simulated time) "
+              "several-fold at a small accuracy/convergence cost that grows\n"
+              "with the bound; Sancus lands near the best of both by "
+              "skipping only low-drift broadcasts — the survey's §3 story.\n");
+  return 0;
+}

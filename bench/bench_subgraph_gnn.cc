@@ -1,0 +1,88 @@
+// Ablation (survey §1, final paragraph): "Subgraph GNNs which model
+// graphs as collections of subgraphs are found to be more expressive
+// than regular GNNs" [Alsentzer et al.; Frasca et al.]. The textbook
+// demonstration: pairs of non-isomorphic graphs that 1-WL message
+// passing cannot distinguish (same degree sequences, same local trees)
+// become trivially separable once vertices carry local subgraph counts.
+
+#include "bench_util.h"
+#include "gnn/graph_classifier.h"
+#include "graph/generators.h"
+#include "graph/transaction_db.h"
+
+namespace {
+
+using namespace gal;
+
+Graph WithZeroLabels(Graph g) {
+  GAL_CHECK_OK(g.SetLabels(std::vector<Label>(g.NumVertices(), 0)));
+  return g;
+}
+
+/// Class 0 vs class 1, `copies` of each, classic WL-blind pairs.
+TransactionDb BlindSpotDb(int which, uint32_t copies) {
+  TransactionDb db;
+  for (uint32_t i = 0; i < copies; ++i) {
+    switch (which) {
+      case 0: {  // C6 vs 2xC3 (both 2-regular on 6 vertices)
+        db.Add(WithZeroLabels(Cycle(6)), 0);
+        Graph two = std::move(
+            Graph::FromEdges(
+                6, {{0, 1}, {1, 2}, {0, 2}, {3, 4}, {4, 5}, {3, 5}}, {})
+                .value());
+        db.Add(WithZeroLabels(std::move(two)), 1);
+        break;
+      }
+      default: {  // C8 vs 2xC4 (both 2-regular on 8 vertices)
+        db.Add(WithZeroLabels(Cycle(8)), 0);
+        Graph two = std::move(
+            Graph::FromEdges(8,
+                             {{0, 1}, {1, 2}, {2, 3}, {3, 0},
+                              {4, 5}, {5, 6}, {6, 7}, {7, 4}},
+                             {})
+                .value());
+        db.Add(WithZeroLabels(std::move(two)), 1);
+        break;
+      }
+    }
+  }
+  return db;
+}
+
+}  // namespace
+
+int main() {
+  using namespace gal::bench;
+  Banner("SG", "Subgraph GNN expressiveness beyond the 1-WL ceiling "
+               "(Sec. 1)");
+
+  Table table({"task", "plain GNN train acc", "plain GNN test acc",
+               "+subgraph counts train", "+subgraph counts test"});
+  struct Task {
+    const char* name;
+    int which;
+  };
+  for (const Task& task : {Task{"C6 vs 2xC3 (triangle-blind)", 0},
+                           Task{"C8 vs 2xC4 (4-cycle-blind)", 1}}) {
+    TransactionDb db = BlindSpotDb(task.which, 12);
+    GraphClassifierConfig plain;
+    plain.epochs = 150;
+    plain.subgraph_features = false;
+    GraphClassifierReport rp = TrainGraphClassifier(db, plain);
+    GraphClassifierConfig sub = plain;
+    sub.subgraph_features = true;
+    GraphClassifierReport rs = TrainGraphClassifier(db, sub);
+    table.AddRow({task.name, Fmt("%.2f", rp.train_accuracy),
+                  Fmt("%.2f", rp.test_accuracy),
+                  Fmt("%.2f", rs.train_accuracy),
+                  Fmt("%.2f", rs.test_accuracy)});
+  }
+  table.Print();
+  std::printf("\nShape check: both pairs are regular graphs with identical "
+              "1-WL color refinements, so the plain message-passing GNN\n"
+              "cannot even FIT the training set (stuck at chance); local "
+              "triangle/4-cycle counts — the cheapest 'collection of\n"
+              "subgraphs' view — separate them perfectly. The survey's "
+              "Subgraph-GNN expressiveness claim in four rows.\n");
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Experiment C2 (DESIGN.md): the survey's efficiency envelope for TLAV
+// systems — iterative computations with O(|V|+|E|) work per superstep
+// and O(log |V|) supersteps, i.e. O((|V|+|E|) log |V|) total [Yan et
+// al., PVLDB 7(14)].
+//
+// Hash-min WCC on low-diameter R-MAT graphs stays inside the envelope
+// (supersteps grow ~logarithmically while per-superstep work stays
+// linear); the same program on a path graph needs Θ(|V|) supersteps —
+// the degenerate case that motivated logarithmic-round Pregel
+// algorithms.
+
+#include <cmath>
+
+#include "bench_util.h"
+#include "graph/generators.h"
+#include "tlav/algos/wcc.h"
+#include "tlav/algos/wcc_sv.h"
+
+int main() {
+  using namespace gal;
+  using namespace gal::bench;
+  Banner("C2", "TLAV O((|V|+|E|) log |V|) envelope via hash-min WCC");
+
+  std::printf("\n-- low-diameter graphs (R-MAT): supersteps ~ O(log |V|) --\n");
+  Table good({"|V|", "|E|", "supersteps", "log2|V|", "activations",
+              "activations/(|V|+|E|)"});
+  for (uint32_t scale : {10u, 12u, 14u, 16u}) {
+    Graph g = Rmat(scale, 8, 7);
+    WccResult r = Wcc(g, TlavConfig{.num_workers = 8});
+    const double ve = static_cast<double>(g.NumVertices()) + g.NumEdges();
+    good.AddRow({Human(g.NumVertices()), Human(g.NumEdges()),
+                 Fmt("%u", r.stats.supersteps), Fmt("%.1f", scale * 1.0),
+                 Human(r.stats.vertex_activations),
+                 Fmt("%.2f", r.stats.vertex_activations / ve)});
+  }
+  good.Print();
+
+  std::printf("\n-- high-diameter graphs (path): hash-min = Theta(|V|) "
+              "supersteps; the fixes the survey cites --\n");
+  Table bad({"|V|", "hash-min steps", "steps/|V|", "SV pointer-jump rounds",
+             "Blogel block steps (32 blocks)"});
+  for (VertexId n : {256u, 512u, 1024u, 2048u}) {
+    Graph g = Path(n);
+    WccResult r = Wcc(g, TlavConfig{.num_workers = 8});
+    SvWccResult sv = SvWcc(g);
+    BlockWccResult blk = BlockWcc(g, 32);
+    GAL_CHECK(sv.num_components == r.num_components);
+    GAL_CHECK(blk.num_components == r.num_components);
+    bad.AddRow({Human(n), Fmt("%u", r.stats.supersteps),
+                Fmt("%.2f", static_cast<double>(r.stats.supersteps) / n),
+                Fmt("%u", sv.rounds), Fmt("%u", blk.block_supersteps)});
+  }
+  bad.Print();
+  std::printf("\nShape check: on R-MAT, supersteps stay near log2|V| and "
+              "total activations stay a small multiple of |V|+|E|.\n"
+              "On paths, hash-min scales linearly with |V| — outside the "
+              "envelope — while the survey's remedies restore it:\n"
+              "Shiloach-Vishkin pointer jumping stays at O(log |V|) rounds "
+              "and Blogel's block-centric model collapses the superstep\n"
+              "count to the (tiny) block-graph diameter.\n");
+  return 0;
+}

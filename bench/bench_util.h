@@ -1,0 +1,84 @@
+#ifndef GAL_BENCH_BENCH_UTIL_H_
+#define GAL_BENCH_BENCH_UTIL_H_
+
+#include <cstdarg>
+#include <cstdint>
+#include <cstdio>
+#include <algorithm>
+#include <string>
+#include <vector>
+
+namespace gal::bench {
+
+/// Minimal fixed-width table printer so every bench emits the same
+/// paper-style rows.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void AddRow(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+  }
+
+  void Print() const {
+    std::vector<size_t> width(headers_.size(), 0);
+    for (size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      for (size_t c = 0; c < row.size() && c < width.size(); ++c) {
+        width[c] = std::max(width[c], row[c].size());
+      }
+    }
+    auto print_row = [&](const std::vector<std::string>& cells) {
+      std::printf("|");
+      for (size_t c = 0; c < headers_.size(); ++c) {
+        const std::string& cell = c < cells.size() ? cells[c] : "";
+        std::printf(" %-*s |", static_cast<int>(width[c]), cell.c_str());
+      }
+      std::printf("\n");
+    };
+    print_row(headers_);
+    std::printf("|");
+    for (size_t c = 0; c < headers_.size(); ++c) {
+      std::printf("%s|", std::string(width[c] + 2, '-').c_str());
+    }
+    std::printf("\n");
+    for (const auto& row : rows_) print_row(row);
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string Fmt(const char* format, ...) {
+  char buffer[256];
+  va_list args;
+  va_start(args, format);
+  std::vsnprintf(buffer, sizeof(buffer), format, args);
+  va_end(args);
+  return buffer;
+}
+
+inline std::string Human(uint64_t n) {
+  char buffer[64];
+  if (n >= 1000000000ull) {
+    std::snprintf(buffer, sizeof(buffer), "%.2fG", n / 1e9);
+  } else if (n >= 1000000ull) {
+    std::snprintf(buffer, sizeof(buffer), "%.2fM", n / 1e6);
+  } else if (n >= 10000ull) {
+    std::snprintf(buffer, sizeof(buffer), "%.1fk", n / 1e3);
+  } else {
+    std::snprintf(buffer, sizeof(buffer), "%llu",
+                  static_cast<unsigned long long>(n));
+  }
+  return buffer;
+}
+
+inline void Banner(const char* id, const char* title) {
+  std::printf("\n==== %s: %s ====\n", id, title);
+}
+
+}  // namespace gal::bench
+
+#endif  // GAL_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,57 @@
+// Experiment C5 (DESIGN.md): work stealing balances the wildly skewed
+// tasks of subgraph search (the G-thinker / STMatch / T-DFS load-
+// balancing story). Maximal clique enumeration on a hub-heavy graph:
+// per-root task cost varies by orders of magnitude, so static
+// round-robin partitioning strands most threads idle while one grinds
+// through the hubs.
+
+#include <thread>
+
+#include "bench_util.h"
+#include "graph/generators.h"
+#include "tlag/algos/cliques.h"
+
+int main() {
+  using namespace gal;
+  using namespace gal::bench;
+  Banner("C5", "work stealing vs static task partitioning (Sec. 2)");
+
+  // BA graphs have hub vertices whose clique neighborhoods dominate;
+  // with a contiguous static shard of the degeneracy-ordered roots, the
+  // heavy tail lands on one worker.
+  Graph g = BarabasiAlbert(6000, 40, 5);
+  const uint32_t cores = std::max(2u, std::thread::hardware_concurrency());
+  std::printf("data graph: %s, max degree %u, %u hardware threads\n\n",
+              g.ToString().c_str(), g.MaxDegree(), cores);
+
+  Table table({"threads", "stealing", "wall ms", "efficiency", "steals",
+               "speedup vs 1t"});
+  double baseline = 0.0;
+  for (uint32_t threads = 1; threads <= cores; threads *= 2) {
+    for (bool stealing : {false, true}) {
+      if (threads == 1 && stealing) continue;
+      MaximalCliqueOptions options;
+      options.engine.num_threads = threads;
+      options.engine.work_stealing = stealing;
+      options.engine.distribution = InitialDistribution::kBlock;
+      options.split_depth = stealing ? 3 : 1;
+      MaximalCliqueResult r = MaximalCliques(g, options);
+      if (threads == 1) baseline = r.task_stats.wall_seconds;
+      table.AddRow(
+          {Fmt("%u", threads), stealing ? "yes" : "no",
+           Fmt("%.1f", r.task_stats.wall_seconds * 1e3),
+           Fmt("%.2f", r.task_stats.ParallelEfficiency()),
+           Human(r.task_stats.steals),
+           Fmt("%.2fx", baseline / std::max(1e-9,
+                                            r.task_stats.wall_seconds))});
+    }
+  }
+  table.Print();
+  std::printf("\nShape check: at every thread count (capped at the %u "
+              "physical cores), stealing keeps parallel efficiency near 1\n"
+              "while the static block shard loses time to whichever worker "
+              "drew the hub roots — the imbalance task splitting +\n"
+              "stealing removes. (On larger machines the gap widens with "
+              "the thread count.)\n", cores);
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Fraud-ring detection with a distributed GNN (Figure 1, paths 2 and 4):
+// the complete analytics -> ML pipeline. Structure analytics extracts
+// per-account features (degree, clustering, core number, PageRank),
+// which are concatenated with transaction features and fed to a GNN
+// trained on a simulated 4-worker cluster with neighborhood sampling —
+// the recommender/risk-system shape the survey's industrial systems
+// (AliGraph, ByteGNN) were built for.
+//
+// Build & run:  ./build/examples/fraud_detection_gnn
+
+#include <cstdio>
+
+#include "dist/dist_gcn.h"
+#include "gnn/dataset.h"
+#include "gnn/features.h"
+#include "gnn/sage.h"
+
+int main() {
+  using namespace gal;
+
+  // Accounts form communities; fraud rings are the densest class.
+  PlantedDatasetOptions data_options;
+  data_options.num_vertices = 800;
+  data_options.num_classes = 2;  // legit vs fraud-ring membership
+  data_options.p_in = 0.05;
+  data_options.p_out = 0.004;
+  data_options.feature_dim = 12;
+  data_options.noise = 2.5;
+  NodeClassificationDataset ds = MakePlantedDataset(data_options);
+  std::printf("account graph: %s\n", ds.graph.ToString().c_str());
+
+  // --- Stage 1: structure analytics as features -------------------------
+  Matrix structural = StructuralFeatures(ds.graph);
+  Matrix combined(ds.features.rows(), ds.features.cols() + structural.cols());
+  for (uint32_t v = 0; v < combined.rows(); ++v) {
+    for (uint32_t j = 0; j < ds.features.cols(); ++j) {
+      combined.at(v, j) = ds.features.at(v, j);
+    }
+    for (uint32_t j = 0; j < structural.cols(); ++j) {
+      combined.at(v, ds.features.cols() + j) = structural.at(v, j);
+    }
+  }
+  ds.features = std::move(combined);
+  std::printf("features: %u transaction + %u structural columns\n",
+              data_options.feature_dim, structural.cols());
+
+  // --- Stage 2a: sampled mini-batch training (single machine) -----------
+  SageConfig sage;
+  sage.fanouts = {10, 10};
+  sage.epochs = 6;
+  SageReport mb = TrainSageMinibatch(ds, sage);
+  std::printf("minibatch GraphSAGE (fanout 10): accuracy %.3f, gathered "
+              "%.2f MB of features\n",
+              mb.final_test_accuracy,
+              static_cast<double>(mb.feature_bytes_gathered) / 1e6);
+
+  // --- Stage 2b: distributed full-graph training -------------------------
+  DistGcnConfig dist;
+  dist.num_workers = 4;
+  dist.partition = PartitionScheme::kBfsVoronoi;  // ByteGNN-style blocks
+  dist.sync = SyncMode::kSancus;                  // skip stable broadcasts
+  dist.quantization = Quantization::kInt8;        // compress the halo
+  dist.error_compensation = true;
+  dist.epochs = 40;
+  DistGcnReport report = TrainDistGcn(ds, dist);
+  std::printf("distributed GCN (4 workers, %s partition, %s sync, %s "
+              "messages):\n",
+              PartitionSchemeName(dist.partition), SyncModeName(dist.sync),
+              QuantizationName(dist.quantization));
+  std::printf("  accuracy %.3f | comm %.2f MB | %llu broadcasts skipped | "
+              "edge cut %llu\n",
+              report.final_test_accuracy,
+              static_cast<double>(report.comm_bytes) / 1e6,
+              static_cast<unsigned long long>(report.broadcasts_skipped),
+              static_cast<unsigned long long>(report.edge_cut));
+  std::printf("  simulated epoch time %.2f ms (compute %.2f + comm %.2f)\n",
+              report.simulated_epoch_seconds * 1e3 / dist.epochs,
+              report.compute_seconds * 1e3 / dist.epochs,
+              report.comm_seconds * 1e3 / dist.epochs);
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Interactive online analytics: the query-serving side of the survey's
+// system landscape. A resident social graph answers two kinds of
+// online workloads concurrently:
+//   - point queries on the TLAV engine with Quegel-style
+//     superstep-sharing (batched BFS distance queries), and
+//   - subgraph pattern queries on the think-like-a-task engine through
+//     the G-thinkerQ-style online server.
+//
+// Build & run:  ./build/examples/interactive_analytics
+
+#include <cstdio>
+
+#include "common/timer.h"
+#include "graph/generators.h"
+#include "match/online.h"
+#include "match/pattern.h"
+#include "tlav/algos/batched_queries.h"
+#include "tlav/algos/traversal.h"
+
+int main() {
+  using namespace gal;
+
+  Graph g = Rmat(10, 6, 21);
+  std::printf("resident graph: %s\n\n", g.ToString().c_str());
+
+  // --- Point queries: who is close to whom? ---------------------------
+  std::vector<VertexId> sources;
+  for (VertexId s = 0; s < 32; ++s) sources.push_back(s * 97 % g.NumVertices());
+
+  Timer batched_timer;
+  BatchedBfsResult batched = BatchedBfsQueries(g, sources);
+  const double batched_ms = batched_timer.ElapsedMillis();
+  Timer sequential_timer;
+  BatchedBfsResult sequential = SequentialBfsQueries(g, sources);
+  const double sequential_ms = sequential_timer.ElapsedMillis();
+
+  std::printf("32 BFS distance queries (Quegel superstep-sharing):\n");
+  std::printf("  batched:    %u supersteps, %.1f ms\n",
+              batched.stats.supersteps, batched_ms);
+  std::printf("  sequential: %u supersteps, %.1f ms\n",
+              sequential.stats.supersteps, sequential_ms);
+  std::printf("  barrier amortization: %.1fx fewer supersteps\n\n",
+              static_cast<double>(sequential.stats.supersteps) /
+                  std::max(1u, batched.stats.supersteps));
+
+  // Spot answers.
+  for (uint32_t q = 0; q < 3; ++q) {
+    uint64_t reached = 0;
+    for (uint32_t d : batched.distances[q]) reached += (d != kUnreachable);
+    std::printf("  query %u (source %u): %llu vertices reachable\n", q,
+                sources[q], static_cast<unsigned long long>(reached));
+  }
+
+  // --- Pattern queries: concurrent motif lookups ------------------------
+  std::printf("\nconcurrent subgraph queries (G-thinkerQ-style server):\n");
+  OnlineQueryServer server(&g, /*num_threads=*/2);
+  MatchOptions options;
+  options.symmetry_breaking = true;
+  std::vector<std::pair<const char*, Graph>> queries;
+  queries.emplace_back("triangle", TrianglePattern());
+  queries.emplace_back("4-cycle", CyclePattern(4));
+  queries.emplace_back("diamond", DiamondPattern());
+  queries.emplace_back("tailed-triangle", TailedTrianglePattern());
+
+  std::vector<std::future<OnlineQueryServer::QueryOutcome>> futures;
+  for (auto& [name, pattern] : queries) {
+    futures.push_back(server.Submit(pattern, options));
+  }
+  server.Drain();
+  for (size_t i = 0; i < queries.size(); ++i) {
+    OnlineQueryServer::QueryOutcome outcome = futures[i].get();
+    std::printf("  %-16s %12llu instances   latency %7.1f ms\n",
+                queries[i].first,
+                static_cast<unsigned long long>(outcome.stats.matches),
+                outcome.latency_seconds * 1e3);
+  }
+  std::printf("\n%llu queries served against one resident graph — the "
+              "interactive regime the survey's online systems target.\n",
+              static_cast<unsigned long long>(server.queries_completed() +
+                                              sources.size()));
+  return 0;
+}

@@ -1,0 +1,80 @@
+#ifndef GAL_COMMON_METRICS_H_
+#define GAL_COMMON_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace gal {
+
+/// Thread-safe additive counter. Engines expose one per interesting
+/// quantity (messages sent, bytes moved, tasks stolen, ...); benches read
+/// them to print the paper's table rows.
+class Counter {
+ public:
+  Counter() : value_(0) {}
+
+  void Add(int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  void Increment() { Add(1); }
+  int64_t Get() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_;
+};
+
+/// Tracks the maximum value ever observed (e.g. peak memory in flight).
+class MaxGauge {
+ public:
+  MaxGauge() : value_(0) {}
+
+  void Observe(int64_t v) {
+    int64_t cur = value_.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !value_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  int64_t Get() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_;
+};
+
+/// A named bag of counters, convenient for engines that want to report a
+/// dynamic set of statistics. Lookup is by string key; not intended for
+/// per-edge hot paths (use a dedicated Counter member there).
+class MetricRegistry {
+ public:
+  void Add(const std::string& name, int64_t delta) {
+    std::lock_guard<std::mutex> lock(mu_);
+    values_[name] += delta;
+  }
+
+  int64_t Get(const std::string& name) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = values_.find(name);
+    return it == values_.end() ? 0 : it->second;
+  }
+
+  std::map<std::string, int64_t> Snapshot() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return values_;
+  }
+
+  void Reset() {
+    std::lock_guard<std::mutex> lock(mu_);
+    values_.clear();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, int64_t> values_;
+};
+
+}  // namespace gal
+
+#endif  // GAL_COMMON_METRICS_H_

@@ -1,0 +1,16 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+namespace gal {
+
+double Rng::NextGaussian() {
+  // Box-Muller; rejects u1 == 0 to keep log() finite.
+  double u1 = NextDouble();
+  while (u1 <= 0.0) u1 = NextDouble();
+  const double u2 = NextDouble();
+  constexpr double kTwoPi = 6.283185307179586476925286766559;
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(kTwoPi * u2);
+}
+
+}  // namespace gal

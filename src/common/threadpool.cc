@@ -1,0 +1,88 @@
+#include "common/threadpool.h"
+
+#include <algorithm>
+#include <atomic>
+
+namespace gal {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  if (num_threads == 0) num_threads = 1;
+  threads_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+    ++in_flight_;
+  }
+  work_cv_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutdown with drained queue
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--in_flight_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+  ParallelForShards(n, [&fn](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) fn(i);
+  });
+}
+
+void ThreadPool::ParallelForShards(
+    size_t n, const std::function<void(size_t, size_t)>& fn) {
+  if (n == 0) return;
+  const size_t shards = std::min(n, threads_.size());
+  const size_t block = (n + shards - 1) / shards;
+  size_t done = 0;  // guarded by done_mu
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+  for (size_t s = 0; s < shards; ++s) {
+    const size_t begin = s * block;
+    const size_t end = std::min(n, begin + block);
+    Submit([&, begin, end] {
+      fn(begin, end);
+      // The counter must be advanced under the mutex: otherwise the
+      // waiter can observe completion and destroy done_mu while this
+      // worker is still entering the lock.
+      std::lock_guard<std::mutex> lock(done_mu);
+      if (++done == shards) done_cv.notify_all();
+    });
+  }
+  // Wait for just these shards (not the whole pool) so nested use works.
+  std::unique_lock<std::mutex> lock(done_mu);
+  done_cv.wait(lock, [&] { return done == shards; });
+}
+
+}  // namespace gal

@@ -1,0 +1,61 @@
+#ifndef GAL_COMMON_THREADPOOL_H_
+#define GAL_COMMON_THREADPOOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace gal {
+
+/// A fixed-size pool of worker threads draining a shared FIFO task queue.
+///
+/// This is the generic executor used by modules that need plain fork-join
+/// parallelism (partitioners, FSM support evaluation, GNN samplers). The
+/// subgraph-search engines in src/tlag use their own work-stealing
+/// scheduler because task splitting is part of the algorithm there.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (>=1; 0 is clamped to 1).
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. Safe to call from worker threads.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task (including tasks submitted by
+  /// running tasks) has finished. The pool stays usable afterwards.
+  void Wait();
+
+  size_t num_threads() const { return threads_.size(); }
+
+  /// Runs fn(i) for i in [0, n) across the pool and waits for completion.
+  /// Work is divided into contiguous blocks, one per thread.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+  /// Runs fn(begin, end) over contiguous shards of [0, n); lower overhead
+  /// than ParallelFor when per-index work is tiny.
+  void ParallelForShards(
+      size_t n, const std::function<void(size_t, size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> threads_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // signals workers: work or shutdown
+  std::condition_variable idle_cv_;   // signals Wait(): all drained
+  size_t in_flight_ = 0;              // queued + running tasks
+  bool shutdown_ = false;
+};
+
+}  // namespace gal
+
+#endif  // GAL_COMMON_THREADPOOL_H_

@@ -1,0 +1,28 @@
+#ifndef GAL_COMMON_TIMER_H_
+#define GAL_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace gal {
+
+/// Wall-clock stopwatch used by benches and engine statistics.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace gal
+
+#endif  // GAL_COMMON_TIMER_H_

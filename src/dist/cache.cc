@@ -1,0 +1,51 @@
+#include "dist/cache.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace gal {
+
+StaticFeatureCache::StaticFeatureCache(const Graph& g,
+                                       const VertexPartition& parts,
+                                       double cache_fraction)
+    : parts_(&parts), num_vertices_(g.NumVertices()) {
+  GAL_CHECK(cache_fraction >= 0.0 && cache_fraction <= 1.0);
+  cached_.assign(static_cast<size_t>(parts.num_parts) * num_vertices_, 0);
+
+  // Hottest vertices first.
+  std::vector<VertexId> by_degree(num_vertices_);
+  std::iota(by_degree.begin(), by_degree.end(), 0);
+  std::stable_sort(by_degree.begin(), by_degree.end(),
+                   [&g](VertexId a, VertexId b) {
+                     return g.Degree(a) > g.Degree(b);
+                   });
+  const uint64_t budget_per_worker =
+      static_cast<uint64_t>(cache_fraction * num_vertices_);
+  for (uint32_t w = 0; w < parts.num_parts; ++w) {
+    uint64_t used = 0;
+    for (VertexId v : by_degree) {
+      if (used >= budget_per_worker) break;
+      if (parts.assignment[v] == w) continue;  // already local
+      cached_[static_cast<size_t>(w) * num_vertices_ + v] = 1;
+      ++used;
+    }
+    cached_entries_ += used;
+  }
+}
+
+bool StaticFeatureCache::Fetch(uint32_t worker, VertexId v) {
+  GAL_DCHECK(worker < parts_->num_parts && v < num_vertices_);
+  const bool hit =
+      parts_->assignment[v] == worker ||
+      cached_[static_cast<size_t>(worker) * num_vertices_ + v] != 0;
+  if (hit) {
+    ++hits_;
+  } else {
+    ++misses_;
+  }
+  return hit;
+}
+
+}  // namespace gal

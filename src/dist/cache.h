@@ -1,0 +1,47 @@
+#ifndef GAL_DIST_CACHE_H_
+#define GAL_DIST_CACHE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "partition/partition.h"
+
+namespace gal {
+
+/// AliGraph-style static feature cache: each worker caches the features
+/// of the most "important" remote vertices (by degree — AliGraph's
+/// importance is essentially in-degree weighted), so repeated sampling
+/// reads hit locally instead of crossing the network.
+class StaticFeatureCache {
+ public:
+  /// Caches, on each worker, the top `cache_fraction` of all vertices by
+  /// degree that are remote to that worker.
+  StaticFeatureCache(const Graph& g, const VertexPartition& parts,
+                     double cache_fraction);
+
+  /// Records a read of `v`'s features by `worker`; returns true on a
+  /// local-or-cached hit (no network traffic).
+  bool Fetch(uint32_t worker, VertexId v);
+
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  double HitRate() const {
+    const uint64_t total = hits_ + misses_;
+    return total == 0 ? 0.0 : static_cast<double>(hits_) / total;
+  }
+  uint64_t cached_entries() const { return cached_entries_; }
+
+ private:
+  const VertexPartition* parts_;
+  /// cached_[w * n + v] = worker w holds v's features locally.
+  std::vector<uint8_t> cached_;
+  VertexId num_vertices_;
+  uint64_t cached_entries_ = 0;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace gal
+
+#endif  // GAL_DIST_CACHE_H_

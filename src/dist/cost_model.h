@@ -1,0 +1,62 @@
+#ifndef GAL_DIST_COST_MODEL_H_
+#define GAL_DIST_COST_MODEL_H_
+
+#include <cstdint>
+#include <string>
+
+namespace gal {
+
+/// Dorylus-style cloud cost accounting: the paper's claim is not that
+/// serverless threads are *faster* than GPUs, but that they deliver
+/// more training throughput per dollar ("value"). Prices default to
+/// public-cloud magnitudes circa the Dorylus paper (absolute values do
+/// not matter; the ratio shapes the bench).
+struct CloudDeployment {
+  std::string name;
+  double dollars_per_hour = 0.0;
+  /// Relative epoch-throughput multiplier vs the CPU baseline (1.0).
+  double relative_speed = 1.0;
+
+  static CloudDeployment GpuServer() {
+    // p3.2xlarge-like: ~$3/h, ~8x a CPU server on GNN epochs.
+    return {"gpu", 3.06, 8.0};
+  }
+  static CloudDeployment CpuServer() {
+    // c5.4xlarge-like: ~$0.68/h.
+    return {"cpu", 0.68, 1.0};
+  }
+  static CloudDeployment CpuPlusServerless() {
+    // Dorylus: CPU graph servers + a burst of Lambda compute threads.
+    // Lambdas roughly 2.4x the CPU-only throughput for ~10% extra cost
+    // (tensor work bursts onto thousands of cheap short-lived threads),
+    // which is what makes its value beat the GPU's.
+    return {"cpu+serverless", 0.75, 2.4};
+  }
+};
+
+struct CostReport {
+  std::string name;
+  double epoch_seconds = 0.0;
+  double dollars_per_epoch = 0.0;
+  /// Epochs per dollar, normalized so the CPU baseline is 1.0 —
+  /// Dorylus's "value" metric.
+  double value = 0.0;
+};
+
+/// Computes time and cost of a training job under a deployment, given
+/// the measured CPU-baseline epoch time.
+inline CostReport EvaluateDeployment(const CloudDeployment& d,
+                                     double cpu_epoch_seconds) {
+  CostReport r;
+  r.name = d.name;
+  r.epoch_seconds = cpu_epoch_seconds / d.relative_speed;
+  r.dollars_per_epoch = r.epoch_seconds / 3600.0 * d.dollars_per_hour;
+  const double cpu_cost =
+      cpu_epoch_seconds / 3600.0 * CloudDeployment::CpuServer().dollars_per_hour;
+  r.value = cpu_cost / r.dollars_per_epoch;
+  return r;
+}
+
+}  // namespace gal
+
+#endif  // GAL_DIST_COST_MODEL_H_

@@ -1,0 +1,101 @@
+#ifndef GAL_DIST_DIST_GCN_H_
+#define GAL_DIST_DIST_GCN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dist/network.h"
+#include "dist/quantization.h"
+#include "gnn/dataset.h"
+#include "partition/partition.h"
+
+namespace gal {
+
+/// Partitioning strategies the distributed trainer can be run under.
+enum class PartitionScheme : uint8_t {
+  kHash,        // Pregel/DistDGL-default baseline
+  kRange,
+  kLdg,         // streaming greedy
+  kMultilevel,  // METIS stand-in (DistDGL/DGCL)
+  kBfsVoronoi,  // ByteGNN/BGL seed-centric blocks
+};
+
+/// Model-synchronization paradigms from the survey's §3.
+enum class SyncMode : uint8_t {
+  kBsp,               // fresh halo exchange every epoch
+  kBoundedStaleness,  // refresh every `staleness_bound` epochs (P3/Dorylus)
+  kSancus,            // drift-triggered broadcast skipping
+};
+
+struct DistGcnConfig {
+  uint32_t num_workers = 4;
+  PartitionScheme partition = PartitionScheme::kHash;
+  SyncMode sync = SyncMode::kBsp;
+  uint32_t staleness_bound = 4;
+  /// Sancus: broadcast layer activations only when their mean absolute
+  /// drift since the last broadcast exceeds this fraction of the
+  /// activation scale.
+  double sancus_drift_threshold = 0.05;
+  Quantization quantization = Quantization::kNone;
+  /// EC-Graph-style error compensation on top of quantization.
+  bool error_compensation = false;
+  /// P3: partition raw features by dimension; layer-0 runs hybrid
+  /// model/data parallelism with partial-aggregate all-reduce instead
+  /// of raw-feature halo exchange.
+  bool p3_feature_split = false;
+  NetworkCostModel network;
+  /// When true, communication of one epoch overlaps the next epoch's
+  /// computation in the simulated-time model (pipelined systems).
+  bool overlap_comm_compute = false;
+
+  uint32_t hidden_dim = 16;
+  uint32_t epochs = 40;
+  float lr = 0.05f;
+  uint64_t seed = 1;
+};
+
+struct DistGcnReport {
+  std::vector<double> epoch_loss;
+  std::vector<double> epoch_test_accuracy;
+  double final_test_accuracy = 0.0;
+
+  uint64_t comm_bytes = 0;          // all cross-worker traffic
+  uint64_t halo_rows_exchanged = 0; // embedding rows that crossed the wire
+  uint64_t broadcasts_skipped = 0;  // Sancus / staleness savings
+  uint64_t broadcasts_sent = 0;
+  uint64_t edge_cut = 0;            // of the chosen partition
+
+  double compute_seconds = 0.0;       // measured math time
+  double comm_seconds = 0.0;          // modeled wire time
+  double simulated_epoch_seconds = 0.0;  // Σ per-epoch max/sum per overlap
+
+  std::string Summary() const;
+};
+
+/// Trains a 2-layer GCN on the dataset over a simulated `num_workers`
+/// cluster, with the communication behavior of the configured paradigm
+/// fully accounted. The math runs in one process; distribution shows up
+/// as (a) which embedding rows cross the wire and when, (b) the lossy /
+/// stale values remote readers actually aggregate.
+DistGcnReport TrainDistGcn(const NodeClassificationDataset& dataset,
+                           const DistGcnConfig& config);
+
+/// The halo of each worker: remote vertices whose embeddings the worker
+/// must read to aggregate its own rows. Exposed for benches/tests.
+std::vector<std::vector<VertexId>> ComputeHalos(const Graph& g,
+                                                const VertexPartition& parts);
+
+/// Builds the partition for a scheme (seeds: training vertices, used by
+/// the seed-centric scheme).
+VertexPartition MakePartition(const Graph& g, PartitionScheme scheme,
+                              uint32_t num_parts,
+                              const std::vector<VertexId>& seeds);
+
+const char* PartitionSchemeName(PartitionScheme scheme);
+const char* SyncModeName(SyncMode mode);
+const char* QuantizationName(Quantization scheme);
+
+}  // namespace gal
+
+#endif  // GAL_DIST_DIST_GCN_H_

@@ -1,0 +1,83 @@
+#ifndef GAL_DIST_NETWORK_H_
+#define GAL_DIST_NETWORK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace gal {
+
+/// Cost model of the simulated interconnect. Defaults approximate a
+/// 10 Gb/s datacenter network; the NVLink preset models DGCL's
+/// high-bandwidth GPU fabric.
+struct NetworkCostModel {
+  double bandwidth_bytes_per_sec = 1.25e9;  // 10 Gb/s
+  double latency_sec = 50e-6;               // per message
+
+  static NetworkCostModel Ethernet10G() { return {}; }
+  static NetworkCostModel Nvlink() {
+    // ~300 GB/s aggregate, sub-microsecond latency.
+    return {3.0e11, 2e-6};
+  }
+
+  double TransferSeconds(uint64_t bytes, uint64_t messages = 1) const {
+    return latency_sec * static_cast<double>(messages) +
+           static_cast<double>(bytes) / bandwidth_bytes_per_sec;
+  }
+};
+
+/// Byte/message ledger of a simulated cluster run. All distributed
+/// components charge their traffic here so benches can print one
+/// comparable "communication volume" number per configuration.
+class SimulatedNetwork {
+ public:
+  explicit SimulatedNetwork(uint32_t num_workers,
+                            NetworkCostModel cost = {})
+      : num_workers_(num_workers), cost_(cost),
+        pair_bytes_(static_cast<size_t>(num_workers) * num_workers, 0) {}
+
+  void Record(uint32_t src, uint32_t dst, uint64_t bytes) {
+    GAL_DCHECK(src < num_workers_ && dst < num_workers_);
+    if (src == dst) return;  // local handoff is free
+    pair_bytes_[static_cast<size_t>(src) * num_workers_ + dst] += bytes;
+    total_bytes_ += bytes;
+    ++total_messages_;
+  }
+
+  /// Broadcast of `bytes` from one worker to all others.
+  void RecordBroadcast(uint32_t src, uint64_t bytes) {
+    for (uint32_t dst = 0; dst < num_workers_; ++dst) {
+      if (dst != src) Record(src, dst, bytes);
+    }
+  }
+
+  uint64_t total_bytes() const { return total_bytes_; }
+  uint64_t total_messages() const { return total_messages_; }
+  uint64_t PairBytes(uint32_t src, uint32_t dst) const {
+    return pair_bytes_[static_cast<size_t>(src) * num_workers_ + dst];
+  }
+
+  /// Modeled wire time if transfers were serialized.
+  double SerializedSeconds() const {
+    return cost_.TransferSeconds(total_bytes_, total_messages_);
+  }
+  const NetworkCostModel& cost_model() const { return cost_; }
+
+  void Reset() {
+    std::fill(pair_bytes_.begin(), pair_bytes_.end(), 0);
+    total_bytes_ = 0;
+    total_messages_ = 0;
+  }
+
+ private:
+  uint32_t num_workers_;
+  NetworkCostModel cost_;
+  std::vector<uint64_t> pair_bytes_;
+  uint64_t total_bytes_ = 0;
+  uint64_t total_messages_ = 0;
+};
+
+}  // namespace gal
+
+#endif  // GAL_DIST_NETWORK_H_

@@ -1,0 +1,42 @@
+#ifndef GAL_DIST_PIPELINE_H_
+#define GAL_DIST_PIPELINE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace gal {
+
+/// A mini-batch training pipeline in the BGL/ByteGNN/P3 mold: the epoch
+/// is a sequence of batches, each passing through ordered stages
+/// (sample -> gather -> compute). Serial execution runs stages
+/// back-to-back; pipelined execution gives each stage its own executor
+/// so stage s of batch b overlaps stage s+1 of batch b-1 — the
+/// "factored"/operator-scheduling design the survey describes.
+struct PipelineStage {
+  std::string name;
+  /// Processes one batch (by index). Runtime is whatever the callable
+  /// actually takes; the executor measures it.
+  std::function<void(uint32_t batch)> work;
+};
+
+struct PipelineReport {
+  double serial_seconds = 0.0;     // Σ over batches and stages
+  double pipelined_seconds = 0.0;  // measured overlapped wall time
+  /// Busy seconds per stage (same for both executions).
+  std::vector<double> stage_busy_seconds;
+  std::vector<std::string> stage_names;
+  double speedup = 0.0;            // serial / pipelined
+};
+
+/// Runs `num_batches` through the stages twice — serially and pipelined
+/// (one thread per stage, batch-ordered handoff) — and reports both
+/// wall times. Stage callables must be safe to call again for the
+/// second execution.
+PipelineReport RunPipeline(const std::vector<PipelineStage>& stages,
+                           uint32_t num_batches);
+
+}  // namespace gal
+
+#endif  // GAL_DIST_PIPELINE_H_

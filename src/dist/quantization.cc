@@ -1,0 +1,130 @@
+#include "dist/quantization.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace gal {
+namespace {
+
+/// Per-row affine quantization to `levels` buckets and back.
+Matrix AffineRoundTrip(const Matrix& m, uint32_t levels) {
+  Matrix out(m.rows(), m.cols());
+  for (uint32_t r = 0; r < m.rows(); ++r) {
+    const float* src = m.row(r);
+    float* dst = out.row(r);
+    float lo = src[0];
+    float hi = src[0];
+    for (uint32_t c = 1; c < m.cols(); ++c) {
+      lo = std::min(lo, src[c]);
+      hi = std::max(hi, src[c]);
+    }
+    const float range = hi - lo;
+    if (range <= 0.0f) {
+      std::copy(src, src + m.cols(), dst);
+      continue;
+    }
+    const float step = range / static_cast<float>(levels - 1);
+    for (uint32_t c = 0; c < m.cols(); ++c) {
+      const float q = std::round((src[c] - lo) / step);
+      dst[c] = lo + q * step;
+    }
+  }
+  return out;
+}
+
+/// fp32 -> fp16 -> fp32 round trip via bit manipulation (round-to-
+/// nearest-even omitted; truncation is accurate enough for simulation).
+float Fp16RoundTrip(float v) {
+  union {
+    float f;
+    uint32_t u;
+  } in{v};
+  const uint32_t sign = (in.u >> 16) & 0x8000u;
+  const int32_t exponent =
+      static_cast<int32_t>((in.u >> 23) & 0xFF) - 127 + 15;
+  uint32_t mantissa = (in.u >> 13) & 0x3FFu;
+  uint16_t half;
+  if (exponent <= 0) {
+    half = static_cast<uint16_t>(sign);  // flush denormals to zero
+  } else if (exponent >= 31) {
+    half = static_cast<uint16_t>(sign | 0x7C00u);  // overflow to inf
+  } else {
+    half = static_cast<uint16_t>(sign | (exponent << 10) | mantissa);
+  }
+  // Back to fp32.
+  const uint32_t s = (half & 0x8000u) << 16;
+  const uint32_t e = (half >> 10) & 0x1Fu;
+  const uint32_t f = half & 0x3FFu;
+  union {
+    uint32_t u;
+    float fl;
+  } out{0};
+  if (e == 0) {
+    out.u = s;  // zero (denormals flushed)
+  } else if (e == 31) {
+    out.u = s | 0x7F800000u | (f << 13);
+  } else {
+    out.u = s | ((e - 15 + 127) << 23) | (f << 13);
+  }
+  return out.fl;
+}
+
+}  // namespace
+
+double BytesPerElement(Quantization scheme) {
+  switch (scheme) {
+    case Quantization::kNone:
+      return 4.0;
+    case Quantization::kFp16:
+      return 2.0;
+    case Quantization::kInt8:
+      return 1.0;
+    case Quantization::kInt4:
+      return 0.5;
+  }
+  return 4.0;
+}
+
+uint64_t WireBytes(Quantization scheme, uint32_t rows, uint32_t cols) {
+  const double payload =
+      BytesPerElement(scheme) * static_cast<double>(rows) * cols;
+  uint64_t metadata = 0;
+  if (scheme == Quantization::kInt8 || scheme == Quantization::kInt4) {
+    metadata = static_cast<uint64_t>(rows) * 8;  // fp32 scale + offset
+  }
+  return static_cast<uint64_t>(payload) + metadata;
+}
+
+Matrix QuantizeDequantize(const Matrix& m, Quantization scheme) {
+  switch (scheme) {
+    case Quantization::kNone:
+      return m;
+    case Quantization::kFp16: {
+      Matrix out = m;
+      out.Apply(Fp16RoundTrip);
+      return out;
+    }
+    case Quantization::kInt8:
+      return AffineRoundTrip(m, 256);
+    case Quantization::kInt4:
+      return AffineRoundTrip(m, 16);
+  }
+  return m;
+}
+
+Matrix ErrorCompensatedCodec::Transmit(const Matrix& m) {
+  if (residual_.rows() != m.rows() || residual_.cols() != m.cols()) {
+    residual_ = Matrix(m.rows(), m.cols());
+  }
+  Matrix corrected = m;
+  corrected.AddScaled(residual_, 1.0f);
+  Matrix received = QuantizeDequantize(corrected, scheme_);
+  // residual = corrected - received.
+  residual_ = corrected;
+  residual_.AddScaled(received, -1.0f);
+  return received;
+}
+
+}  // namespace gal

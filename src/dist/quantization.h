@@ -1,0 +1,52 @@
+#ifndef GAL_DIST_QUANTIZATION_H_
+#define GAL_DIST_QUANTIZATION_H_
+
+#include <cstdint>
+
+#include "tensor/matrix.h"
+
+namespace gal {
+
+/// Lossy message-compression schemes for GNN traffic (EXACT, EC-Graph,
+/// F²CGT, Sylvie): activations/gradients are quantized per row before
+/// hitting the wire and dequantized on arrival.
+enum class Quantization : uint8_t {
+  kNone,   // fp32 on the wire
+  kFp16,   // value truncation to half precision (simulated)
+  kInt8,   // per-row affine int8
+  kInt4,   // per-row affine int4
+};
+
+/// Bytes per matrix element on the wire under a scheme (per-row scale /
+/// zero-point overhead is charged separately in WireBytes).
+double BytesPerElement(Quantization scheme);
+
+/// Wire size of an r x c matrix under the scheme, including per-row
+/// scale+zero metadata for the integer schemes.
+uint64_t WireBytes(Quantization scheme, uint32_t rows, uint32_t cols);
+
+/// Round-trips a matrix through the codec: returns what the receiver
+/// would reconstruct. kNone returns the input unchanged.
+Matrix QuantizeDequantize(const Matrix& m, Quantization scheme);
+
+/// Error-compensated codec (EC-Graph): the sender keeps the residual of
+/// each transmission and folds it into the next one, so quantization
+/// error stops accumulating across training steps.
+class ErrorCompensatedCodec {
+ public:
+  explicit ErrorCompensatedCodec(Quantization scheme) : scheme_(scheme) {}
+
+  /// Encodes m + carried residual; updates the residual; returns the
+  /// receiver-side reconstruction.
+  Matrix Transmit(const Matrix& m);
+
+  const Matrix& residual() const { return residual_; }
+
+ private:
+  Quantization scheme_;
+  Matrix residual_;  // empty until first Transmit
+};
+
+}  // namespace gal
+
+#endif  // GAL_DIST_QUANTIZATION_H_

@@ -1,0 +1,103 @@
+#include "fsm/canonical.h"
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+#include "common/logging.h"
+
+namespace gal {
+namespace {
+
+std::string CodeUnderPermutation(const Graph& p,
+                                 const std::vector<VertexId>& perm) {
+  const VertexId n = p.NumVertices();
+  std::string code;
+  code.reserve(n + n * (n - 1) / 2);
+  for (VertexId i = 0; i < n; ++i) {
+    code.push_back(static_cast<char>('A' + (p.LabelOf(perm[i]) % 26)));
+  }
+  for (VertexId i = 0; i < n; ++i) {
+    for (VertexId j = i + 1; j < n; ++j) {
+      code.push_back(p.HasEdge(perm[i], perm[j]) ? '1' : '0');
+    }
+  }
+  return code;
+}
+
+}  // namespace
+
+std::string CanonicalCode(const Graph& pattern) {
+  const VertexId n = pattern.NumVertices();
+  GAL_CHECK(n <= 8) << "canonical codes are for small FSM patterns";
+  if (n == 0) return "";
+  std::vector<VertexId> perm(n);
+  std::iota(perm.begin(), perm.end(), 0);
+  std::string best = CodeUnderPermutation(pattern, perm);
+  while (std::next_permutation(perm.begin(), perm.end())) {
+    std::string code = CodeUnderPermutation(pattern, perm);
+    if (code < best) best = std::move(code);
+  }
+  return best;
+}
+
+bool PatternsIsomorphic(const Graph& a, const Graph& b) {
+  if (a.NumVertices() != b.NumVertices() || a.NumEdges() != b.NumEdges()) {
+    return false;
+  }
+  return CanonicalCode(a) == CanonicalCode(b);
+}
+
+Graph EdgePattern(Label a, Label b) {
+  if (a > b) std::swap(a, b);
+  Result<Graph> g = Graph::FromEdges(2, {{0, 1}}, GraphOptions{});
+  GAL_CHECK(g.ok());
+  Graph pattern = std::move(g.value());
+  GAL_CHECK_OK(pattern.SetLabels({a, b}));
+  return pattern;
+}
+
+std::vector<Graph> ExtendPattern(const Graph& pattern,
+                                 const std::vector<Label>& label_alphabet) {
+  const VertexId n = pattern.NumVertices();
+  std::vector<Edge> base_edges = pattern.CollectEdges();
+  std::vector<Graph> out;
+  std::set<std::string> seen;
+
+  auto add_candidate = [&](VertexId num_vertices, std::vector<Edge> edges,
+                           std::vector<Label> labels) {
+    Result<Graph> g =
+        Graph::FromEdges(num_vertices, std::move(edges), GraphOptions{});
+    GAL_CHECK(g.ok()) << g.status();
+    Graph candidate = std::move(g.value());
+    GAL_CHECK_OK(candidate.SetLabels(std::move(labels)));
+    std::string code = CanonicalCode(candidate);
+    if (seen.insert(std::move(code)).second) {
+      out.push_back(std::move(candidate));
+    }
+  };
+
+  // Close an open vertex pair.
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v = u + 1; v < n; ++v) {
+      if (pattern.HasEdge(u, v)) continue;
+      std::vector<Edge> edges = base_edges;
+      edges.push_back({u, v});
+      add_candidate(n, std::move(edges), pattern.labels());
+    }
+  }
+
+  // Attach a fresh labeled vertex to each existing one.
+  for (VertexId u = 0; u < n; ++u) {
+    for (Label l : label_alphabet) {
+      std::vector<Edge> edges = base_edges;
+      edges.push_back({u, n});
+      std::vector<Label> labels = pattern.labels();
+      labels.push_back(l);
+      add_candidate(n + 1, std::move(edges), std::move(labels));
+    }
+  }
+  return out;
+}
+
+}  // namespace gal

@@ -1,0 +1,37 @@
+#ifndef GAL_FSM_CANONICAL_H_
+#define GAL_FSM_CANONICAL_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace gal {
+
+/// A canonical string code for a small labeled pattern graph: the
+/// lexicographic minimum over all vertex permutations of
+/// (labels, upper-triangular adjacency bits). Two patterns have equal
+/// codes iff they are isomorphic — the dedup primitive FSM systems get
+/// from gSpan's minimum DFS codes, realized here by brute-force
+/// minimization (patterns are <= 8 vertices by construction).
+std::string CanonicalCode(const Graph& pattern);
+
+/// Isomorphism check via canonical codes.
+bool PatternsIsomorphic(const Graph& a, const Graph& b);
+
+/// All single-edge extensions of `pattern` using the given vertex label
+/// alphabet (GraMi/gSpan rightmost-extension stand-in):
+///   - close an open pair: add an edge between two existing,
+///     non-adjacent vertices;
+///   - grow: add a new vertex with each allowed label, attached to each
+///     existing vertex.
+/// The result is deduplicated by canonical code.
+std::vector<Graph> ExtendPattern(const Graph& pattern,
+                                 const std::vector<Label>& label_alphabet);
+
+/// The single-edge pattern with endpoint labels (a, b).
+Graph EdgePattern(Label a, Label b);
+
+}  // namespace gal
+
+#endif  // GAL_FSM_CANONICAL_H_

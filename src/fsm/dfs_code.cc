@@ -1,0 +1,205 @@
+#include "fsm/dfs_code.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace gal {
+namespace {
+
+bool IsForward(const DfsEdge& e) { return e.to > e.from; }
+
+}  // namespace
+
+bool DfsEdgeLess(const DfsEdge& a, const DfsEdge& b) {
+  const bool fa = IsForward(a);
+  const bool fb = IsForward(b);
+  // gSpan's structural order.
+  if (!fa && !fb) {  // both backward
+    if (a.from != b.from) return a.from < b.from;
+    if (a.to != b.to) return a.to < b.to;
+  } else if (fa && fb) {  // both forward
+    if (a.to != b.to) return a.to < b.to;
+    if (a.from != b.from) return a.from > b.from;  // deeper source first
+  } else if (!fa && fb) {  // backward vs forward
+    if (a.from < b.to) return true;
+    if (a.from >= b.to) return false;
+  } else {  // forward vs backward
+    if (a.to <= b.from) return true;
+    return false;
+  }
+  // Structurally equal: label tie-breakers.
+  if (a.from_label != b.from_label) return a.from_label < b.from_label;
+  return a.to_label < b.to_label;
+}
+
+bool DfsCodeLess(const std::vector<DfsEdge>& a,
+                 const std::vector<DfsEdge>& b) {
+  const size_t n = std::min(a.size(), b.size());
+  for (size_t i = 0; i < n; ++i) {
+    if (DfsEdgeLess(a[i], b[i])) return true;
+    if (DfsEdgeLess(b[i], a[i])) return false;
+  }
+  return a.size() < b.size();
+}
+
+namespace {
+
+/// Exhaustive enumeration of valid DFS codes with prefix pruning.
+struct MinCodeSearch {
+  const Graph* g;
+  std::vector<DfsEdge> best;
+  bool have_best = false;
+
+  // Traversal state.
+  std::vector<int32_t> index_of;      // pattern vertex -> discovery index
+  std::vector<VertexId> vertex_at;    // discovery index -> pattern vertex
+  std::vector<VertexId> rightmost;    // rightmost path (discovery indices'
+                                      // pattern vertices, root..rightmost)
+  std::vector<std::vector<uint8_t>> used;  // used[u][slot in Neighbors(u)]
+  std::vector<DfsEdge> code;
+  uint32_t used_edges = 0;
+
+  bool EdgeUsed(VertexId u, VertexId v) const {
+    const auto nbrs = g->Neighbors(u);
+    const size_t slot =
+        std::lower_bound(nbrs.begin(), nbrs.end(), v) - nbrs.begin();
+    return used[u][slot] != 0;
+  }
+  void MarkEdge(VertexId u, VertexId v, uint8_t value) {
+    auto mark = [&](VertexId a, VertexId b) {
+      const auto nbrs = g->Neighbors(a);
+      const size_t slot =
+          std::lower_bound(nbrs.begin(), nbrs.end(), b) - nbrs.begin();
+      used[a][slot] = value;
+    };
+    mark(u, v);
+    mark(v, u);
+  }
+
+  /// Emits e; returns false (and does not emit) when the prefix is
+  /// already worse than the best complete code.
+  bool Push(const DfsEdge& e, bool* tight) {
+    // *tight means the prefix so far equals best's prefix.
+    if (have_best && *tight) {
+      const DfsEdge& b = best[code.size()];
+      if (DfsEdgeLess(b, e)) return false;  // worse: prune
+      if (DfsEdgeLess(e, b)) *tight = false;  // strictly better prefix
+    }
+    code.push_back(e);
+    return true;
+  }
+
+  void Search(bool tight) {
+    const VertexId rm = rightmost.back();
+    const uint32_t rm_index = static_cast<uint32_t>(index_of[rm]);
+
+    // Forced phase: all unused backward edges from the rightmost vertex,
+    // in increasing ancestor discovery order (the only valid gSpan
+    // form). Track them so this frame can undo on every exit path.
+    std::vector<VertexId> backward_done;
+    bool pruned = false;
+    for (size_t anc = 0; anc + 1 < rightmost.size(); ++anc) {
+      const VertexId target = rightmost[anc];
+      if (!g->HasEdge(rm, target) || EdgeUsed(rm, target)) continue;
+      DfsEdge e{rm_index, static_cast<uint32_t>(index_of[target]),
+                g->LabelOf(rm), g->LabelOf(target)};
+      if (!Push(e, &tight)) {
+        pruned = true;  // prefix already worse than best: prune branch
+        break;
+      }
+      MarkEdge(rm, target, 1);
+      ++used_edges;
+      backward_done.push_back(target);
+    }
+
+    if (!pruned) {
+      if (used_edges == g->NumEdges()) {
+        if (!have_best || DfsCodeLess(code, best)) {
+          best = code;
+          have_best = true;
+        }
+      } else {
+        // Branch phase: forward extensions from rightmost-path vertices.
+        for (size_t pos = rightmost.size(); pos-- > 0;) {
+          const VertexId from = rightmost[pos];
+          for (VertexId to : g->Neighbors(from)) {
+            if (index_of[to] >= 0) continue;  // already discovered
+            const uint32_t new_index =
+                static_cast<uint32_t>(vertex_at.size());
+            DfsEdge e{static_cast<uint32_t>(index_of[from]), new_index,
+                      g->LabelOf(from), g->LabelOf(to)};
+            bool child_tight = tight;
+            if (!Push(e, &child_tight)) continue;
+            MarkEdge(from, to, 1);
+            ++used_edges;
+            index_of[to] = static_cast<int32_t>(new_index);
+            vertex_at.push_back(to);
+            std::vector<VertexId> saved_tail(rightmost.begin() + pos + 1,
+                                             rightmost.end());
+            rightmost.resize(pos + 1);
+            rightmost.push_back(to);
+
+            Search(child_tight);
+
+            rightmost.pop_back();
+            rightmost.insert(rightmost.end(), saved_tail.begin(),
+                             saved_tail.end());
+            vertex_at.pop_back();
+            index_of[to] = -1;
+            --used_edges;
+            MarkEdge(from, to, 0);
+            code.pop_back();
+          }
+        }
+      }
+    }
+
+    // Undo the forced backward edges of this frame.
+    for (size_t i = backward_done.size(); i-- > 0;) {
+      MarkEdge(rm, backward_done[i], 0);
+      --used_edges;
+      code.pop_back();
+    }
+  }
+};
+
+}  // namespace
+
+std::vector<DfsEdge> MinDfsCode(const Graph& pattern) {
+  GAL_CHECK(pattern.NumVertices() >= 2 && pattern.NumVertices() <= 8);
+  GAL_CHECK(pattern.NumEdges() >= 1);
+  MinCodeSearch search;
+  search.g = &pattern;
+  search.used.resize(pattern.NumVertices());
+  for (VertexId v = 0; v < pattern.NumVertices(); ++v) {
+    search.used[v].assign(pattern.Neighbors(v).size(), 0);
+  }
+  for (VertexId root = 0; root < pattern.NumVertices(); ++root) {
+    search.index_of.assign(pattern.NumVertices(), -1);
+    search.index_of[root] = 0;
+    search.vertex_at = {root};
+    search.rightmost = {root};
+    search.code.clear();
+    search.used_edges = 0;
+    for (auto& row : search.used) {
+      std::fill(row.begin(), row.end(), 0);
+    }
+    search.Search(/*tight=*/true);
+  }
+  GAL_CHECK(search.have_best);
+  return search.best;
+}
+
+std::string DfsCodeString(const std::vector<DfsEdge>& code) {
+  std::ostringstream os;
+  for (const DfsEdge& e : code) {
+    os << "(" << e.from << "," << e.to << ","
+       << static_cast<char>('A' + e.from_label % 26) << ","
+       << static_cast<char>('A' + e.to_label % 26) << ")";
+  }
+  return os.str();
+}
+
+}  // namespace gal

@@ -1,0 +1,48 @@
+#ifndef GAL_FSM_DFS_CODE_H_
+#define GAL_FSM_DFS_CODE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace gal {
+
+/// gSpan DFS codes — the canonical form the FSM literature (gSpan,
+/// GraMi, PrefixFPM) builds on. A DFS traversal of a connected labeled
+/// pattern emits one 4-tuple per edge; the *minimum* code over all
+/// traversals is a canonical form: two patterns share it iff they are
+/// isomorphic. This module provides the minimum code via exhaustive
+/// DFS enumeration with prefix pruning (patterns are small), as an
+/// independently-derived alternative to fsm/canonical.h's
+/// permutation-minimal code — each validates the other.
+struct DfsEdge {
+  uint32_t from;     // discovery index of the source
+  uint32_t to;       // discovery index of the target
+  Label from_label;
+  Label to_label;
+
+  friend bool operator==(const DfsEdge& a, const DfsEdge& b) {
+    return a.from == b.from && a.to == b.to &&
+           a.from_label == b.from_label && a.to_label == b.to_label;
+  }
+};
+
+/// gSpan's total order on DFS-code edges (structure first, labels as
+/// tie-breakers). Returns true iff a < b.
+bool DfsEdgeLess(const DfsEdge& a, const DfsEdge& b);
+
+/// Lexicographic comparison of edge sequences under DfsEdgeLess.
+bool DfsCodeLess(const std::vector<DfsEdge>& a, const std::vector<DfsEdge>& b);
+
+/// The minimum DFS code of a connected pattern (<= 8 vertices, >= 1
+/// edge). Terminates the process on disconnected input.
+std::vector<DfsEdge> MinDfsCode(const Graph& pattern);
+
+/// Printable form, e.g. "(0,1,A,B)(1,2,B,A)".
+std::string DfsCodeString(const std::vector<DfsEdge>& code);
+
+}  // namespace gal
+
+#endif  // GAL_FSM_DFS_CODE_H_

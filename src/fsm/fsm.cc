@@ -1,0 +1,250 @@
+#include "fsm/fsm.h"
+
+#include <algorithm>
+#include <atomic>
+#include <map>
+#include <mutex>
+#include <set>
+
+#include "common/logging.h"
+#include "common/timer.h"
+#include "fsm/canonical.h"
+#include "fsm/dfs_code.h"
+#include "fsm/mni.h"
+#include "match/executor.h"
+#include "tlag/task_engine.h"
+
+namespace gal {
+namespace {
+
+/// The dedup key of a pattern under the chosen canonical form.
+std::string PatternKey(const Graph& pattern, Canonicalization canonical) {
+  return canonical == Canonicalization::kPermutation
+             ? CanonicalCode(pattern)
+             : DfsCodeString(MinDfsCode(pattern));
+}
+
+/// Distinct labels present in a labeled graph.
+std::vector<Label> LabelAlphabet(const Graph& g) {
+  std::set<Label> labels(g.labels().begin(), g.labels().end());
+  return {labels.begin(), labels.end()};
+}
+
+/// Frequent single-edge seeds of a single graph: label pairs whose edge
+/// pattern meets the MNI threshold (GraMi's frequent-edge pruning).
+std::vector<Graph> FrequentEdgeSeeds(const Graph& data, uint32_t min_support,
+                                     uint32_t num_threads, FsmStats& stats) {
+  std::set<std::pair<Label, Label>> pairs;
+  for (const Edge& e : data.CollectEdges()) {
+    Label a = data.LabelOf(e.src);
+    Label b = data.LabelOf(e.dst);
+    if (a > b) std::swap(a, b);
+    pairs.insert({a, b});
+  }
+  std::vector<Graph> seeds;
+  for (const auto& [a, b] : pairs) {
+    Graph edge = EdgePattern(a, b);
+    MniOptions mni;
+    mni.threshold = min_support;
+    mni.num_threads = num_threads;
+    MniResult r = MniSupport(data, edge, mni);
+    ++stats.patterns_evaluated;
+    stats.existence_checks += r.existence_checks;
+    if (r.support >= min_support) seeds.push_back(std::move(edge));
+  }
+  return seeds;
+}
+
+}  // namespace
+
+SingleGraphFsmResult MineSingleGraph(const Graph& data,
+                                     const SingleGraphFsmOptions& options) {
+  GAL_CHECK(data.IsLabeled()) << "single-graph FSM needs vertex labels";
+  Timer timer;
+  SingleGraphFsmResult result;
+
+  const std::vector<Label> alphabet = LabelAlphabet(data);
+  std::vector<Graph> frontier = FrequentEdgeSeeds(
+      data, options.min_support, options.num_threads, result.stats);
+
+  std::set<std::string> seen;
+  for (const Graph& seed : frontier) {
+    seen.insert(PatternKey(seed, options.canonical));
+  }
+
+  // Level-wise growth over the pattern lattice; support evaluation is
+  // the parallel inner loop (T-FSM's task decomposition lives inside
+  // MniSupport).
+  while (!frontier.empty()) {
+    std::vector<Graph> next;
+    for (Graph& pattern : frontier) {
+      MniOptions mni;
+      mni.threshold = options.min_support;
+      mni.num_threads = options.num_threads;
+      // Seeds were already verified frequent; re-evaluate to get a
+      // support value for reporting (exact up to early termination).
+      MniResult r = MniSupport(data, pattern, mni);
+      ++result.stats.patterns_evaluated;
+      result.stats.existence_checks += r.existence_checks;
+      if (r.support < options.min_support) {
+        // Children are pruned by anti-monotonicity of MNI.
+        result.stats.pruned_by_apriori +=
+            ExtendPattern(pattern, alphabet).size();
+        continue;
+      }
+      ++result.stats.patterns_frequent;
+      result.patterns.push_back({pattern, r.support});
+      if (pattern.NumEdges() >= options.max_edges) continue;
+      for (Graph& child : ExtendPattern(pattern, alphabet)) {
+        if (seen.insert(PatternKey(child, options.canonical)).second) {
+          next.push_back(std::move(child));
+        }
+      }
+    }
+    frontier = std::move(next);
+  }
+
+  result.stats.wall_seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+namespace {
+
+/// Task for the transaction miner: a pattern plus its occurrence list
+/// (ids of transactions known to contain the *parent*, the projected
+/// database to re-check against).
+struct TxTask {
+  Graph pattern;
+  std::vector<uint32_t> parent_occurrences;
+};
+
+struct TxShared {
+  const TransactionDb* db;
+  const TransactionFsmOptions* options;
+  std::vector<Label> alphabet;
+  std::mutex mu;
+  std::set<std::string> seen;
+  std::vector<FrequentPattern> patterns;
+  std::vector<std::vector<uint32_t>> occurrences;
+  std::atomic<uint64_t> evaluated{0};
+  std::atomic<uint64_t> pruned{0};
+};
+
+void ProcessTxTask(TxTask& task, TxShared& shared,
+                   TaskEngine<TxTask>::Context& ctx) {
+  shared.evaluated.fetch_add(1, std::memory_order_relaxed);
+  // Containment is checked only within the parent's occurrences
+  // (anti-monotone: a child can only occur where the parent did).
+  std::vector<uint32_t> occ;
+  MatchOptions match;
+  match.limit = 1;
+  match.engine.num_threads = 1;
+  for (uint32_t t : task.parent_occurrences) {
+    if (HasSubgraphMatch((*shared.db)[t].graph, task.pattern, match)) {
+      occ.push_back(t);
+    }
+  }
+  if (occ.size() < shared.options->min_support) return;
+
+  {
+    std::lock_guard<std::mutex> lock(shared.mu);
+    shared.patterns.push_back(
+        {task.pattern, static_cast<uint32_t>(occ.size())});
+    shared.occurrences.push_back(occ);
+  }
+  if (task.pattern.NumEdges() >= shared.options->max_edges) return;
+  for (Graph& child : ExtendPattern(task.pattern, shared.alphabet)) {
+    std::string key = PatternKey(child, shared.options->canonical);
+    bool fresh;
+    {
+      std::lock_guard<std::mutex> lock(shared.mu);
+      fresh = shared.seen.insert(std::move(key)).second;
+    }
+    if (fresh) {
+      ctx.Spawn({std::move(child), occ});
+    } else {
+      shared.pruned.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+}  // namespace
+
+TransactionFsmResult MineTransactions(const TransactionDb& db,
+                                      const TransactionFsmOptions& options) {
+  Timer timer;
+  TransactionFsmResult result;
+  TxShared shared;
+  shared.db = &db;
+  shared.options = &options;
+
+  // Alphabet and seed edges across the whole database.
+  std::set<Label> labels;
+  std::set<std::pair<Label, Label>> edge_kinds;
+  for (const GraphTransaction& t : db.transactions()) {
+    GAL_CHECK(t.graph.IsLabeled()) << "transaction FSM needs vertex labels";
+    for (Label l : t.graph.labels()) labels.insert(l);
+    for (const Edge& e : t.graph.CollectEdges()) {
+      Label a = t.graph.LabelOf(e.src);
+      Label b = t.graph.LabelOf(e.dst);
+      if (a > b) std::swap(a, b);
+      edge_kinds.insert({a, b});
+    }
+  }
+  shared.alphabet.assign(labels.begin(), labels.end());
+
+  std::vector<uint32_t> all_transactions(db.size());
+  for (uint32_t t = 0; t < db.size(); ++t) all_transactions[t] = t;
+
+  std::vector<TxTask> seeds;
+  for (const auto& [a, b] : edge_kinds) {
+    Graph edge = EdgePattern(a, b);
+    shared.seen.insert(PatternKey(edge, options.canonical));
+    seeds.push_back({std::move(edge), all_transactions});
+  }
+
+  TaskEngineConfig engine_config;
+  engine_config.num_threads = options.num_threads;
+  TaskEngine<TxTask> engine(engine_config);
+  engine.Run(std::move(seeds),
+             [&shared](TxTask& task, TaskEngine<TxTask>::Context& ctx) {
+               ProcessTxTask(task, shared, ctx);
+             });
+
+  result.patterns = std::move(shared.patterns);
+  result.occurrences = std::move(shared.occurrences);
+  result.stats.patterns_evaluated = shared.evaluated.load();
+  result.stats.patterns_frequent = result.patterns.size();
+  result.stats.pruned_by_apriori = shared.pruned.load();
+  result.stats.wall_seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+std::vector<FrequentPattern> ClosedPatterns(
+    const std::vector<FrequentPattern>& patterns) {
+  std::vector<FrequentPattern> closed;
+  for (size_t i = 0; i < patterns.size(); ++i) {
+    bool is_closed = true;
+    for (size_t j = 0; j < patterns.size(); ++j) {
+      if (i == j) continue;
+      const Graph& small = patterns[i].pattern;
+      const Graph& big = patterns[j].pattern;
+      if (patterns[j].support != patterns[i].support) continue;
+      if (big.NumEdges() <= small.NumEdges() &&
+          big.NumVertices() <= small.NumVertices()) {
+        continue;  // not strictly larger
+      }
+      MatchOptions match;
+      match.limit = 1;
+      match.engine.num_threads = 1;
+      if (HasSubgraphMatch(big, small, match)) {
+        is_closed = false;
+        break;
+      }
+    }
+    if (is_closed) closed.push_back(patterns[i]);
+  }
+  return closed;
+}
+
+}  // namespace gal

@@ -1,0 +1,88 @@
+#ifndef GAL_FSM_FSM_H_
+#define GAL_FSM_FSM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/transaction_db.h"
+
+namespace gal {
+
+/// Frequent subgraph pattern mining, in both settings the survey
+/// distinguishes: a single big graph (GraMi / ScaleMine / DistGraph /
+/// T-FSM; MNI support) and a database of graph transactions
+/// (gSpan / PrefixFPM; transaction-count support).
+
+struct FrequentPattern {
+  Graph pattern;
+  uint32_t support = 0;
+};
+
+struct FsmStats {
+  uint64_t patterns_evaluated = 0;   // support computations run
+  uint64_t patterns_frequent = 0;
+  uint64_t pruned_by_apriori = 0;    // children never evaluated
+  uint64_t existence_checks = 0;     // single-graph only
+  double wall_seconds = 0.0;
+};
+
+/// Which canonical form dedups the pattern lattice. Both are exact;
+/// kMinDfsCode is the gSpan-lineage form, kPermutation the brute-force
+/// minimum adjacency code. They must (and, per tests, do) agree.
+enum class Canonicalization : uint8_t { kPermutation, kMinDfsCode };
+
+struct SingleGraphFsmOptions {
+  uint32_t min_support = 10;   // MNI threshold
+  uint32_t max_edges = 4;      // pattern growth cap
+  uint32_t num_threads = 4;
+  Canonicalization canonical = Canonicalization::kPermutation;
+};
+
+struct SingleGraphFsmResult {
+  std::vector<FrequentPattern> patterns;
+  FsmStats stats;
+};
+
+/// Mines all patterns with MNI support >= min_support from `data`
+/// (which must be vertex-labeled), growing edge-by-edge from frequent
+/// single edges with apriori pruning — the GraMi algorithm with T-FSM's
+/// parallel support evaluation.
+SingleGraphFsmResult MineSingleGraph(const Graph& data,
+                                     const SingleGraphFsmOptions& options);
+
+struct TransactionFsmOptions {
+  uint32_t min_support = 10;   // number of containing transactions
+  uint32_t max_edges = 4;
+  uint32_t num_threads = 4;
+  Canonicalization canonical = Canonicalization::kPermutation;
+};
+
+struct TransactionFsmResult {
+  std::vector<FrequentPattern> patterns;
+  /// For each pattern, ids of the transactions containing it.
+  std::vector<std::vector<uint32_t>> occurrences;
+  FsmStats stats;
+};
+
+/// Mines patterns contained in >= min_support transactions, depth-first
+/// per seed pattern with parallel tasks (PrefixFPM's
+/// parallel-prefix-projection shape). Containment checks of a child
+/// pattern are restricted to the parent's occurrence list — the
+/// projected-database idea.
+TransactionFsmResult MineTransactions(const TransactionDb& db,
+                                      const TransactionFsmOptions& options);
+
+/// Filters a mined result to its *closed* patterns: those with no
+/// frequent super-pattern of equal support (PrefixFPM mines frequent
+/// and closed patterns; closedness removes the redundancy of reporting
+/// every sub-pattern of a large frequent structure). Quadratic in the
+/// pattern count with one containment check per candidate pair —
+/// adequate for mined sets of this scale.
+std::vector<FrequentPattern> ClosedPatterns(
+    const std::vector<FrequentPattern>& patterns);
+
+}  // namespace gal
+
+#endif  // GAL_FSM_FSM_H_

@@ -1,0 +1,135 @@
+#include "fsm/mni.h"
+
+#include <algorithm>
+#include <atomic>
+#include <deque>
+
+#include "common/logging.h"
+#include "common/threadpool.h"
+#include "match/candidates.h"
+
+namespace gal {
+namespace {
+
+/// A matching order rooted at a chosen pattern vertex: BFS from it, so
+/// every later vertex joins the mapped prefix.
+struct RootedPlan {
+  std::vector<VertexId> order;                       // pattern vertices
+  std::vector<std::vector<uint32_t>> backward;       // positions
+};
+
+RootedPlan BuildRootedPlan(const Graph& pattern, VertexId root) {
+  RootedPlan plan;
+  const VertexId k = pattern.NumVertices();
+  std::vector<uint8_t> placed(k, 0);
+  std::deque<VertexId> queue{root};
+  placed[root] = 1;
+  while (!queue.empty()) {
+    const VertexId u = queue.front();
+    queue.pop_front();
+    plan.order.push_back(u);
+    for (VertexId w : pattern.Neighbors(u)) {
+      if (!placed[w]) {
+        placed[w] = 1;
+        queue.push_back(w);
+      }
+    }
+  }
+  GAL_CHECK(plan.order.size() == k) << "FSM patterns must be connected";
+  std::vector<uint32_t> position(k);
+  for (uint32_t i = 0; i < k; ++i) position[plan.order[i]] = i;
+  plan.backward.resize(k);
+  for (uint32_t i = 0; i < k; ++i) {
+    for (VertexId w : pattern.Neighbors(plan.order[i])) {
+      if (position[w] < i) plan.backward[i].push_back(position[w]);
+    }
+  }
+  return plan;
+}
+
+/// True iff a match exists extending `mapped` (positions [0, depth)).
+bool ExistsMatch(const Graph& data, const RootedPlan& plan,
+                 const CandidateSets& candidates,
+                 std::vector<VertexId>& mapped, uint32_t depth) {
+  if (depth == plan.order.size()) return true;
+  const std::vector<VertexId>& cand = candidates.candidates[plan.order[depth]];
+  const std::vector<uint32_t>& backward = plan.backward[depth];
+  GAL_CHECK(!backward.empty());
+  const VertexId anchor = mapped[backward[0]];
+  for (VertexId v : data.Neighbors(anchor)) {
+    if (!std::binary_search(cand.begin(), cand.end(), v)) continue;
+    bool ok = true;
+    for (size_t b = 1; b < backward.size(); ++b) {
+      if (!data.HasEdge(mapped[backward[b]], v)) {
+        ok = false;
+        break;
+      }
+    }
+    if (!ok) continue;
+    if (std::find(mapped.begin(), mapped.begin() + depth, v) !=
+        mapped.begin() + depth) {
+      continue;
+    }
+    mapped[depth] = v;
+    if (ExistsMatch(data, plan, candidates, mapped, depth + 1)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+MniResult MniSupport(const Graph& data, const Graph& pattern,
+                     const MniOptions& options) {
+  const VertexId k = pattern.NumVertices();
+  GAL_CHECK(k >= 1);
+  MniResult result;
+  result.images.assign(k, 0);
+
+  const CandidateSets candidates = NlfFilter(data, pattern);
+  ThreadPool pool(options.num_threads);
+  std::atomic<uint64_t> checks{0};
+
+  uint32_t support = data.NumVertices();
+  for (VertexId u = 0; u < k; ++u) {
+    const RootedPlan plan = BuildRootedPlan(pattern, u);
+    const std::vector<VertexId>& cand = candidates.candidates[u];
+    std::atomic<uint32_t> images{0};
+    std::atomic<uint32_t> processed{0};
+    std::atomic<bool> stop{false};
+
+    pool.ParallelForShards(cand.size(), [&](size_t begin, size_t end) {
+      std::vector<VertexId> mapped(k, kInvalidVertex);
+      for (size_t i = begin; i < end; ++i) {
+        if (stop.load(std::memory_order_relaxed)) break;
+        checks.fetch_add(1, std::memory_order_relaxed);
+        mapped[0] = cand[i];
+        if (k == 1 || ExistsMatch(data, plan, candidates, mapped, 1)) {
+          images.fetch_add(1, std::memory_order_relaxed);
+        }
+        const uint32_t done =
+            processed.fetch_add(1, std::memory_order_relaxed) + 1;
+        if (options.threshold != 0) {
+          const uint32_t found = images.load(std::memory_order_relaxed);
+          // Decided frequent for this vertex, or hopeless.
+          if (found >= options.threshold ||
+              found + (cand.size() - done) < options.threshold) {
+            stop.store(true, std::memory_order_relaxed);
+          }
+        }
+      }
+    });
+
+    result.images[u] = images.load();
+    support = std::min(support, result.images[u]);
+    if (options.threshold != 0 && result.images[u] < options.threshold) {
+      // Early-out: the pattern is already infrequent.
+      support = result.images[u];
+      break;
+    }
+  }
+  result.support = support;
+  result.existence_checks = checks.load();
+  return result;
+}
+
+}  // namespace gal

@@ -1,0 +1,42 @@
+#ifndef GAL_FSM_MNI_H_
+#define GAL_FSM_MNI_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace gal {
+
+/// Minimum-image-based (MNI) support of a pattern in one big graph — the
+/// anti-monotone support measure FSM-in-a-single-graph systems (GraMi,
+/// ScaleMine, T-FSM) standardize on: for each pattern vertex u, count
+/// the distinct data vertices that host u in at least one match; support
+/// is the minimum of those counts.
+struct MniOptions {
+  /// Early-termination threshold (GraMi's key optimization): evaluation
+  /// stops as soon as the pattern is decided frequent (every pattern
+  /// vertex reached `threshold` images) or infrequent (some vertex can
+  /// no longer reach it). 0 disables early termination (exact support).
+  uint32_t threshold = 0;
+  /// Existence checks for different candidate images are independent
+  /// subgraph-matching tasks; T-FSM's parallelization axis.
+  uint32_t num_threads = 1;
+};
+
+struct MniResult {
+  /// Exact support, or a value >= threshold when early-terminated
+  /// frequent, or < threshold when early-terminated infrequent.
+  uint32_t support = 0;
+  /// Distinct images per pattern vertex (lower bounds under early
+  /// termination).
+  std::vector<uint32_t> images;
+  uint64_t existence_checks = 0;  // matcher invocations
+};
+
+MniResult MniSupport(const Graph& data, const Graph& pattern,
+                     const MniOptions& options = {});
+
+}  // namespace gal
+
+#endif  // GAL_FSM_MNI_H_

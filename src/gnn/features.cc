@@ -1,0 +1,79 @@
+#include "gnn/features.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/kcore.h"
+#include "tlav/algos/pagerank.h"
+
+namespace gal {
+
+std::vector<uint64_t> PerVertexTriangles(const Graph& g) {
+  const VertexId n = g.NumVertices();
+  std::vector<uint64_t> count(n, 0);
+  // For each edge (v, u) with v < u, intersect sorted neighborhoods and
+  // credit all three corners of each triangle found with w > u.
+  for (VertexId v = 0; v < n; ++v) {
+    const auto nv = g.Neighbors(v);
+    for (VertexId u : nv) {
+      if (u <= v) continue;
+      const auto nu = g.Neighbors(u);
+      size_t i = 0;
+      size_t j = 0;
+      while (i < nv.size() && j < nu.size()) {
+        if (nv[i] < nu[j]) {
+          ++i;
+        } else if (nv[i] > nu[j]) {
+          ++j;
+        } else {
+          const VertexId w = nv[i];
+          if (w > u) {
+            ++count[v];
+            ++count[u];
+            ++count[w];
+          }
+          ++i;
+          ++j;
+        }
+      }
+    }
+  }
+  return count;
+}
+
+std::vector<double> ClusteringCoefficients(const Graph& g) {
+  const std::vector<uint64_t> triangles = PerVertexTriangles(g);
+  std::vector<double> cc(g.NumVertices(), 0.0);
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    const uint64_t d = g.Degree(v);
+    if (d < 2) continue;
+    cc[v] = 2.0 * static_cast<double>(triangles[v]) /
+            (static_cast<double>(d) * (d - 1));
+  }
+  return cc;
+}
+
+Matrix StructuralFeatures(const Graph& g) {
+  const VertexId n = g.NumVertices();
+  Matrix x(n, 6);
+  const double max_degree = std::max<uint32_t>(1, g.MaxDegree());
+  const double log_max = std::log1p(max_degree);
+  const std::vector<double> cc = ClusteringCoefficients(g);
+  const DegeneracyResult degen = DegeneracyOrder(g);
+  const double degeneracy = std::max<uint32_t>(1, degen.degeneracy);
+  PageRankOptions pr_options;
+  pr_options.iterations = 15;
+  const PageRankResult pr = PageRank(g, pr_options);
+
+  for (VertexId v = 0; v < n; ++v) {
+    x.at(v, 0) = 1.0f;
+    x.at(v, 1) = static_cast<float>(g.Degree(v) / max_degree);
+    x.at(v, 2) = static_cast<float>(std::log1p(g.Degree(v)) / log_max);
+    x.at(v, 3) = static_cast<float>(cc[v]);
+    x.at(v, 4) = static_cast<float>(degen.core_numbers[v] / degeneracy);
+    x.at(v, 5) = static_cast<float>(pr.ranks[v] * n);
+  }
+  return x;
+}
+
+}  // namespace gal

@@ -1,0 +1,180 @@
+#include "gnn/graph_classifier.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/logging.h"
+#include "nn/optimizer.h"
+
+namespace gal {
+
+Matrix LocalSubgraphFeatures(const Graph& g) {
+  const VertexId n = g.NumVertices();
+  Matrix x(n, 5);
+  const float max_degree = std::max<uint32_t>(1, g.MaxDegree());
+
+  for (VertexId v = 0; v < n; ++v) {
+    // Triangles through v: pairs of adjacent neighbors.
+    uint64_t triangles = 0;
+    const auto nv = g.Neighbors(v);
+    for (size_t i = 0; i < nv.size(); ++i) {
+      for (size_t j = i + 1; j < nv.size(); ++j) {
+        triangles += g.HasEdge(nv[i], nv[j]);
+      }
+    }
+    // 4-cycles through v: an opposite vertex w plus a pair of common
+    // neighbors {a, b} of v and w.
+    std::unordered_map<VertexId, uint32_t> co_neighbors;
+    for (VertexId a : nv) {
+      for (VertexId w : g.Neighbors(a)) {
+        if (w != v) ++co_neighbors[w];
+      }
+    }
+    uint64_t cycles = 0;
+    for (const auto& [w, c] : co_neighbors) {
+      cycles += static_cast<uint64_t>(c) * (c - 1) / 2;
+    }
+    const double d = g.Degree(v);
+    x.at(v, 0) = 1.0f;
+    x.at(v, 1) = static_cast<float>(d / max_degree);
+    x.at(v, 2) = static_cast<float>(triangles);
+    x.at(v, 3) = d >= 2 ? static_cast<float>(2.0 * triangles / (d * (d - 1)))
+                        : 0.0f;
+    x.at(v, 4) = static_cast<float>(cycles);
+  }
+  return x;
+}
+
+GraphClassifierReport TrainGraphClassifier(
+    const TransactionDb& db, const GraphClassifierConfig& config) {
+  GAL_CHECK(db.size() >= 4);
+  // --- batch the transactions as one disjoint-union graph --------------
+  VertexId total = 0;
+  int32_t num_classes = 0;
+  std::vector<VertexId> offset(db.size());
+  for (uint32_t t = 0; t < db.size(); ++t) {
+    offset[t] = total;
+    total += db[t].graph.NumVertices();
+    GAL_CHECK(db[t].class_label >= 0);
+    num_classes = std::max(num_classes, db[t].class_label + 1);
+  }
+  std::vector<Edge> union_edges;
+  for (uint32_t t = 0; t < db.size(); ++t) {
+    for (const Edge& e : db[t].graph.CollectEdges()) {
+      union_edges.push_back({e.src + offset[t], e.dst + offset[t]});
+    }
+  }
+  Result<Graph> union_graph =
+      Graph::FromEdges(total, std::move(union_edges), GraphOptions{});
+  GAL_CHECK(union_graph.ok()) << union_graph.status();
+
+  // --- vertex features ---------------------------------------------------
+  // Label alphabet across the db (atom types) -> one-hot columns.
+  std::unordered_map<Label, uint32_t> label_column;
+  for (uint32_t t = 0; t < db.size(); ++t) {
+    if (!db[t].graph.IsLabeled()) continue;
+    for (Label l : db[t].graph.labels()) {
+      label_column.emplace(l, static_cast<uint32_t>(label_column.size()));
+    }
+  }
+  const uint32_t base_dim = 2;  // [1, degree]
+  const uint32_t label_dim = static_cast<uint32_t>(label_column.size());
+  const uint32_t sub_dim = config.subgraph_features ? 3 : 0;
+  uint32_t dim = base_dim + label_dim + sub_dim;
+  Matrix x(total, dim);
+  for (uint32_t t = 0; t < db.size(); ++t) {
+    Matrix local = LocalSubgraphFeatures(db[t].graph);
+    for (VertexId v = 0; v < db[t].graph.NumVertices(); ++v) {
+      const VertexId row = offset[t] + v;
+      x.at(row, 0) = local.at(v, 0);
+      x.at(row, 1) = local.at(v, 1);
+      if (db[t].graph.IsLabeled()) {
+        x.at(row, base_dim + label_column[db[t].graph.LabelOf(v)]) = 1.0f;
+      }
+      if (config.subgraph_features) {
+        x.at(row, base_dim + label_dim + 0) = local.at(v, 2);  // triangles
+        x.at(row, base_dim + label_dim + 1) = local.at(v, 3);  // clustering
+        x.at(row, base_dim + label_dim + 2) = local.at(v, 4);  // 4-cycles
+      }
+    }
+  }
+
+  // --- mean-pool readout operator ----------------------------------------
+  std::vector<std::tuple<uint32_t, uint32_t, float>> pool_triplets;
+  for (uint32_t t = 0; t < db.size(); ++t) {
+    const float inv = 1.0f / db[t].graph.NumVertices();
+    for (VertexId v = 0; v < db[t].graph.NumVertices(); ++v) {
+      pool_triplets.emplace_back(t, offset[t] + v, inv);
+    }
+  }
+  SparseMatrix pool = SparseMatrix::FromTriplets(
+      static_cast<uint32_t>(db.size()), total, std::move(pool_triplets));
+
+  // --- model ---------------------------------------------------------------
+  SparseMatrix adj =
+      NormalizedAdjacency(union_graph.value(), AdjNorm::kSymmetric);
+  AggregateFn agg = ExactAggregator(&adj);
+  GcnConfig gcn_config;
+  gcn_config.dims = {dim, config.hidden_dim, config.hidden_dim};
+  gcn_config.seed = config.seed;
+  GcnModel gcn(gcn_config);
+  Rng rng(config.seed + 7);
+  Matrix head = Matrix::Xavier(config.hidden_dim,
+                               static_cast<uint32_t>(num_classes), rng);
+
+  std::vector<Matrix*> params = gcn.Parameters();
+  params.push_back(&head);
+  Adam opt(config.lr);
+  opt.Attach(params);
+
+  std::vector<int32_t> labels(db.size());
+  std::vector<uint8_t> train_mask(db.size(), 0);
+  std::vector<uint8_t> test_mask(db.size(), 0);
+  const uint32_t train_count =
+      static_cast<uint32_t>(config.train_fraction * db.size());
+  for (uint32_t t = 0; t < db.size(); ++t) {
+    labels[t] = db[t].class_label;
+    (t < train_count ? train_mask : test_mask)[t] = 1;
+  }
+
+  GraphClassifierReport report;
+  report.feature_dim = dim;
+  SoftmaxXentResult train_eval;
+  for (uint32_t epoch = 0; epoch < config.epochs; ++epoch) {
+    Matrix emb = gcn.Forward(x, agg);       // total x hidden
+    Matrix pooled = pool.Multiply(emb);     // graphs x hidden
+    Matrix logits = Matmul(pooled, head);   // graphs x classes
+    train_eval = SoftmaxCrossEntropy(logits, labels, train_mask);
+    // Backward: head, then through the pool into the GCN.
+    Matrix dhead = MatmulTransposeA(pooled, train_eval.grad);
+    Matrix dpooled = MatmulTransposeB(train_eval.grad, head);
+    Matrix demb = pool.TransposeMultiply(dpooled);
+    std::vector<Matrix> grads = gcn.Backward(demb, agg);
+    grads.push_back(std::move(dhead));
+    if (config.weight_decay > 0.0f) {
+      for (size_t i = 0; i < grads.size(); ++i) {
+        grads[i].AddScaled(*params[i], config.weight_decay);
+      }
+    }
+    opt.Step(grads);
+    report.epoch_loss.push_back(train_eval.loss);
+  }
+
+  Matrix emb = gcn.Forward(x, agg);
+  Matrix logits = Matmul(pool.Multiply(emb), head);
+  SoftmaxXentResult train_final =
+      SoftmaxCrossEntropy(logits, labels, train_mask);
+  SoftmaxXentResult test_final =
+      SoftmaxCrossEntropy(logits, labels, test_mask);
+  report.train_accuracy =
+      train_final.total
+          ? static_cast<double>(train_final.correct) / train_final.total
+          : 0.0;
+  report.test_accuracy =
+      test_final.total
+          ? static_cast<double>(test_final.correct) / test_final.total
+          : 0.0;
+  return report;
+}
+
+}  // namespace gal

@@ -1,0 +1,43 @@
+#ifndef GAL_GNN_SAGE_H_
+#define GAL_GNN_SAGE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "gnn/dataset.h"
+#include "gnn/sampler.h"
+#include "nn/gcn.h"
+
+namespace gal {
+
+/// Mini-batch GraphSAGE training with neighbor sampling — the standard
+/// industrial recipe (Euler / AliGraph / DistDGL / ByteGNN). The model
+/// is the mean-aggregation network of nn/gcn driven by per-batch
+/// sampled blocks; the report exposes the communication quantities the
+/// survey's sampling discussion turns on.
+struct SageConfig {
+  std::vector<uint32_t> fanouts = {10, 10};  // per layer; 0 = no sampling
+  uint32_t hidden_dim = 16;
+  uint32_t batch_size = 64;
+  uint32_t epochs = 5;
+  float lr = 0.01f;
+  uint64_t seed = 1;
+};
+
+struct SageReport {
+  double final_test_accuracy = 0.0;
+  std::vector<double> epoch_loss;
+  /// Raw feature rows gathered across all batches/epochs — the graph
+  /// data communication that sampling bounds.
+  uint64_t feature_rows_gathered = 0;
+  uint64_t feature_bytes_gathered = 0;
+  uint64_t sampled_edges = 0;
+  double wall_seconds = 0.0;
+};
+
+SageReport TrainSageMinibatch(const NodeClassificationDataset& dataset,
+                              const SageConfig& config);
+
+}  // namespace gal
+
+#endif  // GAL_GNN_SAGE_H_

@@ -1,0 +1,107 @@
+#include "gnn/sampler.h"
+
+#include <algorithm>
+#include <tuple>
+#include <unordered_map>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace gal {
+namespace {
+
+/// Deterministic per-(seed, vertex, layer) sampling stream.
+Rng VertexRng(uint64_t seed, VertexId v, uint32_t layer) {
+  return Rng(seed ^ (static_cast<uint64_t>(v) << 20) ^ layer);
+}
+
+/// Samples up to `fanout` distinct neighbors (all when fanout == 0 or
+/// degree <= fanout) — reservoir-free partial Fisher-Yates on a copy.
+std::vector<VertexId> SampleNeighbors(const Graph& g, VertexId v,
+                                      uint32_t fanout, uint64_t seed,
+                                      uint32_t layer) {
+  const auto nbrs = g.Neighbors(v);
+  if (fanout == 0 || nbrs.size() <= fanout) {
+    return {nbrs.begin(), nbrs.end()};
+  }
+  std::vector<VertexId> pool(nbrs.begin(), nbrs.end());
+  Rng rng = VertexRng(seed, v, layer);
+  for (uint32_t i = 0; i < fanout; ++i) {
+    const uint64_t j = i + rng.Uniform(pool.size() - i);
+    std::swap(pool[i], pool[j]);
+  }
+  pool.resize(fanout);
+  return pool;
+}
+
+}  // namespace
+
+MiniBatch BuildMiniBatch(const Graph& g, const std::vector<VertexId>& seeds,
+                         const std::vector<uint32_t>& fanouts,
+                         uint64_t seed) {
+  GAL_CHECK(!fanouts.empty());
+  MiniBatch batch;
+  const uint32_t num_layers = static_cast<uint32_t>(fanouts.size());
+  batch.blocks.resize(num_layers);
+
+  // Build from the output layer down: layer (num_layers-1) outputs the
+  // seeds; each lower layer's outputs are the inputs of the one above.
+  std::vector<VertexId> outputs = seeds;
+  for (uint32_t l = num_layers; l-- > 0;) {
+    SampledBlock& block = batch.blocks[l];
+    block.output_vertices = outputs;
+
+    // Inputs: outputs themselves (self-loop) plus sampled neighbors.
+    std::vector<VertexId> inputs = outputs;
+    std::unordered_map<VertexId, uint32_t> input_index;
+    input_index.reserve(outputs.size() * 2);
+    for (uint32_t i = 0; i < inputs.size(); ++i) input_index[inputs[i]] = i;
+
+    std::vector<std::tuple<uint32_t, uint32_t, float>> triplets;
+    for (uint32_t row = 0; row < outputs.size(); ++row) {
+      const VertexId v = outputs[row];
+      std::vector<VertexId> sampled =
+          SampleNeighbors(g, v, fanouts[l], seed, l);
+      block.sampled_edges += sampled.size();
+      const float w = 1.0f / (static_cast<float>(sampled.size()) + 1.0f);
+      triplets.emplace_back(row, row, w);  // self
+      for (VertexId u : sampled) {
+        auto [it, inserted] =
+            input_index.emplace(u, static_cast<uint32_t>(inputs.size()));
+        if (inserted) inputs.push_back(u);
+        triplets.emplace_back(row, it->second, w);
+      }
+    }
+    block.op = SparseMatrix::FromTriplets(
+        static_cast<uint32_t>(outputs.size()),
+        static_cast<uint32_t>(inputs.size()), std::move(triplets));
+    block.input_vertices = inputs;
+    batch.total_sampled_edges += block.sampled_edges;
+    outputs = std::move(inputs);
+  }
+  batch.input_rows = batch.blocks[0].input_vertices.size();
+  return batch;
+}
+
+KHopMaterializationStats MaterializeKHop(const Graph& g,
+                                         const std::vector<VertexId>& seeds,
+                                         const std::vector<uint32_t>& fanouts,
+                                         uint32_t feature_dim, uint64_t seed) {
+  KHopMaterializationStats stats;
+  for (VertexId s : seeds) {
+    MiniBatch batch = BuildMiniBatch(g, {s}, fanouts, seed);
+    stats.total_stored_vertices += batch.input_rows;
+    stats.total_stored_edges += batch.total_sampled_edges;
+  }
+  stats.storage_bytes =
+      stats.total_stored_vertices * (sizeof(VertexId) + feature_dim * 4ull) +
+      stats.total_stored_edges * 2ull * sizeof(VertexId);
+  const uint64_t base_bytes =
+      g.MemoryBytes() + static_cast<uint64_t>(g.NumVertices()) * feature_dim * 4ull;
+  stats.blowup_vs_graph =
+      base_bytes == 0 ? 0.0
+                      : static_cast<double>(stats.storage_bytes) / base_bytes;
+  return stats;
+}
+
+}  // namespace gal

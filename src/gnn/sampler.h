@@ -1,0 +1,58 @@
+#ifndef GAL_GNN_SAMPLER_H_
+#define GAL_GNN_SAMPLER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "tensor/sparse.h"
+
+namespace gal {
+
+/// Neighborhood sampling and mini-batch block construction — the
+/// machinery behind the "graph data communication" reductions of Euler,
+/// AliGraph, DistDGL and ByteGNN.
+
+/// One message-flow block: rows are the layer's output vertices, columns
+/// its input vertices, entries the mean-aggregation weights over the
+/// sampled closed neighborhood.
+struct SampledBlock {
+  SparseMatrix op;
+  /// Data-graph ids of the block's input rows (columns of op).
+  std::vector<VertexId> input_vertices;
+  /// Data-graph ids of the output rows.
+  std::vector<VertexId> output_vertices;
+  uint64_t sampled_edges = 0;
+};
+
+/// Layered blocks for `seeds` with per-layer fanouts; fanout 0 = keep
+/// every neighbor (no sampling). blocks[0] consumes raw features;
+/// blocks.back() produces the seed representations. Deterministic in
+/// (seeds, fanouts, seed).
+struct MiniBatch {
+  std::vector<SampledBlock> blocks;
+  /// Raw-feature rows this batch must gather = blocks[0].input_vertices.
+  uint64_t input_rows = 0;
+  uint64_t total_sampled_edges = 0;
+};
+MiniBatch BuildMiniBatch(const Graph& g, const std::vector<VertexId>& seeds,
+                         const std::vector<uint32_t>& fanouts, uint64_t seed);
+
+/// AGL-style k-hop materialization accounting: the storage required to
+/// pre-extract every training vertex's k-hop neighborhood (with the
+/// given fanouts), which is what AGL trades for zero training-time
+/// graph communication.
+struct KHopMaterializationStats {
+  uint64_t total_stored_vertices = 0;  // Σ per-seed subgraph vertices
+  uint64_t total_stored_edges = 0;
+  uint64_t storage_bytes = 0;          // ids + features
+  double blowup_vs_graph = 0.0;        // storage / (graph + feature) bytes
+};
+KHopMaterializationStats MaterializeKHop(const Graph& g,
+                                         const std::vector<VertexId>& seeds,
+                                         const std::vector<uint32_t>& fanouts,
+                                         uint32_t feature_dim, uint64_t seed);
+
+}  // namespace gal
+
+#endif  // GAL_GNN_SAMPLER_H_

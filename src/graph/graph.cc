@@ -1,0 +1,165 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_map>
+
+#include "common/logging.h"
+
+namespace gal {
+
+Result<Graph> Graph::FromEdges(VertexId num_vertices, std::vector<Edge> edges,
+                               const GraphOptions& options) {
+  for (const Edge& e : edges) {
+    if (e.src >= num_vertices || e.dst >= num_vertices) {
+      return Status::InvalidArgument(
+          "edge endpoint out of range: " + std::to_string(e.src) + "->" +
+          std::to_string(e.dst) + " with |V|=" + std::to_string(num_vertices));
+    }
+  }
+
+  if (options.remove_self_loops) {
+    std::erase_if(edges, [](const Edge& e) { return e.src == e.dst; });
+  }
+
+  // Materialize both directions for undirected graphs.
+  std::vector<Edge> directed_edges;
+  directed_edges.reserve(options.directed ? edges.size() : edges.size() * 2);
+  for (const Edge& e : edges) {
+    directed_edges.push_back(e);
+    if (!options.directed) directed_edges.push_back({e.dst, e.src});
+  }
+
+  std::sort(directed_edges.begin(), directed_edges.end());
+  if (options.dedup) {
+    directed_edges.erase(
+        std::unique(directed_edges.begin(), directed_edges.end()),
+        directed_edges.end());
+  }
+
+  Graph g;
+  g.num_vertices_ = num_vertices;
+  g.directed_ = options.directed;
+  g.offsets_.assign(static_cast<size_t>(num_vertices) + 1, 0);
+  g.targets_.reserve(directed_edges.size());
+  for (const Edge& e : directed_edges) {
+    ++g.offsets_[e.src + 1];
+    g.targets_.push_back(e.dst);
+  }
+  for (VertexId v = 0; v < num_vertices; ++v) {
+    g.offsets_[v + 1] += g.offsets_[v];
+  }
+  g.num_edges_ = options.directed ? directed_edges.size()
+                                  : directed_edges.size() / 2;
+  return g;
+}
+
+bool Graph::HasEdge(VertexId u, VertexId v) const {
+  const auto nbrs = Neighbors(u);
+  return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+uint32_t Graph::MaxDegree() const {
+  uint32_t max_degree = 0;
+  for (VertexId v = 0; v < num_vertices_; ++v) {
+    max_degree = std::max(max_degree, Degree(v));
+  }
+  return max_degree;
+}
+
+Status Graph::SetLabels(std::vector<Label> labels) {
+  if (labels.size() != num_vertices_) {
+    return Status::InvalidArgument(
+        "labels.size()=" + std::to_string(labels.size()) +
+        " != |V|=" + std::to_string(num_vertices_));
+  }
+  labels_ = std::move(labels);
+  return Status::Ok();
+}
+
+Graph Graph::Reversed() const {
+  std::vector<Edge> reversed;
+  reversed.reserve(targets_.size());
+  for (VertexId v = 0; v < num_vertices_; ++v) {
+    for (VertexId u : Neighbors(v)) reversed.push_back({u, v});
+  }
+  GraphOptions options;
+  options.directed = directed_;
+  options.remove_self_loops = false;
+  options.dedup = false;
+  // For undirected graphs FromEdges would double the (already symmetric)
+  // list, so dedup instead.
+  if (!directed_) options.dedup = true;
+  Result<Graph> g = FromEdges(num_vertices_, std::move(reversed), options);
+  GAL_CHECK(g.ok()) << g.status();
+  Graph out = std::move(g.value());
+  out.labels_ = labels_;
+  return out;
+}
+
+Result<Graph> Graph::InducedSubgraph(std::span<const VertexId> vertices) const {
+  std::unordered_map<VertexId, VertexId> index;
+  index.reserve(vertices.size());
+  for (size_t i = 0; i < vertices.size(); ++i) {
+    VertexId v = vertices[i];
+    if (v >= num_vertices_) {
+      return Status::InvalidArgument("vertex out of range: " +
+                                     std::to_string(v));
+    }
+    if (!index.emplace(v, static_cast<VertexId>(i)).second) {
+      return Status::InvalidArgument("duplicate vertex: " + std::to_string(v));
+    }
+  }
+
+  std::vector<Edge> edges;
+  for (size_t i = 0; i < vertices.size(); ++i) {
+    for (VertexId u : Neighbors(vertices[i])) {
+      auto it = index.find(u);
+      if (it == index.end()) continue;
+      if (directed_ || static_cast<VertexId>(i) < it->second) {
+        edges.push_back({static_cast<VertexId>(i), it->second});
+      }
+    }
+  }
+
+  GraphOptions options;
+  options.directed = directed_;
+  Result<Graph> sub =
+      FromEdges(static_cast<VertexId>(vertices.size()), std::move(edges),
+                options);
+  if (!sub.ok()) return sub.status();
+  if (IsLabeled()) {
+    std::vector<Label> sub_labels(vertices.size());
+    for (size_t i = 0; i < vertices.size(); ++i) {
+      sub_labels[i] = labels_[vertices[i]];
+    }
+    GAL_CHECK_OK(sub.value().SetLabels(std::move(sub_labels)));
+  }
+  return sub;
+}
+
+std::vector<Edge> Graph::CollectEdges() const {
+  std::vector<Edge> edges;
+  edges.reserve(num_edges_);
+  for (VertexId v = 0; v < num_vertices_; ++v) {
+    for (VertexId u : Neighbors(v)) {
+      if (directed_ || v < u) edges.push_back({v, u});
+    }
+  }
+  return edges;
+}
+
+size_t Graph::MemoryBytes() const {
+  return offsets_.size() * sizeof(EdgeId) +
+         targets_.size() * sizeof(VertexId) + labels_.size() * sizeof(Label);
+}
+
+std::string Graph::ToString() const {
+  std::ostringstream os;
+  os << "Graph(|V|=" << num_vertices_ << ", |E|=" << num_edges_
+     << ", directed=" << (directed_ ? "true" : "false")
+     << ", labeled=" << (IsLabeled() ? "true" : "false") << ")";
+  return os.str();
+}
+
+}  // namespace gal

@@ -1,0 +1,140 @@
+#ifndef GAL_GRAPH_GRAPH_H_
+#define GAL_GRAPH_GRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace gal {
+
+/// Vertex identifier. 32 bits covers every graph this framework targets
+/// (laptop-scale simulation of the paper's workloads) at half the memory
+/// of 64-bit ids, which matters for CSR adjacency arrays.
+using VertexId = uint32_t;
+using EdgeId = uint64_t;
+using Label = uint32_t;
+
+inline constexpr VertexId kInvalidVertex = static_cast<VertexId>(-1);
+
+/// An edge as loaded from input, before CSR construction.
+struct Edge {
+  VertexId src;
+  VertexId dst;
+
+  friend bool operator==(const Edge& a, const Edge& b) {
+    return a.src == b.src && a.dst == b.dst;
+  }
+  friend bool operator<(const Edge& a, const Edge& b) {
+    return a.src != b.src ? a.src < b.src : a.dst < b.dst;
+  }
+};
+
+/// Options controlling CSR construction.
+struct GraphOptions {
+  /// If false (default), every input edge {u,v} is stored in both
+  /// adjacency lists and NumEdges() counts each undirected edge once.
+  bool directed = false;
+  /// Drop u->u edges (subgraph algorithms assume simple graphs).
+  bool remove_self_loops = true;
+  /// Collapse duplicate edges.
+  bool dedup = true;
+};
+
+/// An immutable graph in Compressed Sparse Row form with sorted adjacency
+/// lists, the shared substrate for every engine in the framework:
+///   - sorted neighbor arrays give O(log d) HasEdge and linear-time
+///     neighborhood intersection (triangles, cliques, matching);
+///   - the offsets/targets layout is what the TLAV engine shards across
+///     simulated workers;
+///   - optional vertex labels support labeled matching, FSM, and GNN
+///     classification targets.
+///
+/// For a directed graph, adjacency lists hold out-neighbors; call
+/// Reversed() to obtain the in-neighbor view.
+class Graph {
+ public:
+  /// Builds a CSR graph from an edge list. Vertices are [0, num_vertices).
+  /// Fails if any endpoint is out of range.
+  static Result<Graph> FromEdges(VertexId num_vertices,
+                                 std::vector<Edge> edges,
+                                 const GraphOptions& options = {});
+
+  Graph() = default;
+  Graph(const Graph&) = default;
+  Graph& operator=(const Graph&) = default;
+  Graph(Graph&&) = default;
+  Graph& operator=(Graph&&) = default;
+
+  VertexId NumVertices() const { return num_vertices_; }
+
+  /// Number of logical edges: undirected edges are counted once even
+  /// though they occupy two adjacency slots.
+  EdgeId NumEdges() const { return num_edges_; }
+
+  /// Total adjacency entries (2|E| for undirected graphs).
+  EdgeId NumAdjacencyEntries() const { return targets_.size(); }
+
+  bool directed() const { return directed_; }
+
+  /// Out-neighbors of v, sorted ascending.
+  std::span<const VertexId> Neighbors(VertexId v) const {
+    return {targets_.data() + offsets_[v],
+            targets_.data() + offsets_[v + 1]};
+  }
+
+  /// Out-degree of v.
+  uint32_t Degree(VertexId v) const {
+    return static_cast<uint32_t>(offsets_[v + 1] - offsets_[v]);
+  }
+
+  /// True iff edge u->v exists (binary search over sorted adjacency).
+  bool HasEdge(VertexId u, VertexId v) const;
+
+  uint32_t MaxDegree() const;
+
+  /// Vertex labels; empty if the graph is unlabeled.
+  const std::vector<Label>& labels() const { return labels_; }
+  bool IsLabeled() const { return !labels_.empty(); }
+  Label LabelOf(VertexId v) const { return labels_.empty() ? 0 : labels_[v]; }
+
+  /// Attaches per-vertex labels. Fails unless labels.size()==NumVertices().
+  Status SetLabels(std::vector<Label> labels);
+
+  /// The graph with every edge direction flipped. For undirected graphs
+  /// this is a copy. Labels are preserved.
+  Graph Reversed() const;
+
+  /// Subgraph induced by `vertices` (need not be sorted; duplicates are
+  /// an error). Vertex i of the result corresponds to vertices[i].
+  /// Labels are carried over.
+  Result<Graph> InducedSubgraph(std::span<const VertexId> vertices) const;
+
+  /// Raw CSR arrays, exposed for engines that shard the graph.
+  const std::vector<EdgeId>& offsets() const { return offsets_; }
+  const std::vector<VertexId>& targets() const { return targets_; }
+
+  /// All logical edges, materialized (src < dst for undirected graphs).
+  std::vector<Edge> CollectEdges() const;
+
+  /// Bytes used by the CSR arrays and labels.
+  size_t MemoryBytes() const;
+
+  /// "Graph(|V|=..., |E|=..., directed=...)".
+  std::string ToString() const;
+
+ private:
+  VertexId num_vertices_ = 0;
+  EdgeId num_edges_ = 0;
+  bool directed_ = false;
+  std::vector<EdgeId> offsets_;    // size num_vertices_ + 1
+  std::vector<VertexId> targets_;  // sorted per-vertex
+  std::vector<Label> labels_;      // empty or size num_vertices_
+};
+
+}  // namespace gal
+
+#endif  // GAL_GRAPH_GRAPH_H_

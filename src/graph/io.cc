@@ -1,0 +1,70 @@
+#include "graph/io.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+
+namespace gal {
+namespace {
+
+/// Maps arbitrary external ids to dense [0, n) in first-appearance order.
+class IdRemapper {
+ public:
+  VertexId Map(uint64_t external) {
+    auto [it, inserted] = map_.emplace(external, next_);
+    if (inserted) ++next_;
+    return it->second;
+  }
+  VertexId size() const { return next_; }
+
+ private:
+  std::unordered_map<uint64_t, VertexId> map_;
+  VertexId next_ = 0;
+};
+
+}  // namespace
+
+Result<Graph> ParseEdgeList(const std::string& text,
+                            const GraphOptions& options) {
+  std::istringstream in(text);
+  std::string line;
+  std::vector<Edge> edges;
+  IdRemapper remap;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#' || line[0] == '%') continue;
+    std::istringstream ls(line);
+    uint64_t src = 0;
+    uint64_t dst = 0;
+    if (!(ls >> src >> dst)) {
+      return Status::InvalidArgument("malformed edge at line " +
+                                     std::to_string(line_no) + ": '" + line +
+                                     "'");
+    }
+    edges.push_back({remap.Map(src), remap.Map(dst)});
+  }
+  return Graph::FromEdges(remap.size(), std::move(edges), options);
+}
+
+Result<Graph> LoadEdgeListFile(const std::string& path,
+                               const GraphOptions& options) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ParseEdgeList(buffer.str(), options);
+}
+
+Status SaveEdgeListFile(const Graph& g, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  for (const Edge& e : g.CollectEdges()) {
+    out << e.src << " " << e.dst << "\n";
+  }
+  if (!out) return Status::IOError("write failed for " + path);
+  return Status::Ok();
+}
+
+}  // namespace gal

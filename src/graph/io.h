@@ -1,0 +1,30 @@
+#ifndef GAL_GRAPH_IO_H_
+#define GAL_GRAPH_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "graph/graph.h"
+
+namespace gal {
+
+/// Plain-text edge-list IO, the lingua franca of the surveyed systems
+/// (SNAP datasets, Pregel inputs). Format: one "src dst" pair per line;
+/// lines starting with '#' or '%' are comments. Vertex ids need not be
+/// contiguous — they are remapped densely in first-appearance order.
+
+/// Parses an edge list from a string buffer.
+Result<Graph> ParseEdgeList(const std::string& text,
+                            const GraphOptions& options = {});
+
+/// Loads an edge list file from disk.
+Result<Graph> LoadEdgeListFile(const std::string& path,
+                               const GraphOptions& options = {});
+
+/// Writes "src dst" lines (one logical edge each). Returns IOError on
+/// filesystem failure.
+Status SaveEdgeListFile(const Graph& g, const std::string& path);
+
+}  // namespace gal
+
+#endif  // GAL_GRAPH_IO_H_

@@ -1,0 +1,154 @@
+#include "graph/kcore.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace gal {
+
+namespace {
+
+/// Shared bucket-peeling machinery: repeatedly removes a minimum-degree
+/// vertex, recording removal order and the degree at removal time.
+struct PeelState {
+  std::vector<VertexId> order;       // removal order
+  std::vector<uint32_t> peel_degree; // bucket degree when removed (for cores)
+  std::vector<uint32_t> true_degree; // edges to not-yet-removed vertices
+};
+
+PeelState Peel(const Graph& g) {
+  const VertexId n = g.NumVertices();
+  std::vector<uint32_t> degree(n);
+  uint32_t max_degree = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    degree[v] = g.Degree(v);
+    max_degree = std::max(max_degree, degree[v]);
+  }
+
+  // Bucket sort by degree (standard O(|V|+|E|) core decomposition).
+  std::vector<uint32_t> bucket_start(max_degree + 2, 0);
+  for (VertexId v = 0; v < n; ++v) ++bucket_start[degree[v] + 1];
+  for (uint32_t d = 1; d < bucket_start.size(); ++d) {
+    bucket_start[d] += bucket_start[d - 1];
+  }
+  std::vector<VertexId> sorted(n);       // vertices ordered by degree
+  std::vector<uint32_t> position(n);     // index of v in `sorted`
+  {
+    std::vector<uint32_t> cursor(bucket_start.begin(),
+                                 bucket_start.end() - 1);
+    for (VertexId v = 0; v < n; ++v) {
+      position[v] = cursor[degree[v]];
+      sorted[position[v]] = v;
+      ++cursor[degree[v]];
+    }
+  }
+  // bucket_head[d] = first index in `sorted` whose vertex has degree d.
+  std::vector<uint32_t> bucket_head(bucket_start.begin(),
+                                    bucket_start.end() - 1);
+
+  PeelState state;
+  state.order.reserve(n);
+  state.peel_degree.assign(n, 0);
+  state.true_degree.assign(n, 0);
+  // Bucket degrees saturate at the current peel level (the classic core
+  // algorithm never decrements below it), so track real remaining
+  // degrees separately for edge accounting.
+  std::vector<uint32_t> remaining_degree = degree;
+  std::vector<bool> removed(n, false);
+  for (VertexId i = 0; i < n; ++i) {
+    const VertexId v = sorted[i];
+    removed[v] = true;
+    state.order.push_back(v);
+    state.peel_degree[v] = degree[v];
+    state.true_degree[v] = remaining_degree[v];
+    for (VertexId u : g.Neighbors(v)) {
+      if (removed[u]) continue;
+      --remaining_degree[u];
+      if (degree[u] <= degree[v]) continue;
+      // Swap u with the first vertex of its bucket, then shrink u's
+      // degree so it joins the bucket below.
+      const uint32_t du = degree[u];
+      const uint32_t pu = position[u];
+      const uint32_t pw = bucket_head[du];
+      const VertexId w = sorted[pw];
+      if (u != w) {
+        std::swap(sorted[pu], sorted[pw]);
+        position[u] = pw;
+        position[w] = pu;
+      }
+      ++bucket_head[du];
+      --degree[u];
+    }
+  }
+  return state;
+}
+
+}  // namespace
+
+std::vector<uint32_t> CoreNumbers(const Graph& g) {
+  PeelState state = Peel(g);
+  const VertexId n = g.NumVertices();
+  std::vector<uint32_t> core(n, 0);
+  uint32_t running_max = 0;
+  for (VertexId v : state.order) {
+    running_max = std::max(running_max, state.peel_degree[v]);
+    core[v] = running_max;
+  }
+  return core;
+}
+
+std::vector<VertexId> KCore(const Graph& g, uint32_t k) {
+  std::vector<uint32_t> core = CoreNumbers(g);
+  std::vector<VertexId> result;
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    if (core[v] >= k) result.push_back(v);
+  }
+  return result;
+}
+
+DegeneracyResult DegeneracyOrder(const Graph& g) {
+  DegeneracyResult result;
+  PeelState state = Peel(g);
+  result.order = std::move(state.order);
+  result.core_numbers.assign(g.NumVertices(), 0);
+  uint32_t running_max = 0;
+  for (VertexId v : result.order) {
+    running_max = std::max(running_max, state.peel_degree[v]);
+    result.core_numbers[v] = running_max;
+  }
+  result.degeneracy = running_max;
+  return result;
+}
+
+DensestSubgraphResult DensestSubgraphPeel(const Graph& g) {
+  // Re-peel tracking edge counts: density of the suffix set after
+  // removing the i lowest-degree-at-the-time vertices.
+  PeelState state = Peel(g);
+  const VertexId n = g.NumVertices();
+  DensestSubgraphResult best;
+  if (n == 0) return best;
+
+  // Edges remaining when suffix starts at index i: peel removes
+  // true_degree[v] edges when v is removed.
+  uint64_t edges_remaining = g.NumEdges();
+  double best_density =
+      static_cast<double>(edges_remaining) / static_cast<double>(n);
+  size_t best_suffix = 0;
+  for (size_t i = 0; i < state.order.size(); ++i) {
+    edges_remaining -= state.true_degree[state.order[i]];
+    const size_t remaining = n - (i + 1);
+    if (remaining == 0) break;
+    const double density =
+        static_cast<double>(edges_remaining) / static_cast<double>(remaining);
+    if (density > best_density) {
+      best_density = density;
+      best_suffix = i + 1;
+    }
+  }
+  best.density = best_density;
+  best.vertices.assign(state.order.begin() + best_suffix, state.order.end());
+  std::sort(best.vertices.begin(), best.vertices.end());
+  return best;
+}
+
+}  // namespace gal

@@ -1,0 +1,75 @@
+#include "graph/transaction_db.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace gal {
+namespace {
+
+/// Builds one random connected labeled graph: a random spanning tree plus
+/// `extra_edges` random chords, then (maybe) a planted motif.
+GraphTransaction MakeMolecule(const MoleculeDbOptions& options,
+                              int32_t class_label, Rng& rng) {
+  const VertexId n = options.vertices_per_graph;
+  std::vector<Edge> edges;
+  std::vector<Label> labels(n);
+  for (VertexId v = 0; v < n; ++v) {
+    labels[v] = static_cast<Label>(rng.Uniform(options.num_vertex_labels));
+  }
+  // Random spanning tree: attach v to a uniform earlier vertex.
+  for (VertexId v = 1; v < n; ++v) {
+    edges.push_back({static_cast<VertexId>(rng.Uniform(v)), v});
+  }
+  for (uint32_t e = 0; e < options.extra_edges; ++e) {
+    const VertexId u = static_cast<VertexId>(rng.Uniform(n));
+    const VertexId v = static_cast<VertexId>(rng.Uniform(n));
+    if (u != v) edges.push_back({std::min(u, v), std::max(u, v)});
+  }
+
+  if (rng.Bernoulli(options.motif_rate) && n >= 4) {
+    // Plant the class motif on vertices 0..3 with fixed labels, making
+    // it frequent within the class and discriminative across classes.
+    labels[0] = 0;
+    labels[1] = 1;
+    labels[2] = 2;
+    if (class_label == 0) {
+      // Triangle 0-1-2 with labels (0,1,2).
+      edges.push_back({0, 1});
+      edges.push_back({1, 2});
+      edges.push_back({0, 2});
+    } else {
+      // Square 0-1-3-2 with labels (0,1,2,3).
+      labels[3] = 3;
+      edges.push_back({0, 1});
+      edges.push_back({1, 3});
+      edges.push_back({3, 2});
+      edges.push_back({2, 0});
+    }
+  }
+
+  Result<Graph> g = Graph::FromEdges(n, std::move(edges), GraphOptions{});
+  GAL_CHECK(g.ok()) << g.status();
+  Graph graph = std::move(g.value());
+  GAL_CHECK_OK(graph.SetLabels(std::move(labels)));
+  return {std::move(graph), class_label};
+}
+
+}  // namespace
+
+TransactionDb SyntheticMoleculeDb(const MoleculeDbOptions& options,
+                                  uint64_t seed) {
+  GAL_CHECK(options.vertices_per_graph >= 4);
+  GAL_CHECK(options.num_vertex_labels >= 4);
+  Rng rng(seed);
+  TransactionDb db;
+  for (uint32_t i = 0; i < options.num_transactions; ++i) {
+    const int32_t cls = static_cast<int32_t>(i % 2);
+    GraphTransaction t = MakeMolecule(options, cls, rng);
+    db.Add(std::move(t.graph), t.class_label);
+  }
+  return db;
+}
+
+}  // namespace gal

@@ -1,0 +1,102 @@
+#include "match/candidates.h"
+
+#include <algorithm>
+#include <map>
+
+namespace gal {
+namespace {
+
+std::map<Label, uint32_t> NeighborLabelCounts(const Graph& g, VertexId v) {
+  std::map<Label, uint32_t> counts;
+  for (VertexId u : g.Neighbors(v)) ++counts[g.LabelOf(u)];
+  return counts;
+}
+
+}  // namespace
+
+CandidateSets LdfFilter(const Graph& data, const Graph& query) {
+  const bool use_labels = data.IsLabeled() && query.IsLabeled();
+  CandidateSets sets;
+  sets.candidates.resize(query.NumVertices());
+  for (VertexId u = 0; u < query.NumVertices(); ++u) {
+    for (VertexId v = 0; v < data.NumVertices(); ++v) {
+      if (use_labels && data.LabelOf(v) != query.LabelOf(u)) continue;
+      if (data.Degree(v) < query.Degree(u)) continue;
+      sets.candidates[u].push_back(v);
+    }
+  }
+  return sets;
+}
+
+CandidateSets NlfFilter(const Graph& data, const Graph& query) {
+  const bool use_labels = data.IsLabeled() && query.IsLabeled();
+  if (!use_labels) return LdfFilter(data, query);
+
+  CandidateSets sets;
+  sets.candidates.resize(query.NumVertices());
+  // Precompute query-side requirements once; data-side counts per probe.
+  std::vector<std::map<Label, uint32_t>> required(query.NumVertices());
+  for (VertexId u = 0; u < query.NumVertices(); ++u) {
+    required[u] = NeighborLabelCounts(query, u);
+  }
+  for (VertexId v = 0; v < data.NumVertices(); ++v) {
+    const std::map<Label, uint32_t> have = NeighborLabelCounts(data, v);
+    for (VertexId u = 0; u < query.NumVertices(); ++u) {
+      if (data.LabelOf(v) != query.LabelOf(u)) continue;
+      if (data.Degree(v) < query.Degree(u)) continue;
+      bool ok = true;
+      for (const auto& [label, need] : required[u]) {
+        auto it = have.find(label);
+        if (it == have.end() || it->second < need) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) sets.candidates[u].push_back(v);
+    }
+  }
+  return sets;
+}
+
+RefineStats RefineCandidates(const Graph& data, const Graph& query,
+                             CandidateSets* sets, uint32_t max_rounds) {
+  RefineStats stats;
+  const VertexId k = query.NumVertices();
+  for (uint32_t round = 0; round < max_rounds; ++round) {
+    bool changed = false;
+    for (VertexId u = 0; u < k; ++u) {
+      std::vector<VertexId>& cand = sets->candidates[u];
+      std::vector<VertexId> kept;
+      kept.reserve(cand.size());
+      for (VertexId v : cand) {
+        bool consistent = true;
+        for (VertexId uq : query.Neighbors(u)) {
+          const std::vector<VertexId>& cq = sets->candidates[uq];
+          bool witness = false;
+          for (VertexId w : data.Neighbors(v)) {
+            if (std::binary_search(cq.begin(), cq.end(), w)) {
+              witness = true;
+              break;
+            }
+          }
+          if (!witness) {
+            consistent = false;
+            break;
+          }
+        }
+        if (consistent) {
+          kept.push_back(v);
+        } else {
+          ++stats.removed;
+          changed = true;
+        }
+      }
+      cand = std::move(kept);
+    }
+    ++stats.rounds;
+    if (!changed) break;
+  }
+  return stats;
+}
+
+}  // namespace gal

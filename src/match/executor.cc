@@ -1,0 +1,173 @@
+#include "match/executor.h"
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+
+#include "common/timer.h"
+
+namespace gal {
+namespace {
+
+struct SearchShared {
+  const Graph* data;
+  const MatchPlan* plan;
+  const CandidateSets* candidates;
+  uint64_t limit;
+  bool collect;
+  bool induced;
+  std::atomic<uint64_t> matches{0};
+  std::atomic<uint64_t> search_nodes{0};
+  std::mutex out_mu;
+  std::vector<std::vector<VertexId>> collected;
+
+  bool LimitReached() const {
+    return limit != 0 && matches.load(std::memory_order_relaxed) >= limit;
+  }
+};
+
+/// Per-thread DFS state: the partial mapping (by plan position).
+struct SearchState {
+  std::vector<VertexId> mapped;
+  std::vector<VertexId> scratch;
+};
+
+bool RestrictionsOk(const SearchShared& shared, const SearchState& state,
+                    uint32_t position, VertexId v) {
+  for (const auto& [lo, hi] : shared.plan->order_restrictions) {
+    const uint32_t later = std::max(lo, hi);
+    if (later != position) continue;
+    const uint32_t earlier = std::min(lo, hi);
+    const VertexId earlier_v = state.mapped[earlier];
+    // Restriction is (lo < hi) in *mapped data vertex* order.
+    if (later == hi) {
+      if (!(earlier_v < v)) return false;
+    } else {
+      if (!(v < earlier_v)) return false;
+    }
+  }
+  return true;
+}
+
+void Backtrack(SearchShared& shared, SearchState& state, uint32_t position) {
+  if (shared.LimitReached()) return;
+  const MatchPlan& plan = *shared.plan;
+  const Graph& data = *shared.data;
+  const uint32_t k = static_cast<uint32_t>(plan.order.size());
+
+  if (position == k) {
+    shared.matches.fetch_add(1, std::memory_order_relaxed);
+    if (shared.collect) {
+      std::lock_guard<std::mutex> lock(shared.out_mu);
+      shared.collected.push_back(state.mapped);
+    }
+    return;
+  }
+
+  const std::vector<uint32_t>& backward = plan.backward_neighbors[position];
+  const std::vector<VertexId>& cand =
+      shared.candidates->candidates[plan.order[position]];
+
+  auto try_vertex = [&](VertexId v) {
+    shared.search_nodes.fetch_add(1, std::memory_order_relaxed);
+    // Injectivity.
+    for (uint32_t j = 0; j < position; ++j) {
+      if (state.mapped[j] == v) return;
+    }
+    if (!RestrictionsOk(shared, state, position, v)) return;
+    if (shared.induced) {
+      for (uint32_t j : plan.backward_nonneighbors[position]) {
+        if (data.HasEdge(state.mapped[j], v)) return;
+      }
+    }
+    state.mapped[position] = v;
+    Backtrack(shared, state, position + 1);
+  };
+
+  if (backward.empty()) {
+    for (VertexId v : cand) {
+      if (shared.LimitReached()) return;
+      try_vertex(v);
+    }
+    return;
+  }
+
+  // Local candidates: neighbors of the first mapped backward vertex,
+  // checked against the other predicates and the filtered set.
+  const VertexId anchor = state.mapped[backward[0]];
+  for (VertexId v : data.Neighbors(anchor)) {
+    if (shared.LimitReached()) return;
+    if (!std::binary_search(cand.begin(), cand.end(), v)) continue;
+    bool joins = true;
+    for (size_t b = 1; b < backward.size(); ++b) {
+      if (!data.HasEdge(state.mapped[backward[b]], v)) {
+        joins = false;
+        break;
+      }
+    }
+    if (joins) try_vertex(v);
+  }
+}
+
+}  // namespace
+
+MatchResult SubgraphMatch(const Graph& data, const Graph& query,
+                          const MatchOptions& options, bool collect) {
+  Timer timer;
+  MatchResult result;
+  CandidateSets candidates = options.nlf_filter ? NlfFilter(data, query)
+                                                : LdfFilter(data, query);
+  if (options.refine_candidates) {
+    RefineCandidates(data, query, &candidates);
+  }
+  result.plan = BuildPlan(query, candidates, options.order,
+                          options.symmetry_breaking);
+
+  SearchShared shared;
+  shared.data = &data;
+  shared.plan = &result.plan;
+  shared.candidates = &candidates;
+  shared.limit = options.limit;
+  shared.collect = collect;
+  shared.induced = options.induced;
+
+  // Root tasks: one per candidate of the first ordered query vertex.
+  std::vector<VertexId> roots = candidates.candidates[result.plan.order[0]];
+
+  TaskEngine<VertexId> engine(options.engine);
+  const uint32_t k = query.NumVertices();
+  TaskEngineStats task_stats = engine.Run(
+      std::move(roots),
+      [&shared, k](VertexId& root, TaskEngine<VertexId>::Context&) {
+        if (shared.LimitReached()) return;
+        SearchState state;
+        state.mapped.assign(k, kInvalidVertex);
+        shared.search_nodes.fetch_add(1, std::memory_order_relaxed);
+        if (!RestrictionsOk(shared, state, 0, root)) return;
+        state.mapped[0] = root;
+        Backtrack(shared, state, 1);
+      });
+
+  result.stats.matches = shared.matches.load();
+  if (options.limit != 0) {
+    result.stats.matches = std::min(result.stats.matches, options.limit);
+  }
+  result.stats.search_nodes = shared.search_nodes.load();
+  result.stats.candidate_total = candidates.TotalSize();
+  result.stats.task_stats = task_stats;
+  result.stats.wall_seconds = timer.ElapsedSeconds();
+  result.matches = std::move(shared.collected);
+  if (options.limit != 0 && result.matches.size() > options.limit) {
+    result.matches.resize(options.limit);
+  }
+  return result;
+}
+
+bool HasSubgraphMatch(const Graph& data, const Graph& query,
+                      const MatchOptions& options) {
+  MatchOptions limited = options;
+  limited.limit = 1;
+  return SubgraphMatch(data, query, limited).stats.matches > 0;
+}
+
+}  // namespace gal

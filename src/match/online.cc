@@ -1,0 +1,32 @@
+#include "match/online.h"
+
+#include <utility>
+
+#include "common/timer.h"
+
+namespace gal {
+
+OnlineQueryServer::OnlineQueryServer(const Graph* data, uint32_t num_threads)
+    : data_(data), pool_(num_threads) {}
+
+std::future<OnlineQueryServer::QueryOutcome> OnlineQueryServer::Submit(
+    Graph query, MatchOptions options) {
+  // Queries share the pool; the per-query engine stays single-threaded.
+  options.engine.num_threads = 1;
+  auto promise = std::make_shared<std::promise<QueryOutcome>>();
+  std::future<QueryOutcome> future = promise->get_future();
+  auto submit_time = std::make_shared<Timer>();
+  pool_.Submit([this, promise, submit_time, query = std::move(query),
+                options]() mutable {
+    QueryOutcome outcome;
+    outcome.stats = SubgraphMatch(*data_, query, options).stats;
+    outcome.latency_seconds = submit_time->ElapsedSeconds();
+    completed_.Increment();
+    promise->set_value(std::move(outcome));
+  });
+  return future;
+}
+
+void OnlineQueryServer::Drain() { pool_.Wait(); }
+
+}  // namespace gal

@@ -1,0 +1,47 @@
+#ifndef GAL_MATCH_ONLINE_H_
+#define GAL_MATCH_ONLINE_H_
+
+#include <future>
+#include <memory>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/threadpool.h"
+#include "graph/graph.h"
+#include "match/executor.h"
+
+namespace gal {
+
+/// G-thinkerQ-style online subgraph query service: clients keep
+/// submitting query patterns against one resident data graph; queries
+/// run concurrently on a shared pool instead of each monopolizing the
+/// machine (the "interactive online querying" row of Table 1).
+class OnlineQueryServer {
+ public:
+  struct QueryOutcome {
+    MatchStats stats;
+    double latency_seconds = 0.0;  // submit -> completion
+  };
+
+  /// The server keeps a reference to `data`; it must outlive the server.
+  OnlineQueryServer(const Graph* data, uint32_t num_threads);
+
+  /// Enqueues a query; the future resolves when it finishes. Each query
+  /// runs single-threaded within the pool so concurrent queries share
+  /// the machine (G-thinkerQ multiplexes tasks of concurrent queries).
+  std::future<QueryOutcome> Submit(Graph query, MatchOptions options = {});
+
+  /// Blocks until all submitted queries completed.
+  void Drain();
+
+  uint64_t queries_completed() const { return completed_.Get(); }
+
+ private:
+  const Graph* data_;
+  ThreadPool pool_;
+  Counter completed_;
+};
+
+}  // namespace gal
+
+#endif  // GAL_MATCH_ONLINE_H_

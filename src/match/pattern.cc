@@ -1,0 +1,113 @@
+#include "match/pattern.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/logging.h"
+
+namespace gal {
+namespace {
+
+Graph BuildPattern(VertexId n, std::vector<Edge> edges) {
+  Result<Graph> g = Graph::FromEdges(n, std::move(edges), GraphOptions{});
+  GAL_CHECK(g.ok()) << g.status();
+  return std::move(g.value());
+}
+
+/// Depth-first construction of label/adjacency-preserving permutations.
+void ExtendAutomorphism(const Graph& p, std::vector<VertexId>& perm,
+                        std::vector<uint8_t>& used,
+                        std::vector<std::vector<VertexId>>& out) {
+  const VertexId k = static_cast<VertexId>(perm.size());
+  if (k == p.NumVertices()) {
+    out.push_back(perm);
+    return;
+  }
+  for (VertexId image = 0; image < p.NumVertices(); ++image) {
+    if (used[image]) continue;
+    if (p.LabelOf(k) != p.LabelOf(image)) continue;
+    if (p.Degree(k) != p.Degree(image)) continue;
+    // Adjacency consistency with already-assigned vertices.
+    bool ok = true;
+    for (VertexId prev = 0; prev < k; ++prev) {
+      if (p.HasEdge(prev, k) != p.HasEdge(perm[prev], image)) {
+        ok = false;
+        break;
+      }
+    }
+    if (!ok) continue;
+    perm.push_back(image);
+    used[image] = 1;
+    ExtendAutomorphism(p, perm, used, out);
+    used[image] = 0;
+    perm.pop_back();
+  }
+}
+
+}  // namespace
+
+std::vector<std::vector<VertexId>> Automorphisms(const Graph& pattern) {
+  GAL_CHECK(pattern.NumVertices() <= 10)
+      << "automorphism enumeration is for small query patterns";
+  std::vector<std::vector<VertexId>> out;
+  std::vector<VertexId> perm;
+  std::vector<uint8_t> used(pattern.NumVertices(), 0);
+  ExtendAutomorphism(pattern, perm, used, out);
+  return out;
+}
+
+std::vector<SymmetryRestriction> SymmetryBreakingRestrictions(
+    const Graph& pattern) {
+  std::set<SymmetryRestriction> restrictions;
+  for (const std::vector<VertexId>& sigma : Automorphisms(pattern)) {
+    for (VertexId v = 0; v < pattern.NumVertices(); ++v) {
+      if (sigma[v] == v) continue;
+      // Break this automorphism at its first moved vertex: require the
+      // image of v to exceed the image of min(v, sigma(v)).
+      restrictions.insert({std::min(v, sigma[v]), std::max(v, sigma[v])});
+      break;
+    }
+  }
+  return {restrictions.begin(), restrictions.end()};
+}
+
+Graph TrianglePattern() { return BuildPattern(3, {{0, 1}, {1, 2}, {0, 2}}); }
+
+Graph PathPattern(uint32_t k) {
+  GAL_CHECK(k >= 2);
+  std::vector<Edge> edges;
+  for (VertexId v = 0; v + 1 < k; ++v) edges.push_back({v, v + 1});
+  return BuildPattern(k, std::move(edges));
+}
+
+Graph CyclePattern(uint32_t k) {
+  GAL_CHECK(k >= 3);
+  std::vector<Edge> edges;
+  for (VertexId v = 0; v + 1 < k; ++v) edges.push_back({v, v + 1});
+  edges.push_back({k - 1, 0});
+  return BuildPattern(k, std::move(edges));
+}
+
+Graph CliquePattern(uint32_t k) {
+  std::vector<Edge> edges;
+  for (VertexId u = 0; u < k; ++u) {
+    for (VertexId v = u + 1; v < k; ++v) edges.push_back({u, v});
+  }
+  return BuildPattern(k, std::move(edges));
+}
+
+Graph StarPattern(uint32_t leaves) {
+  std::vector<Edge> edges;
+  for (VertexId v = 1; v <= leaves; ++v) edges.push_back({0, v});
+  return BuildPattern(leaves + 1, std::move(edges));
+}
+
+Graph TailedTrianglePattern() {
+  return BuildPattern(4, {{0, 1}, {1, 2}, {0, 2}, {0, 3}});
+}
+
+Graph DiamondPattern() {
+  return BuildPattern(4, {{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}});
+}
+
+}  // namespace gal

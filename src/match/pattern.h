@@ -1,0 +1,59 @@
+#ifndef GAL_MATCH_PATTERN_H_
+#define GAL_MATCH_PATTERN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace gal {
+
+/// Query patterns are small (possibly labeled) undirected Graphs. This
+/// header adds the pattern-level machinery the compilation-based systems
+/// (AutoMine / GraphPi / GraphZero) build their plans from: automorphism
+/// enumeration and symmetry-breaking restrictions.
+
+/// All automorphisms of `pattern` (vertex permutations preserving labels
+/// and adjacency), identity included. Brute force with pruning —
+/// patterns in this framework are <= 10 vertices by design.
+std::vector<std::vector<VertexId>> Automorphisms(const Graph& pattern);
+
+/// A pairwise restriction "data vertex mapped to `smaller` must have a
+/// smaller id than the one mapped to `larger`".
+struct SymmetryRestriction {
+  VertexId smaller;
+  VertexId larger;
+
+  friend bool operator==(const SymmetryRestriction& a,
+                         const SymmetryRestriction& b) {
+    return a.smaller == b.smaller && a.larger == b.larger;
+  }
+  friend bool operator<(const SymmetryRestriction& a,
+                        const SymmetryRestriction& b) {
+    return a.smaller != b.smaller ? a.smaller < b.smaller
+                                  : a.larger < b.larger;
+  }
+};
+
+/// GraphPi/GraphZero-style restriction set: enforcing all returned pairs
+/// during search yields each *distinct* embedding exactly once (instead
+/// of once per automorphism). Derived by breaking each non-identity
+/// automorphism at its first moved vertex.
+std::vector<SymmetryRestriction> SymmetryBreakingRestrictions(
+    const Graph& pattern);
+
+/// Common test patterns.
+Graph TrianglePattern();
+Graph PathPattern(uint32_t k);       // path on k vertices
+Graph CyclePattern(uint32_t k);      // cycle on k vertices
+Graph CliquePattern(uint32_t k);
+Graph StarPattern(uint32_t leaves);  // vertex 0 center
+/// "Tailed triangle": triangle 0-1-2 plus pendant 3 attached to 0.
+Graph TailedTrianglePattern();
+/// Diamond: K4 minus the 2-3 edge.
+Graph DiamondPattern();
+
+}  // namespace gal
+
+#endif  // GAL_MATCH_PATTERN_H_

@@ -1,0 +1,222 @@
+#include "nn/gat.h"
+
+#include <cmath>
+#include <memory>
+
+#include "common/logging.h"
+#include "nn/optimizer.h"
+
+namespace gal {
+namespace {
+
+float LeakyRelu(float x, float slope) { return x > 0 ? x : slope * x; }
+float LeakyReluGrad(float x, float slope) { return x > 0 ? 1.0f : slope; }
+
+float Dot(const float* a, const float* b, uint32_t d) {
+  float s = 0;
+  for (uint32_t i = 0; i < d; ++i) s += a[i] * b[i];
+  return s;
+}
+
+}  // namespace
+
+GatModel::GatModel(const Graph* graph, const GcnConfig& config)
+    : graph_(graph) {
+  GAL_CHECK(config.dims.size() >= 2);
+  Rng rng(config.seed);
+  for (size_t l = 0; l + 1 < config.dims.size(); ++l) {
+    weights_.push_back(
+        Matrix::Xavier(config.dims[l], config.dims[l + 1], rng));
+    attn_src_.push_back(Matrix::Xavier(1, config.dims[l + 1], rng));
+    attn_dst_.push_back(Matrix::Xavier(1, config.dims[l + 1], rng));
+  }
+}
+
+std::vector<Matrix*> GatModel::Parameters() {
+  std::vector<Matrix*> params;
+  for (uint32_t l = 0; l < num_layers(); ++l) {
+    params.push_back(&weights_[l]);
+    params.push_back(&attn_src_[l]);
+    params.push_back(&attn_dst_[l]);
+  }
+  return params;
+}
+
+Matrix GatModel::Forward(const Matrix& features) {
+  const VertexId n = graph_->NumVertices();
+  GAL_CHECK(features.rows() == n);
+  inputs_.clear();
+  z_.clear();
+  alpha_.assign(num_layers(), {});
+  e_raw_.assign(num_layers(), {});
+  relu_masks_.clear();
+
+  Matrix h = features;
+  for (uint32_t l = 0; l < num_layers(); ++l) {
+    inputs_.push_back(h);
+    Matrix z = Matmul(h, weights_[l]);
+    const uint32_t d = z.cols();
+    const float* a_src = attn_src_[l].row(0);
+    const float* a_dst = attn_dst_[l].row(0);
+
+    // Per-vertex source/destination attention scalars.
+    std::vector<float> src_score(n);
+    std::vector<float> dst_score(n);
+    for (VertexId v = 0; v < n; ++v) {
+      src_score[v] = Dot(z.row(v), a_src, d);
+      dst_score[v] = Dot(z.row(v), a_dst, d);
+    }
+
+    alpha_[l].assign(n, {});
+    e_raw_[l].assign(n, {});
+    Matrix out(n, d);
+    for (VertexId i = 0; i < n; ++i) {
+      const auto nbrs = graph_->Neighbors(i);
+      const size_t fan = nbrs.size() + 1;  // self first
+      std::vector<float>& raw = e_raw_[l][i];
+      std::vector<float>& att = alpha_[l][i];
+      raw.resize(fan);
+      att.resize(fan);
+      raw[0] = src_score[i] + dst_score[i];
+      for (size_t j = 0; j < nbrs.size(); ++j) {
+        raw[j + 1] = src_score[i] + dst_score[nbrs[j]];
+      }
+      // Softmax over LeakyReLU(raw).
+      float mx = -1e30f;
+      for (size_t j = 0; j < fan; ++j) {
+        att[j] = LeakyRelu(raw[j], leaky_slope_);
+        mx = std::max(mx, att[j]);
+      }
+      float sum = 0;
+      for (size_t j = 0; j < fan; ++j) {
+        att[j] = std::exp(att[j] - mx);
+        sum += att[j];
+      }
+      float* oi = out.row(i);
+      for (size_t j = 0; j < fan; ++j) {
+        att[j] /= sum;
+        const float* zj = z.row(j == 0 ? i : nbrs[j - 1]);
+        for (uint32_t c = 0; c < d; ++c) oi[c] += att[j] * zj[c];
+      }
+    }
+    z_.push_back(std::move(z));
+    if (l + 1 < num_layers()) {
+      Matrix mask;
+      h = ReluForward(out, &mask);
+      relu_masks_.push_back(std::move(mask));
+    } else {
+      h = std::move(out);
+    }
+  }
+  return h;
+}
+
+std::vector<Matrix> GatModel::Backward(const Matrix& grad_logits) {
+  GAL_CHECK(inputs_.size() == num_layers()) << "Forward must run first";
+  const VertexId n = graph_->NumVertices();
+  std::vector<Matrix> grads(3 * num_layers());
+
+  Matrix ds = grad_logits;  // dL/d(pre-activation aggregate) of layer l
+  for (uint32_t l = num_layers(); l-- > 0;) {
+    const Matrix& z = z_[l];
+    const uint32_t d = z.cols();
+    const float* a_src = attn_src_[l].row(0);
+    const float* a_dst = attn_dst_[l].row(0);
+
+    Matrix dz(n, d);
+    Matrix da_src(1, d);
+    Matrix da_dst(1, d);
+
+    for (VertexId i = 0; i < n; ++i) {
+      const auto nbrs = graph_->Neighbors(i);
+      const size_t fan = nbrs.size() + 1;
+      const std::vector<float>& att = alpha_[l][i];
+      const std::vector<float>& raw = e_raw_[l][i];
+      const float* dsi = ds.row(i);
+      auto target = [&](size_t j) -> VertexId {
+        return j == 0 ? i : nbrs[j - 1];
+      };
+
+      // dα_ij = ds_i · z_j; softmax backward: de = α (dα − Σ α dα).
+      std::vector<float> dalpha(fan);
+      float weighted = 0;
+      for (size_t j = 0; j < fan; ++j) {
+        dalpha[j] = Dot(dsi, z.row(target(j)), d);
+        weighted += att[j] * dalpha[j];
+      }
+      for (size_t j = 0; j < fan; ++j) {
+        const VertexId t = target(j);
+        // Value-path gradient: dz_j += α_ij ds_i.
+        float* dzt = dz.row(t);
+        for (uint32_t c = 0; c < d; ++c) dzt[c] += att[j] * dsi[c];
+        // Attention-path gradient.
+        float de = att[j] * (dalpha[j] - weighted);
+        de *= LeakyReluGrad(raw[j], leaky_slope_);
+        // raw = a_src·z_i + a_dst·z_t.
+        float* dzi = dz.row(i);
+        const float* zi = z.row(i);
+        const float* zt = z.row(t);
+        float* das = da_src.row(0);
+        float* dad = da_dst.row(0);
+        for (uint32_t c = 0; c < d; ++c) {
+          dzi[c] += de * a_src[c];
+          dzt[c] += de * a_dst[c];
+          das[c] += de * zi[c];
+          dad[c] += de * zt[c];
+        }
+      }
+    }
+
+    grads[3 * l] = MatmulTransposeA(inputs_[l], dz);  // dW
+    grads[3 * l + 1] = std::move(da_src);
+    grads[3 * l + 2] = std::move(da_dst);
+    if (l == 0) break;
+    Matrix dh = MatmulTransposeB(dz, weights_[l]);
+    ds = ReluBackward(dh, relu_masks_[l - 1]);
+  }
+  return grads;
+}
+
+TrainReport TrainGatClassifier(GatModel& model, const Matrix& features,
+                               const std::vector<int32_t>& labels,
+                               const std::vector<uint8_t>& train_mask,
+                               const std::vector<uint8_t>& test_mask,
+                               const TrainConfig& config) {
+  std::unique_ptr<Optimizer> opt;
+  if (config.use_adam) {
+    opt = std::make_unique<Adam>(config.lr);
+  } else {
+    opt = std::make_unique<Sgd>(config.lr);
+  }
+  opt->Attach(model.Parameters());
+
+  TrainReport report;
+  for (uint32_t epoch = 0; epoch < config.epochs; ++epoch) {
+    Matrix logits = model.Forward(features);
+    SoftmaxXentResult train = SoftmaxCrossEntropy(logits, labels, train_mask);
+    std::vector<Matrix> grads = model.Backward(train.grad);
+    if (config.weight_decay > 0.0f) {
+      std::vector<Matrix*> params = model.Parameters();
+      for (size_t i = 0; i < grads.size(); ++i) {
+        grads[i].AddScaled(*params[i], config.weight_decay);
+      }
+    }
+    opt->Step(grads);
+
+    SoftmaxXentResult test = SoftmaxCrossEntropy(logits, labels, test_mask);
+    EpochMetrics m;
+    m.loss = train.loss;
+    m.train_accuracy =
+        train.total ? static_cast<double>(train.correct) / train.total : 0.0;
+    m.test_accuracy =
+        test.total ? static_cast<double>(test.correct) / test.total : 0.0;
+    report.epochs.push_back(m);
+  }
+  Matrix logits = model.Forward(features);
+  SoftmaxXentResult test = SoftmaxCrossEntropy(logits, labels, test_mask);
+  report.final_test_accuracy =
+      test.total ? static_cast<double>(test.correct) / test.total : 0.0;
+  return report;
+}
+
+}  // namespace gal

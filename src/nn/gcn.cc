@@ -1,0 +1,110 @@
+#include "nn/gcn.h"
+
+#include <memory>
+
+#include "common/logging.h"
+#include "nn/optimizer.h"
+
+namespace gal {
+
+AggregateFn ExactAggregator(const SparseMatrix* adj) {
+  return [adj](const Matrix& h, uint32_t /*layer*/, bool backward) {
+    return backward ? adj->TransposeMultiply(h) : adj->Multiply(h);
+  };
+}
+
+GcnModel::GcnModel(const GcnConfig& config) {
+  GAL_CHECK(config.dims.size() >= 2);
+  Rng rng(config.seed);
+  for (size_t l = 0; l + 1 < config.dims.size(); ++l) {
+    weights_.push_back(
+        Matrix::Xavier(config.dims[l], config.dims[l + 1], rng));
+  }
+}
+
+std::vector<Matrix*> GcnModel::Parameters() {
+  std::vector<Matrix*> params;
+  for (Matrix& w : weights_) params.push_back(&w);
+  return params;
+}
+
+Matrix GcnModel::Forward(const Matrix& features, const AggregateFn& aggregate) {
+  agg_inputs_.clear();
+  relu_masks_.clear();
+  Matrix h = features;
+  for (uint32_t l = 0; l < num_layers(); ++l) {
+    Matrix agg = aggregate(h, l, /*backward=*/false);
+    Matrix z = Matmul(agg, weights_[l]);
+    agg_inputs_.push_back(std::move(agg));
+    if (l + 1 < num_layers()) {
+      Matrix mask;
+      h = ReluForward(z, &mask);
+      relu_masks_.push_back(std::move(mask));
+    } else {
+      h = std::move(z);  // logits
+    }
+  }
+  return h;
+}
+
+std::vector<Matrix> GcnModel::Backward(const Matrix& grad_logits,
+                                       const AggregateFn& aggregate) {
+  GAL_CHECK(agg_inputs_.size() == num_layers()) << "Forward must run first";
+  std::vector<Matrix> grads(num_layers());
+  Matrix dz = grad_logits;
+  for (uint32_t l = num_layers(); l-- > 0;) {
+    // Z_l = Agg(H_{l-1}) W_l.
+    grads[l] = MatmulTransposeA(agg_inputs_[l], dz);
+    if (l == 0) break;
+    Matrix dagg = MatmulTransposeB(dz, weights_[l]);  // dL/dAgg(H_{l-1})
+    Matrix dh = aggregate(dagg, l, /*backward=*/true);
+    dz = ReluBackward(dh, relu_masks_[l - 1]);
+  }
+  return grads;
+}
+
+TrainReport TrainNodeClassifier(GcnModel& model, const Matrix& features,
+                                const std::vector<int32_t>& labels,
+                                const std::vector<uint8_t>& train_mask,
+                                const std::vector<uint8_t>& test_mask,
+                                const AggregateFn& aggregate,
+                                const TrainConfig& config) {
+  std::unique_ptr<Optimizer> opt;
+  if (config.use_adam) {
+    opt = std::make_unique<Adam>(config.lr);
+  } else {
+    opt = std::make_unique<Sgd>(config.lr);
+  }
+  opt->Attach(model.Parameters());
+
+  TrainReport report;
+  for (uint32_t epoch = 0; epoch < config.epochs; ++epoch) {
+    Matrix logits = model.Forward(features, aggregate);
+    SoftmaxXentResult train = SoftmaxCrossEntropy(logits, labels, train_mask);
+    std::vector<Matrix> grads = model.Backward(train.grad, aggregate);
+    if (config.weight_decay > 0.0f) {
+      std::vector<Matrix*> params = model.Parameters();
+      for (size_t i = 0; i < grads.size(); ++i) {
+        grads[i].AddScaled(*params[i], config.weight_decay);
+      }
+    }
+    opt->Step(grads);
+
+    SoftmaxXentResult test = SoftmaxCrossEntropy(logits, labels, test_mask);
+    EpochMetrics m;
+    m.loss = train.loss;
+    m.train_accuracy =
+        train.total ? static_cast<double>(train.correct) / train.total : 0.0;
+    m.test_accuracy =
+        test.total ? static_cast<double>(test.correct) / test.total : 0.0;
+    report.epochs.push_back(m);
+  }
+  // Final evaluation with trained weights.
+  Matrix logits = model.Forward(features, aggregate);
+  SoftmaxXentResult test = SoftmaxCrossEntropy(logits, labels, test_mask);
+  report.final_test_accuracy =
+      test.total ? static_cast<double>(test.correct) / test.total : 0.0;
+  return report;
+}
+
+}  // namespace gal

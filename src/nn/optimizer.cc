@@ -1,0 +1,48 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace gal {
+
+void Sgd::Step(const std::vector<Matrix>& grads) {
+  GAL_CHECK(grads.size() == params_.size());
+  for (size_t i = 0; i < params_.size(); ++i) {
+    params_[i]->AddScaled(grads[i], -lr_);
+  }
+}
+
+void Adam::Attach(std::vector<Matrix*> params) {
+  Optimizer::Attach(std::move(params));
+  m_.clear();
+  v_.clear();
+  for (Matrix* p : params_) {
+    m_.emplace_back(p->rows(), p->cols());
+    v_.emplace_back(p->rows(), p->cols());
+  }
+  t_ = 0;
+}
+
+void Adam::Step(const std::vector<Matrix>& grads) {
+  GAL_CHECK(grads.size() == params_.size());
+  ++t_;
+  const float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
+  const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
+  for (size_t i = 0; i < params_.size(); ++i) {
+    std::vector<float>& p = params_[i]->data();
+    std::vector<float>& m = m_[i].data();
+    std::vector<float>& v = v_[i].data();
+    const std::vector<float>& g = grads[i].data();
+    GAL_CHECK(g.size() == p.size());
+    for (size_t j = 0; j < p.size(); ++j) {
+      m[j] = beta1_ * m[j] + (1.0f - beta1_) * g[j];
+      v[j] = beta2_ * v[j] + (1.0f - beta2_) * g[j] * g[j];
+      const float mhat = m[j] / bc1;
+      const float vhat = v[j] / bc2;
+      p[j] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+    }
+  }
+}
+
+}  // namespace gal

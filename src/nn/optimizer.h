@@ -1,0 +1,53 @@
+#ifndef GAL_NN_OPTIMIZER_H_
+#define GAL_NN_OPTIMIZER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/matrix.h"
+
+namespace gal {
+
+/// Optimizer over a fixed set of parameter matrices. Step() consumes
+/// gradients aligned index-for-index with the registered parameters.
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+  /// Registers the parameters once, before the first Step.
+  virtual void Attach(std::vector<Matrix*> params) { params_ = std::move(params); }
+  virtual void Step(const std::vector<Matrix>& grads) = 0;
+
+ protected:
+  std::vector<Matrix*> params_;
+};
+
+class Sgd : public Optimizer {
+ public:
+  explicit Sgd(float lr) : lr_(lr) {}
+  void Step(const std::vector<Matrix>& grads) override;
+
+ private:
+  float lr_;
+};
+
+class Adam : public Optimizer {
+ public:
+  explicit Adam(float lr, float beta1 = 0.9f, float beta2 = 0.999f,
+                float eps = 1e-8f)
+      : lr_(lr), beta1_(beta1), beta2_(beta2), eps_(eps) {}
+  void Attach(std::vector<Matrix*> params) override;
+  void Step(const std::vector<Matrix>& grads) override;
+
+ private:
+  float lr_;
+  float beta1_;
+  float beta2_;
+  float eps_;
+  uint64_t t_ = 0;
+  std::vector<Matrix> m_;
+  std::vector<Matrix> v_;
+};
+
+}  // namespace gal
+
+#endif  // GAL_NN_OPTIMIZER_H_

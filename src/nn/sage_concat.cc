@@ -1,0 +1,140 @@
+#include "nn/sage_concat.h"
+
+#include <memory>
+
+#include "common/logging.h"
+#include "nn/optimizer.h"
+
+namespace gal {
+namespace {
+
+/// [A ; B] column-wise concatenation (same row count).
+Matrix ConcatCols(const Matrix& a, const Matrix& b) {
+  GAL_CHECK(a.rows() == b.rows());
+  Matrix out(a.rows(), a.cols() + b.cols());
+  for (uint32_t r = 0; r < a.rows(); ++r) {
+    float* dst = out.row(r);
+    const float* ar = a.row(r);
+    const float* br = b.row(r);
+    std::copy(ar, ar + a.cols(), dst);
+    std::copy(br, br + b.cols(), dst + a.cols());
+  }
+  return out;
+}
+
+/// Splits dC into the gradients of the two concatenated halves.
+void SplitCols(const Matrix& dc, uint32_t left_cols, Matrix* dleft,
+               Matrix* dright) {
+  *dleft = Matrix(dc.rows(), left_cols);
+  *dright = Matrix(dc.rows(), dc.cols() - left_cols);
+  for (uint32_t r = 0; r < dc.rows(); ++r) {
+    const float* src = dc.row(r);
+    std::copy(src, src + left_cols, dleft->row(r));
+    std::copy(src + left_cols, src + dc.cols(), dright->row(r));
+  }
+}
+
+}  // namespace
+
+SageConcatModel::SageConcatModel(const GcnConfig& config) {
+  GAL_CHECK(config.dims.size() >= 2);
+  Rng rng(config.seed);
+  for (size_t l = 0; l + 1 < config.dims.size(); ++l) {
+    weights_.push_back(
+        Matrix::Xavier(2 * config.dims[l], config.dims[l + 1], rng));
+  }
+}
+
+std::vector<Matrix*> SageConcatModel::Parameters() {
+  std::vector<Matrix*> params;
+  for (Matrix& w : weights_) params.push_back(&w);
+  return params;
+}
+
+Matrix SageConcatModel::Forward(const Matrix& features,
+                                const AggregateFn& aggregate) {
+  concat_inputs_.clear();
+  relu_masks_.clear();
+  Matrix h = features;
+  for (uint32_t l = 0; l < num_layers(); ++l) {
+    Matrix neighborhood = aggregate(h, l, /*backward=*/false);
+    Matrix concat = ConcatCols(h, neighborhood);
+    Matrix z = Matmul(concat, weights_[l]);
+    concat_inputs_.push_back(std::move(concat));
+    if (l + 1 < num_layers()) {
+      Matrix mask;
+      h = ReluForward(z, &mask);
+      relu_masks_.push_back(std::move(mask));
+    } else {
+      h = std::move(z);
+    }
+  }
+  return h;
+}
+
+std::vector<Matrix> SageConcatModel::Backward(const Matrix& grad_logits,
+                                              const AggregateFn& aggregate) {
+  GAL_CHECK(concat_inputs_.size() == num_layers()) << "Forward must run first";
+  std::vector<Matrix> grads(num_layers());
+  Matrix dz = grad_logits;
+  for (uint32_t l = num_layers(); l-- > 0;) {
+    grads[l] = MatmulTransposeA(concat_inputs_[l], dz);
+    if (l == 0) break;
+    Matrix dconcat = MatmulTransposeB(dz, weights_[l]);
+    const uint32_t in_cols = concat_inputs_[l].cols() / 2;
+    Matrix dh_self;
+    Matrix dh_neigh;
+    SplitCols(dconcat, in_cols, &dh_self, &dh_neigh);
+    // dH_{l-1} = dSelf + Agg^T(dNeighborhood).
+    Matrix dh = aggregate(dh_neigh, l, /*backward=*/true);
+    dh.AddScaled(dh_self, 1.0f);
+    dz = ReluBackward(dh, relu_masks_[l - 1]);
+  }
+  return grads;
+}
+
+TrainReport TrainSageConcatClassifier(SageConcatModel& model,
+                                      const Matrix& features,
+                                      const std::vector<int32_t>& labels,
+                                      const std::vector<uint8_t>& train_mask,
+                                      const std::vector<uint8_t>& test_mask,
+                                      const AggregateFn& aggregate,
+                                      const TrainConfig& config) {
+  std::unique_ptr<Optimizer> opt;
+  if (config.use_adam) {
+    opt = std::make_unique<Adam>(config.lr);
+  } else {
+    opt = std::make_unique<Sgd>(config.lr);
+  }
+  opt->Attach(model.Parameters());
+
+  TrainReport report;
+  for (uint32_t epoch = 0; epoch < config.epochs; ++epoch) {
+    Matrix logits = model.Forward(features, aggregate);
+    SoftmaxXentResult train = SoftmaxCrossEntropy(logits, labels, train_mask);
+    std::vector<Matrix> grads = model.Backward(train.grad, aggregate);
+    if (config.weight_decay > 0.0f) {
+      std::vector<Matrix*> params = model.Parameters();
+      for (size_t i = 0; i < grads.size(); ++i) {
+        grads[i].AddScaled(*params[i], config.weight_decay);
+      }
+    }
+    opt->Step(grads);
+
+    SoftmaxXentResult test = SoftmaxCrossEntropy(logits, labels, test_mask);
+    EpochMetrics m;
+    m.loss = train.loss;
+    m.train_accuracy =
+        train.total ? static_cast<double>(train.correct) / train.total : 0.0;
+    m.test_accuracy =
+        test.total ? static_cast<double>(test.correct) / test.total : 0.0;
+    report.epochs.push_back(m);
+  }
+  Matrix logits = model.Forward(features, aggregate);
+  SoftmaxXentResult test = SoftmaxCrossEntropy(logits, labels, test_mask);
+  report.final_test_accuracy =
+      test.total ? static_cast<double>(test.correct) / test.total : 0.0;
+  return report;
+}
+
+}  // namespace gal

@@ -1,0 +1,179 @@
+#include "tensor/matrix.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace gal {
+
+Matrix Matrix::Xavier(uint32_t rows, uint32_t cols, Rng& rng) {
+  Matrix m(rows, cols);
+  const float bound =
+      std::sqrt(6.0f / (static_cast<float>(rows) + static_cast<float>(cols)));
+  for (float& v : m.data_) {
+    v = static_cast<float>(rng.NextDouble() * 2.0 - 1.0) * bound;
+  }
+  return m;
+}
+
+void Matrix::AddScaled(const Matrix& other, float alpha) {
+  GAL_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += alpha * other.data_[i];
+}
+
+void Matrix::Apply(const std::function<float(float)>& fn) {
+  for (float& v : data_) v = fn(v);
+}
+
+double Matrix::FrobeniusNorm() const {
+  double s = 0.0;
+  for (float v : data_) s += static_cast<double>(v) * v;
+  return std::sqrt(s);
+}
+
+double Matrix::MeanAbsDiff(const Matrix& other) const {
+  GAL_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
+  if (data_.empty()) return 0.0;
+  double s = 0.0;
+  for (size_t i = 0; i < data_.size(); ++i) {
+    s += std::abs(static_cast<double>(data_[i]) - other.data_[i]);
+  }
+  return s / static_cast<double>(data_.size());
+}
+
+std::string Matrix::ShapeString() const {
+  std::ostringstream os;
+  os << "[" << rows_ << "x" << cols_ << "]";
+  return os.str();
+}
+
+Matrix Matmul(const Matrix& a, const Matrix& b) {
+  GAL_CHECK(a.cols() == b.rows())
+      << a.ShapeString() << " * " << b.ShapeString();
+  Matrix c(a.rows(), b.cols());
+  // i-k-j loop order: streams through b and c rows (cache-friendly).
+  for (uint32_t i = 0; i < a.rows(); ++i) {
+    float* ci = c.row(i);
+    const float* ai = a.row(i);
+    for (uint32_t k = 0; k < a.cols(); ++k) {
+      const float aik = ai[k];
+      if (aik == 0.0f) continue;
+      const float* bk = b.row(k);
+      for (uint32_t j = 0; j < b.cols(); ++j) ci[j] += aik * bk[j];
+    }
+  }
+  return c;
+}
+
+Matrix MatmulTransposeA(const Matrix& a, const Matrix& b) {
+  GAL_CHECK(a.rows() == b.rows())
+      << a.ShapeString() << "^T * " << b.ShapeString();
+  Matrix c(a.cols(), b.cols());
+  for (uint32_t k = 0; k < a.rows(); ++k) {
+    const float* ak = a.row(k);
+    const float* bk = b.row(k);
+    for (uint32_t i = 0; i < a.cols(); ++i) {
+      const float aki = ak[i];
+      if (aki == 0.0f) continue;
+      float* ci = c.row(i);
+      for (uint32_t j = 0; j < b.cols(); ++j) ci[j] += aki * bk[j];
+    }
+  }
+  return c;
+}
+
+Matrix MatmulTransposeB(const Matrix& a, const Matrix& b) {
+  GAL_CHECK(a.cols() == b.cols())
+      << a.ShapeString() << " * " << b.ShapeString() << "^T";
+  Matrix c(a.rows(), b.rows());
+  for (uint32_t i = 0; i < a.rows(); ++i) {
+    const float* ai = a.row(i);
+    float* ci = c.row(i);
+    for (uint32_t j = 0; j < b.rows(); ++j) {
+      const float* bj = b.row(j);
+      double s = 0.0;
+      for (uint32_t k = 0; k < a.cols(); ++k) s += ai[k] * bj[k];
+      ci[j] = static_cast<float>(s);
+    }
+  }
+  return c;
+}
+
+Matrix ReluForward(const Matrix& z, Matrix* mask) {
+  Matrix h = z;
+  if (mask != nullptr) *mask = Matrix(z.rows(), z.cols());
+  for (uint32_t i = 0; i < z.rows(); ++i) {
+    for (uint32_t j = 0; j < z.cols(); ++j) {
+      if (z.at(i, j) > 0.0f) {
+        if (mask != nullptr) mask->at(i, j) = 1.0f;
+      } else {
+        h.at(i, j) = 0.0f;
+      }
+    }
+  }
+  return h;
+}
+
+Matrix ReluBackward(const Matrix& grad, const Matrix& mask) {
+  GAL_CHECK(grad.rows() == mask.rows() && grad.cols() == mask.cols());
+  Matrix out = grad;
+  for (size_t i = 0; i < out.data().size(); ++i) {
+    out.data()[i] *= mask.data()[i];
+  }
+  return out;
+}
+
+Matrix SoftmaxRows(const Matrix& z) {
+  Matrix p(z.rows(), z.cols());
+  for (uint32_t i = 0; i < z.rows(); ++i) {
+    const float* zi = z.row(i);
+    float* pi = p.row(i);
+    float mx = zi[0];
+    for (uint32_t j = 1; j < z.cols(); ++j) mx = std::max(mx, zi[j]);
+    double sum = 0.0;
+    for (uint32_t j = 0; j < z.cols(); ++j) {
+      pi[j] = std::exp(zi[j] - mx);
+      sum += pi[j];
+    }
+    for (uint32_t j = 0; j < z.cols(); ++j) {
+      pi[j] = static_cast<float>(pi[j] / sum);
+    }
+  }
+  return p;
+}
+
+SoftmaxXentResult SoftmaxCrossEntropy(const Matrix& logits,
+                                      const std::vector<int32_t>& labels,
+                                      const std::vector<uint8_t>& mask) {
+  GAL_CHECK(labels.size() == logits.rows());
+  GAL_CHECK(mask.size() == logits.rows());
+  SoftmaxXentResult result;
+  result.grad = Matrix(logits.rows(), logits.cols());
+  Matrix probs = SoftmaxRows(logits);
+  uint32_t selected = 0;
+  for (uint32_t i = 0; i < logits.rows(); ++i) selected += (mask[i] != 0);
+  result.total = selected;
+  if (selected == 0) return result;
+
+  for (uint32_t i = 0; i < logits.rows(); ++i) {
+    if (!mask[i]) continue;
+    const int32_t y = labels[i];
+    GAL_CHECK(y >= 0 && static_cast<uint32_t>(y) < logits.cols());
+    const float p = std::max(probs.at(i, y), 1e-12f);
+    result.loss -= std::log(p);
+    uint32_t argmax = 0;
+    for (uint32_t j = 1; j < logits.cols(); ++j) {
+      if (probs.at(i, j) > probs.at(i, argmax)) argmax = j;
+    }
+    result.correct += (argmax == static_cast<uint32_t>(y));
+    for (uint32_t j = 0; j < logits.cols(); ++j) {
+      result.grad.at(i, j) =
+          (probs.at(i, j) - (j == static_cast<uint32_t>(y) ? 1.0f : 0.0f)) /
+          static_cast<float>(selected);
+    }
+  }
+  result.loss /= selected;
+  return result;
+}
+
+}  // namespace gal

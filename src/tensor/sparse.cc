@@ -1,0 +1,98 @@
+#include "tensor/sparse.h"
+
+#include <algorithm>
+#include <cmath>
+#include <tuple>
+
+namespace gal {
+
+SparseMatrix SparseMatrix::FromTriplets(
+    uint32_t rows, uint32_t cols,
+    std::vector<std::tuple<uint32_t, uint32_t, float>> triplets) {
+  std::sort(triplets.begin(), triplets.end(),
+            [](const auto& a, const auto& b) {
+              return std::get<0>(a) != std::get<0>(b)
+                         ? std::get<0>(a) < std::get<0>(b)
+                         : std::get<1>(a) < std::get<1>(b);
+            });
+  SparseMatrix m;
+  m.rows_ = rows;
+  m.cols_ = cols;
+  m.offsets_.assign(rows + 1, 0);
+  for (size_t i = 0; i < triplets.size(); ++i) {
+    const auto& [r, c, v] = triplets[i];
+    GAL_CHECK(r < rows && c < cols);
+    if (!m.cols_idx_.empty() && i > 0 &&
+        std::get<0>(triplets[i - 1]) == r &&
+        std::get<1>(triplets[i - 1]) == c) {
+      m.values_.back() += v;  // collapse duplicates
+      continue;
+    }
+    ++m.offsets_[r + 1];
+    m.cols_idx_.push_back(c);
+    m.values_.push_back(v);
+  }
+  for (uint32_t r = 0; r < rows; ++r) m.offsets_[r + 1] += m.offsets_[r];
+  return m;
+}
+
+Matrix SparseMatrix::Multiply(const Matrix& dense) const {
+  GAL_CHECK(cols_ == dense.rows());
+  Matrix out(rows_, dense.cols());
+  for (uint32_t r = 0; r < rows_; ++r) {
+    float* or_ = out.row(r);
+    for (uint64_t e = offsets_[r]; e < offsets_[r + 1]; ++e) {
+      const float w = values_[e];
+      const float* src = dense.row(cols_idx_[e]);
+      for (uint32_t j = 0; j < dense.cols(); ++j) or_[j] += w * src[j];
+    }
+  }
+  return out;
+}
+
+Matrix SparseMatrix::TransposeMultiply(const Matrix& dense) const {
+  GAL_CHECK(rows_ == dense.rows());
+  Matrix out(cols_, dense.cols());
+  for (uint32_t r = 0; r < rows_; ++r) {
+    const float* src = dense.row(r);
+    for (uint64_t e = offsets_[r]; e < offsets_[r + 1]; ++e) {
+      const float w = values_[e];
+      float* dst = out.row(cols_idx_[e]);
+      for (uint32_t j = 0; j < dense.cols(); ++j) dst[j] += w * src[j];
+    }
+  }
+  return out;
+}
+
+SparseMatrix NormalizedAdjacency(const Graph& g, AdjNorm norm) {
+  const uint32_t n = g.NumVertices();
+  std::vector<std::tuple<uint32_t, uint32_t, float>> triplets;
+  triplets.reserve(g.NumAdjacencyEntries() + n);
+  if (norm == AdjNorm::kSymmetric) {
+    std::vector<float> inv_sqrt(n);
+    for (VertexId v = 0; v < n; ++v) {
+      inv_sqrt[v] = 1.0f / std::sqrt(static_cast<float>(g.Degree(v)) + 1.0f);
+    }
+    for (VertexId v = 0; v < n; ++v) {
+      triplets.emplace_back(v, v, inv_sqrt[v] * inv_sqrt[v]);
+      for (VertexId u : g.Neighbors(v)) {
+        triplets.emplace_back(v, u, inv_sqrt[v] * inv_sqrt[u]);
+      }
+    }
+  } else if (norm == AdjNorm::kRowMean) {
+    for (VertexId v = 0; v < n; ++v) {
+      const float inv = 1.0f / (static_cast<float>(g.Degree(v)) + 1.0f);
+      triplets.emplace_back(v, v, inv);
+      for (VertexId u : g.Neighbors(v)) triplets.emplace_back(v, u, inv);
+    }
+  } else {  // kNeighborMean
+    for (VertexId v = 0; v < n; ++v) {
+      if (g.Degree(v) == 0) continue;
+      const float inv = 1.0f / static_cast<float>(g.Degree(v));
+      for (VertexId u : g.Neighbors(v)) triplets.emplace_back(v, u, inv);
+    }
+  }
+  return SparseMatrix::FromTriplets(n, n, std::move(triplets));
+}
+
+}  // namespace gal

@@ -1,0 +1,66 @@
+#ifndef GAL_TENSOR_SPARSE_H_
+#define GAL_TENSOR_SPARSE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "tensor/matrix.h"
+
+namespace gal {
+
+/// A CSR float sparse matrix — the aggregation operator of GNN layers
+/// (Â in GCN, the sampled-block operator in mini-batch training).
+class SparseMatrix {
+ public:
+  SparseMatrix() : rows_(0), cols_(0) {}
+
+  /// Builds from triplets (row, col, value); duplicates are summed.
+  static SparseMatrix FromTriplets(
+      uint32_t rows, uint32_t cols,
+      std::vector<std::tuple<uint32_t, uint32_t, float>> triplets);
+
+  uint32_t rows() const { return rows_; }
+  uint32_t cols() const { return cols_; }
+  uint64_t nnz() const { return values_.size(); }
+
+  /// Dense result of (*this) * dense.
+  Matrix Multiply(const Matrix& dense) const;
+  /// Dense result of (*this)^T * dense.
+  Matrix TransposeMultiply(const Matrix& dense) const;
+
+  /// Row access (column indices + values, parallel arrays).
+  std::span<const uint32_t> RowIndices(uint32_t r) const {
+    return {cols_idx_.data() + offsets_[r], cols_idx_.data() + offsets_[r + 1]};
+  }
+  std::span<const float> RowValues(uint32_t r) const {
+    return {values_.data() + offsets_[r], values_.data() + offsets_[r + 1]};
+  }
+
+ private:
+  uint32_t rows_;
+  uint32_t cols_;
+  std::vector<uint64_t> offsets_;
+  std::vector<uint32_t> cols_idx_;
+  std::vector<float> values_;
+};
+
+/// GCN normalization choices.
+enum class AdjNorm : uint8_t {
+  /// D^-1/2 (A + I) D^-1/2 — the Kipf–Welling GCN operator.
+  kSymmetric,
+  /// D^-1 (A + I) — mean aggregation over the closed neighborhood
+  /// (GraphSAGE-mean without concat).
+  kRowMean,
+  /// D^-1 A — mean over neighbors only, the AGGREGATE of the survey's
+  /// GraphSAGE equations (the self vertex enters via CONCAT instead).
+  /// Isolated vertices aggregate to zero.
+  kNeighborMean,
+};
+
+/// The normalized adjacency of an undirected graph (self-loops added).
+SparseMatrix NormalizedAdjacency(const Graph& g, AdjNorm norm);
+
+}  // namespace gal
+
+#endif  // GAL_TENSOR_SPARSE_H_

@@ -1,0 +1,304 @@
+#include "tlag/algos/cliques.h"
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+
+#include "graph/kcore.h"
+
+namespace gal {
+namespace {
+
+/// Sorted-vector set intersection.
+std::vector<VertexId> Intersect(const std::vector<VertexId>& a,
+                                std::span<const VertexId> b) {
+  std::vector<VertexId> out;
+  out.reserve(std::min(a.size(), b.size()));
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+/// One Bron–Kerbosch search-tree node, shippable between workers.
+struct BkTask {
+  std::vector<VertexId> r;  // current clique
+  std::vector<VertexId> p;  // candidates (sorted)
+  std::vector<VertexId> x;  // excluded (sorted)
+  uint32_t depth = 0;
+};
+
+struct BkShared {
+  const Graph* g;
+  const MaximalCliqueOptions* options;
+  bool collect;
+  std::atomic<uint64_t> count{0};
+  std::atomic<uint32_t> largest{0};
+  std::mutex out_mu;
+  std::vector<std::vector<VertexId>> cliques;
+
+  void Report(const std::vector<VertexId>& clique) {
+    if (clique.size() < options->min_size) return;
+    count.fetch_add(1, std::memory_order_relaxed);
+    uint32_t cur = largest.load(std::memory_order_relaxed);
+    while (clique.size() > cur &&
+           !largest.compare_exchange_weak(
+               cur, static_cast<uint32_t>(clique.size()))) {
+    }
+    if (collect) {
+      std::vector<VertexId> sorted = clique;
+      std::sort(sorted.begin(), sorted.end());
+      std::lock_guard<std::mutex> lock(out_mu);
+      cliques.push_back(std::move(sorted));
+    }
+  }
+};
+
+/// Chooses the pivot maximizing |P ∩ N(u)| over u in P ∪ X (Tomita).
+VertexId ChoosePivot(const Graph& g, const std::vector<VertexId>& p,
+                     const std::vector<VertexId>& x) {
+  VertexId pivot = kInvalidVertex;
+  size_t best = 0;
+  auto consider = [&](VertexId u) {
+    const auto nbrs = g.Neighbors(u);
+    size_t overlap = 0;
+    size_t i = 0;
+    size_t j = 0;
+    while (i < p.size() && j < nbrs.size()) {
+      if (p[i] < nbrs[j]) {
+        ++i;
+      } else if (p[i] > nbrs[j]) {
+        ++j;
+      } else {
+        ++overlap;
+        ++i;
+        ++j;
+      }
+    }
+    if (pivot == kInvalidVertex || overlap > best) {
+      best = overlap;
+      pivot = u;
+    }
+  };
+  for (VertexId u : p) consider(u);
+  for (VertexId u : x) consider(u);
+  return pivot;
+}
+
+void BkRecurse(BkTask& task, BkShared& shared,
+               TaskEngine<BkTask>::Context& ctx) {
+  const Graph& g = *shared.g;
+  if (task.p.empty() && task.x.empty()) {
+    shared.Report(task.r);
+    return;
+  }
+  if (task.p.empty()) return;
+
+  const VertexId pivot = ChoosePivot(g, task.p, task.x);
+  const auto pivot_nbrs = g.Neighbors(pivot);
+  // Branch on P \ N(pivot).
+  std::vector<VertexId> branch_vertices;
+  std::set_difference(task.p.begin(), task.p.end(), pivot_nbrs.begin(),
+                      pivot_nbrs.end(), std::back_inserter(branch_vertices));
+
+  for (VertexId v : branch_vertices) {
+    const auto nbrs = g.Neighbors(v);
+    BkTask child;
+    child.r = task.r;
+    child.r.push_back(v);
+    child.p = Intersect(task.p, nbrs);
+    child.x = Intersect(task.x, nbrs);
+    child.depth = task.depth + 1;
+
+    // Task splitting: shallow branches become engine tasks so idle
+    // workers can steal them; deep ones recurse locally (cheap).
+    if (child.depth <= shared.options->split_depth && ctx.StealPressure()) {
+      ctx.Spawn(std::move(child));
+    } else {
+      BkRecurse(child, shared, ctx);
+    }
+    // Move v from P to X.
+    task.p.erase(std::lower_bound(task.p.begin(), task.p.end(), v));
+    task.x.insert(std::lower_bound(task.x.begin(), task.x.end(), v), v);
+  }
+}
+
+// --- maximum clique ---------------------------------------------------------
+
+struct McTask {
+  std::vector<VertexId> r;
+  std::vector<VertexId> p;  // sorted candidates
+};
+
+struct McShared {
+  const Graph* g;
+  std::atomic<uint32_t> best_size{0};
+  std::mutex best_mu;
+  std::vector<VertexId> best_clique;
+  std::atomic<uint64_t> branches{0};
+  std::atomic<uint64_t> pruned{0};
+
+  void Offer(const std::vector<VertexId>& clique) {
+    uint32_t cur = best_size.load();
+    if (clique.size() <= cur) return;
+    std::lock_guard<std::mutex> lock(best_mu);
+    if (clique.size() > best_clique.size()) {
+      best_clique = clique;
+      best_size.store(static_cast<uint32_t>(clique.size()));
+    }
+  }
+};
+
+/// Greedy coloring of P (in given order): the number of colors bounds
+/// the largest clique inside P. Returns per-vertex color (1-based),
+/// aligned with p's order.
+uint32_t ColorBound(const Graph& g, const std::vector<VertexId>& p,
+                    std::vector<uint32_t>& colors) {
+  colors.assign(p.size(), 0);
+  uint32_t num_colors = 0;
+  for (size_t i = 0; i < p.size(); ++i) {
+    // Lowest color not used by earlier neighbors.
+    uint64_t used = 0;  // bitmask for first 64 colors
+    for (size_t j = 0; j < i; ++j) {
+      if (colors[j] <= 64 && g.HasEdge(p[i], p[j])) {
+        used |= uint64_t{1} << (colors[j] - 1);
+      }
+    }
+    uint32_t c = 1;
+    while (c <= 64 && (used & (uint64_t{1} << (c - 1)))) ++c;
+    colors[i] = c;
+    num_colors = std::max(num_colors, c);
+  }
+  return num_colors;
+}
+
+void McRecurse(McTask& task, McShared& shared,
+               TaskEngine<McTask>::Context& ctx) {
+  const Graph& g = *shared.g;
+  shared.branches.fetch_add(1, std::memory_order_relaxed);
+  if (task.p.empty()) {
+    shared.Offer(task.r);
+    return;
+  }
+  std::vector<uint32_t> colors;
+  ColorBound(g, task.p, colors);
+  // Process candidates in decreasing color: classic Tomita ordering —
+  // once r.size() + color <= best, every remaining candidate is pruned.
+  std::vector<size_t> order(task.p.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return colors[a] > colors[b]; });
+
+  std::vector<VertexId> p = task.p;
+  for (size_t idx : order) {
+    const VertexId v = task.p[idx];
+    if (task.r.size() + colors[idx] <= shared.best_size.load()) {
+      shared.pruned.fetch_add(1, std::memory_order_relaxed);
+      return;  // all later candidates have <= this color
+    }
+    McTask child;
+    child.r = task.r;
+    child.r.push_back(v);
+    child.p = Intersect(p, g.Neighbors(v));
+    if (child.r.size() + child.p.size() > shared.best_size.load()) {
+      if (child.p.empty()) {
+        shared.Offer(child.r);
+      } else {
+        McRecurse(child, shared, ctx);
+      }
+    } else {
+      shared.pruned.fetch_add(1, std::memory_order_relaxed);
+    }
+    p.erase(std::lower_bound(p.begin(), p.end(), v));
+  }
+}
+
+}  // namespace
+
+MaximalCliqueResult MaximalCliques(const Graph& g,
+                                   const MaximalCliqueOptions& options,
+                                   bool collect) {
+  BkShared shared;
+  shared.g = &g;
+  shared.options = &options;
+  shared.collect = collect;
+
+  // Degeneracy-ordered root tasks: vertex v with candidates among its
+  // later neighbors, excluded among earlier ones — the standard
+  // Eppstein–Löffler–Strash decomposition, which also makes root tasks
+  // independent (ideal G-thinker tasks).
+  DegeneracyResult degen = DegeneracyOrder(g);
+  std::vector<uint32_t> pos(g.NumVertices());
+  for (uint32_t i = 0; i < degen.order.size(); ++i) pos[degen.order[i]] = i;
+
+  std::vector<BkTask> roots;
+  roots.reserve(g.NumVertices());
+  for (VertexId v : degen.order) {
+    BkTask t;
+    t.r = {v};
+    for (VertexId u : g.Neighbors(v)) {
+      (pos[u] > pos[v] ? t.p : t.x).push_back(u);
+    }
+    std::sort(t.p.begin(), t.p.end());
+    std::sort(t.x.begin(), t.x.end());
+    t.depth = 1;
+    roots.push_back(std::move(t));
+  }
+
+  TaskEngine<BkTask> engine(options.engine);
+  TaskEngineStats stats = engine.Run(
+      std::move(roots),
+      [&shared](BkTask& task, TaskEngine<BkTask>::Context& ctx) {
+        BkRecurse(task, shared, ctx);
+      });
+
+  MaximalCliqueResult result;
+  result.count = shared.count.load();
+  result.largest = shared.largest.load();
+  result.cliques = std::move(shared.cliques);
+  result.task_stats = stats;
+  return result;
+}
+
+MaximumCliqueResult MaximumClique(const Graph& g,
+                                  const TaskEngineConfig& config) {
+  McShared shared;
+  shared.g = &g;
+
+  DegeneracyResult degen = DegeneracyOrder(g);
+  std::vector<uint32_t> pos(g.NumVertices());
+  for (uint32_t i = 0; i < degen.order.size(); ++i) pos[degen.order[i]] = i;
+
+  std::vector<McTask> roots;
+  for (VertexId v : degen.order) {
+    McTask t;
+    t.r = {v};
+    for (VertexId u : g.Neighbors(v)) {
+      if (pos[u] > pos[v]) t.p.push_back(u);
+    }
+    std::sort(t.p.begin(), t.p.end());
+    roots.push_back(std::move(t));
+  }
+
+  TaskEngine<McTask> engine(config);
+  TaskEngineStats stats = engine.Run(
+      std::move(roots), [&shared](McTask& task,
+                                  TaskEngine<McTask>::Context& ctx) {
+        // Root-level bound: skip tasks that cannot beat the incumbent.
+        if (task.r.size() + task.p.size() <= shared.best_size.load()) {
+          shared.pruned.fetch_add(1, std::memory_order_relaxed);
+          return;
+        }
+        McRecurse(task, shared, ctx);
+      });
+
+  MaximumCliqueResult result;
+  result.size = shared.best_size.load();
+  result.clique = shared.best_clique;
+  std::sort(result.clique.begin(), result.clique.end());
+  result.branches_explored = shared.branches.load();
+  result.branches_pruned = shared.pruned.load();
+  result.task_stats = stats;
+  return result;
+}
+
+}  // namespace gal

@@ -1,0 +1,56 @@
+#ifndef GAL_TLAG_ALGOS_CLIQUES_H_
+#define GAL_TLAG_ALGOS_CLIQUES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "tlag/task_engine.h"
+
+namespace gal {
+
+/// Clique mining in the think-like-a-task model (the G-thinker / G-Miner
+/// headline workloads): search-tree subtrees become tasks, heavy tasks
+/// split, idle workers steal.
+
+struct MaximalCliqueOptions {
+  /// Report only maximal cliques of at least this size.
+  uint32_t min_size = 1;
+  /// Search-tree depth down to which branches are spawned as engine
+  /// tasks (task splitting); below it recursion stays local.
+  uint32_t split_depth = 1;
+  TaskEngineConfig engine;
+};
+
+struct MaximalCliqueResult {
+  uint64_t count = 0;
+  uint32_t largest = 0;
+  /// Cliques (sorted vertex lists) if collect was requested.
+  std::vector<std::vector<VertexId>> cliques;
+  TaskEngineStats task_stats;
+};
+
+/// Enumerates all maximal cliques with Bron–Kerbosch (pivoting +
+/// degeneracy-ordered root tasks). Set `collect` to keep the cliques
+/// themselves (bounded workloads only).
+MaximalCliqueResult MaximalCliques(const Graph& g,
+                                   const MaximalCliqueOptions& options = {},
+                                   bool collect = false);
+
+struct MaximumCliqueResult {
+  uint32_t size = 0;
+  std::vector<VertexId> clique;
+  uint64_t branches_explored = 0;
+  uint64_t branches_pruned = 0;
+  TaskEngineStats task_stats;
+};
+
+/// Exact maximum clique by branch-and-bound with a greedy-coloring upper
+/// bound; the global incumbent is shared across tasks so pruning
+/// tightens as any worker improves it.
+MaximumCliqueResult MaximumClique(const Graph& g,
+                                  const TaskEngineConfig& config = {});
+
+}  // namespace gal
+
+#endif  // GAL_TLAG_ALGOS_CLIQUES_H_

@@ -1,0 +1,124 @@
+#include "tlag/algos/ktruss.h"
+
+#include <algorithm>
+#include <map>
+#include <queue>
+
+#include "common/logging.h"
+
+namespace gal {
+namespace {
+
+/// Edge index lookup for (u, v) with u < v.
+struct EdgeIndex {
+  std::map<std::pair<VertexId, VertexId>, uint32_t> index;
+
+  uint32_t Of(VertexId u, VertexId v) const {
+    if (u > v) std::swap(u, v);
+    auto it = index.find({u, v});
+    GAL_DCHECK(it != index.end());
+    return it->second;
+  }
+};
+
+}  // namespace
+
+KTrussResult KTrussDecomposition(const Graph& g) {
+  KTrussResult result;
+  result.edges = g.CollectEdges();
+  const uint32_t m = static_cast<uint32_t>(result.edges.size());
+  result.trussness.assign(m, 2);
+  if (m == 0) return result;
+
+  EdgeIndex idx;
+  for (uint32_t e = 0; e < m; ++e) {
+    idx.index[{result.edges[e].src, result.edges[e].dst}] = e;
+  }
+
+  // Initial supports: triangles through each edge, via sorted
+  // intersections.
+  std::vector<uint32_t> support(m, 0);
+  for (uint32_t e = 0; e < m; ++e) {
+    const auto nu = g.Neighbors(result.edges[e].src);
+    const auto nv = g.Neighbors(result.edges[e].dst);
+    size_t i = 0;
+    size_t j = 0;
+    while (i < nu.size() && j < nv.size()) {
+      if (nu[i] < nv[j]) {
+        ++i;
+      } else if (nu[i] > nv[j]) {
+        ++j;
+      } else {
+        ++support[e];
+        ++i;
+        ++j;
+      }
+    }
+  }
+
+  // Peel edges in increasing support; when edge (u,v) is removed, the
+  // supports of the other two edges of each triangle through it drop.
+  std::vector<uint8_t> removed(m, 0);
+  using Item = std::pair<uint32_t, uint32_t>;  // (support, edge)
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+  for (uint32_t e = 0; e < m; ++e) pq.push({support[e], e});
+
+  uint32_t k = 2;
+  while (!pq.empty()) {
+    auto [s, e] = pq.top();
+    pq.pop();
+    if (removed[e] || s != support[e]) continue;  // stale entry
+    k = std::max(k, support[e] + 2);
+    result.trussness[e] = k;
+    result.max_trussness = std::max(result.max_trussness, k);
+    removed[e] = 1;
+
+    const VertexId u = result.edges[e].src;
+    const VertexId v = result.edges[e].dst;
+    const auto nu = g.Neighbors(u);
+    const auto nv = g.Neighbors(v);
+    size_t i = 0;
+    size_t j = 0;
+    while (i < nu.size() && j < nv.size()) {
+      if (nu[i] < nv[j]) {
+        ++i;
+      } else if (nu[i] > nv[j]) {
+        ++j;
+      } else {
+        const VertexId w = nu[i];
+        const uint32_t e1 = idx.Of(u, w);
+        const uint32_t e2 = idx.Of(v, w);
+        if (!removed[e1] && !removed[e2]) {
+          // The triangle (u,v,w) disappears with e.
+          for (uint32_t other : {e1, e2}) {
+            GAL_DCHECK(support[other] > 0);
+            --support[other];
+            ++result.support_updates;
+            pq.push({support[other], other});
+          }
+        }
+        ++i;
+        ++j;
+      }
+    }
+  }
+  return result;
+}
+
+std::vector<VertexId> KTrussVertices(const Graph& g, uint32_t k) {
+  KTrussResult decomposition = KTrussDecomposition(g);
+  std::vector<uint8_t> in(g.NumVertices(), 0);
+  for (uint32_t e = 0; e < decomposition.edges.size(); ++e) {
+    if (decomposition.trussness[e] >= k) {
+      in[decomposition.edges[e].src] = 1;
+      in[decomposition.edges[e].dst] = 1;
+    }
+  }
+  std::vector<VertexId> out;
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    if (in[v]) out.push_back(v);
+  }
+  return out;
+}
+
+}  // namespace gal

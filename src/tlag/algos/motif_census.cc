@@ -1,0 +1,148 @@
+#include "tlag/algos/motif_census.h"
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+
+#include "common/logging.h"
+#include "fsm/canonical.h"
+
+namespace gal {
+namespace {
+
+/// Deterministic branch-retention coin for RAND-ESU.
+bool KeepBranch(uint64_t seed, VertexId head, VertexId w, uint32_t depth,
+                double retention) {
+  uint64_t x = seed ^ (static_cast<uint64_t>(head) << 34) ^
+               (static_cast<uint64_t>(w) << 8) ^ depth;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  x ^= x >> 31;
+  return (x >> 11) * (1.0 / 9007199254740992.0) < retention;
+}
+
+struct CensusShared {
+  const Graph* g;
+  uint32_t k;
+  double retention;  // 1.0 = exact
+  uint64_t seed;
+  std::mutex mu;
+  std::map<std::string, uint64_t> raw_counts;
+  std::atomic<uint64_t> enumerated{0};
+
+  void Record(const std::vector<VertexId>& s) {
+    enumerated.fetch_add(1, std::memory_order_relaxed);
+    Result<Graph> induced = g->InducedSubgraph(s);
+    GAL_CHECK(induced.ok()) << induced.status();
+    // Census is structural: strip labels before canonicalization.
+    Graph plain = std::move(induced.value());
+    GAL_CHECK_OK(plain.SetLabels(
+        std::vector<Label>(plain.NumVertices(), 0)));
+    std::string code = CanonicalCode(plain);
+    std::lock_guard<std::mutex> lock(mu);
+    ++raw_counts[code];
+  }
+};
+
+/// ESU recursion with optional branch sampling (RAND-ESU).
+void Extend(CensusShared& shared, std::vector<VertexId>& subgraph,
+            std::vector<VertexId>& pool, std::vector<uint8_t>& in_closure) {
+  if (subgraph.size() == shared.k) {
+    shared.Record(subgraph);
+    return;
+  }
+  const Graph& g = *shared.g;
+  std::vector<VertexId> remaining = pool;
+  while (!remaining.empty()) {
+    const VertexId w = remaining.back();
+    remaining.pop_back();
+    if (shared.retention < 1.0 &&
+        !KeepBranch(shared.seed, subgraph.front(), w,
+                    static_cast<uint32_t>(subgraph.size()),
+                    shared.retention)) {
+      continue;
+    }
+    std::vector<VertexId> child = remaining;
+    std::vector<VertexId> newly_closed;
+    for (VertexId u : g.Neighbors(w)) {
+      if (u <= subgraph.front() || in_closure[u]) continue;
+      child.push_back(u);
+      in_closure[u] = 1;
+      newly_closed.push_back(u);
+    }
+    subgraph.push_back(w);
+    Extend(shared, subgraph, child, in_closure);
+    subgraph.pop_back();
+    for (VertexId u : newly_closed) in_closure[u] = 0;
+  }
+}
+
+MotifCensus RunCensus(const Graph& g, uint32_t k, double retention,
+                      uint64_t seed, const TaskEngineConfig& config) {
+  GAL_CHECK(k == 3 || k == 4) << "census supports sizes 3 and 4";
+  GAL_CHECK(retention > 0.0 && retention <= 1.0);
+  CensusShared shared;
+  shared.g = &g;
+  shared.k = k;
+  shared.retention = retention;
+  shared.seed = seed;
+
+  std::vector<VertexId> roots(g.NumVertices());
+  for (VertexId v = 0; v < g.NumVertices(); ++v) roots[v] = v;
+  TaskEngine<VertexId> engine(config);
+  TaskEngineStats stats = engine.Run(
+      std::move(roots),
+      [&shared, &g](VertexId& root, TaskEngine<VertexId>::Context&) {
+        std::vector<uint8_t> in_closure(g.NumVertices(), 0);
+        std::vector<VertexId> subgraph = {root};
+        std::vector<VertexId> pool;
+        in_closure[root] = 1;
+        for (VertexId u : g.Neighbors(root)) {
+          if (u > root) {
+            pool.push_back(u);
+            in_closure[u] = 1;
+          }
+        }
+        Extend(shared, subgraph, pool, in_closure);
+      });
+
+  MotifCensus census;
+  census.subgraphs_enumerated = shared.enumerated.load();
+  census.task_stats = stats;
+  // Horvitz–Thompson scaling: each size-k subgraph survived k-1
+  // independent retention coins.
+  double inv_prob = 1.0;
+  for (uint32_t d = 1; d < k; ++d) inv_prob /= retention;
+  for (const auto& [code, count] : shared.raw_counts) {
+    census.counts[code] = static_cast<uint64_t>(
+        count * inv_prob + 0.5);
+  }
+  return census;
+}
+
+}  // namespace
+
+MotifCensus ExactMotifCensus(const Graph& g, uint32_t k,
+                             const TaskEngineConfig& config) {
+  return RunCensus(g, k, 1.0, 0, config);
+}
+
+MotifCensus SampledMotifCensus(const Graph& g, uint32_t k, double retention,
+                               uint64_t seed, const TaskEngineConfig& config) {
+  return RunCensus(g, k, retention, seed, config);
+}
+
+const char* MotifName(const std::string& code) {
+  // Codes: k label chars ('A') + upper-triangular adjacency bits.
+  if (code == "AAA011") return "path-3";
+  if (code == "AAA111") return "triangle";
+  if (code == "AAAA001101") return "path-4";
+  if (code == "AAAA001011") return "star-3";   // claw
+  if (code == "AAAA001111") return "tailed-triangle";
+  if (code == "AAAA011110") return "4-cycle";
+  if (code == "AAAA011111") return "diamond";
+  if (code == "AAAA111111") return "4-clique";
+  return "?";
+}
+
+}  // namespace gal

@@ -1,0 +1,46 @@
+#ifndef GAL_TLAG_ALGOS_MOTIF_CENSUS_H_
+#define GAL_TLAG_ALGOS_MOTIF_CENSUS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "graph/graph.h"
+#include "tlag/task_engine.h"
+
+namespace gal {
+
+/// Connected-motif census: counts every connected induced subgraph of
+/// size 3 or 4 by isomorphism class. This is the classic "graphlet"
+/// statistic of network biology (the survey's bioinformatics
+/// applications), computed exactly via the ESU enumerator, plus the
+/// RAND-ESU sampled estimator — the lightweight alternative to the
+/// neural subgraph counting the survey discusses, with a knob trading
+/// work for accuracy.
+struct MotifCensus {
+  /// Canonical-code -> count. Codes come from fsm/canonical.h applied
+  /// to the unlabeled induced subgraph (letters are all 'A').
+  std::map<std::string, uint64_t> counts;
+  uint64_t subgraphs_enumerated = 0;
+  TaskEngineStats task_stats;
+};
+
+/// Exact census of size-`k` connected induced subgraphs (k = 3 or 4).
+MotifCensus ExactMotifCensus(const Graph& g, uint32_t k,
+                             const TaskEngineConfig& config = {});
+
+/// RAND-ESU: each extension branch is kept with probability
+/// `retention`; an enumerated subgraph therefore has probability
+/// retention^(k-1), and counts are scaled back by its inverse. Unbiased
+/// with variance shrinking as retention -> 1.
+MotifCensus SampledMotifCensus(const Graph& g, uint32_t k, double retention,
+                               uint64_t seed,
+                               const TaskEngineConfig& config = {});
+
+/// Human-readable motif names for the size-3/4 canonical codes
+/// ("triangle", "path-3", "4-clique", ...); "?" when unknown.
+const char* MotifName(const std::string& canonical_code);
+
+}  // namespace gal
+
+#endif  // GAL_TLAG_ALGOS_MOTIF_CENSUS_H_

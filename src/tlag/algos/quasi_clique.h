@@ -1,0 +1,44 @@
+#ifndef GAL_TLAG_ALGOS_QUASI_CLIQUE_H_
+#define GAL_TLAG_ALGOS_QUASI_CLIQUE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "tlag/task_engine.h"
+
+namespace gal {
+
+/// γ-quasi-clique mining (the G-thinker application from Guo et al.): a
+/// vertex set S is a γ-quasi-clique when every member has at least
+/// ⌈γ·(|S|-1)⌉ neighbors inside S. Quasi-cliques are not hereditary, so
+/// the search enumerates connected candidate sets with a conservative
+/// degree-deficiency bound and validates at output — a bounded-size
+/// variant of the Quick/G-thinker algorithm (sizes are capped by
+/// max_size rather than mining maximal sets).
+struct QuasiCliqueOptions {
+  double gamma = 0.6;
+  uint32_t min_size = 3;
+  uint32_t max_size = 5;
+  TaskEngineConfig engine;
+};
+
+struct QuasiCliqueResult {
+  /// All vertex sets (sorted) satisfying the γ-degree condition with
+  /// min_size <= |S| <= max_size.
+  std::vector<std::vector<VertexId>> quasi_cliques;
+  uint64_t sets_examined = 0;
+  uint64_t pruned_branches = 0;
+  TaskEngineStats task_stats;
+};
+
+QuasiCliqueResult FindQuasiCliques(const Graph& g,
+                                   const QuasiCliqueOptions& options = {});
+
+/// True iff `s` (any order, no duplicates) is a γ-quasi-clique of g.
+bool IsQuasiClique(const Graph& g, const std::vector<VertexId>& s,
+                   double gamma);
+
+}  // namespace gal
+
+#endif  // GAL_TLAG_ALGOS_QUASI_CLIQUE_H_

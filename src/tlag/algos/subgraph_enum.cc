@@ -1,0 +1,101 @@
+#include "tlag/algos/subgraph_enum.h"
+
+#include <algorithm>
+#include <atomic>
+
+#include "common/metrics.h"
+
+namespace gal {
+namespace {
+
+/// Root task: enumerate all connected subgraphs whose minimum vertex is
+/// `root` (ESU's uniqueness invariant: only vertices > root may join).
+struct EnumTask {
+  VertexId root;
+};
+
+struct EnumShared {
+  const Graph* g;
+  const SubgraphEnumOptions* options;
+  const SubgraphVisitor* visitor;
+  std::atomic<uint64_t> visited{0};
+  MaxGauge peak_bytes;
+};
+
+/// Recursive ESU step. `subgraph` is the current set, `extension` the
+/// candidate pool (all > root, adjacent to the subgraph, not yet seen),
+/// `in_closure` marks vertices already in subgraph ∪ extension ∪
+/// discarded (never to be re-added on this path).
+void Extend(EnumShared& shared, std::vector<VertexId>& subgraph,
+            std::vector<VertexId>& extension,
+            std::vector<uint8_t>& in_closure) {
+  const Graph& g = *shared.g;
+  shared.visited.fetch_add(1, std::memory_order_relaxed);
+  shared.peak_bytes.Observe(static_cast<int64_t>(
+      (subgraph.size() + extension.size()) * sizeof(VertexId)));
+  const bool keep_extending = (*shared.visitor)(subgraph);
+  if (!keep_extending || subgraph.size() >= shared.options->max_size) return;
+
+  // ESU: repeatedly remove a candidate w; the branch containing w uses
+  // the remaining candidates plus w's exclusive new neighbors.
+  std::vector<VertexId> pool = extension;
+  while (!pool.empty()) {
+    const VertexId w = pool.back();
+    pool.pop_back();
+    std::vector<VertexId> child_ext = pool;
+    std::vector<VertexId> newly_closed;
+    for (VertexId u : g.Neighbors(w)) {
+      if (u <= subgraph.front()) continue;  // root-minimality
+      if (in_closure[u]) continue;
+      child_ext.push_back(u);
+      in_closure[u] = 1;
+      newly_closed.push_back(u);
+    }
+    subgraph.push_back(w);
+    Extend(shared, subgraph, child_ext, in_closure);
+    subgraph.pop_back();
+    for (VertexId u : newly_closed) in_closure[u] = 0;
+    // w never rejoins on this path: it stays in in_closure (it was
+    // already marked when it entered the extension pool).
+  }
+}
+
+}  // namespace
+
+SubgraphEnumStats EnumerateConnectedSubgraphs(
+    const Graph& g, const SubgraphEnumOptions& options,
+    const SubgraphVisitor& visitor) {
+  EnumShared shared;
+  shared.g = &g;
+  shared.options = &options;
+  shared.visitor = &visitor;
+
+  std::vector<EnumTask> roots;
+  roots.reserve(g.NumVertices());
+  for (VertexId v = 0; v < g.NumVertices(); ++v) roots.push_back({v});
+
+  TaskEngine<EnumTask> engine(options.engine);
+  TaskEngineStats task_stats = engine.Run(
+      std::move(roots),
+      [&shared, &g](EnumTask& task, TaskEngine<EnumTask>::Context&) {
+        std::vector<uint8_t> in_closure(g.NumVertices(), 0);
+        std::vector<VertexId> subgraph = {task.root};
+        std::vector<VertexId> extension;
+        in_closure[task.root] = 1;
+        for (VertexId u : g.Neighbors(task.root)) {
+          if (u > task.root) {
+            extension.push_back(u);
+            in_closure[u] = 1;
+          }
+        }
+        Extend(shared, subgraph, extension, in_closure);
+      });
+
+  SubgraphEnumStats stats;
+  stats.subgraphs_visited = shared.visited.load();
+  stats.peak_state_bytes = static_cast<uint64_t>(shared.peak_bytes.Get());
+  stats.task_stats = task_stats;
+  return stats;
+}
+
+}  // namespace gal

@@ -1,0 +1,44 @@
+#ifndef GAL_TLAG_ALGOS_SUBGRAPH_ENUM_H_
+#define GAL_TLAG_ALGOS_SUBGRAPH_ENUM_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "graph/graph.h"
+#include "tlag/task_engine.h"
+
+namespace gal {
+
+/// Connected-induced-subgraph enumeration (the ESU scheme): every
+/// connected vertex set of size <= max_size is visited exactly once,
+/// depth-first, with per-root tasks on the work-stealing engine. This is
+/// the generic "subgraph finding" kernel of the think-like-a-graph
+/// model — quasi-clique mining, motif statistics, and the BFS-vs-DFS
+/// ablation all instantiate it.
+struct SubgraphEnumOptions {
+  uint32_t max_size = 4;
+  TaskEngineConfig engine;
+};
+
+struct SubgraphEnumStats {
+  uint64_t subgraphs_visited = 0;
+  /// Maximum recursion footprint observed (embedding + extension sets),
+  /// in bytes — the O(depth) memory story of DFS systems.
+  uint64_t peak_state_bytes = 0;
+  TaskEngineStats task_stats;
+};
+
+/// Visits each connected induced subgraph (as a sorted-free vertex list
+/// in discovery order, rooted at its minimum vertex). The visitor runs
+/// concurrently from many threads and must be thread-safe. Returning
+/// false prunes all extensions of the visited set.
+using SubgraphVisitor = std::function<bool(const std::vector<VertexId>&)>;
+
+SubgraphEnumStats EnumerateConnectedSubgraphs(
+    const Graph& g, const SubgraphEnumOptions& options,
+    const SubgraphVisitor& visitor);
+
+}  // namespace gal
+
+#endif  // GAL_TLAG_ALGOS_SUBGRAPH_ENUM_H_

@@ -1,0 +1,34 @@
+#ifndef GAL_TLAG_ALGOS_TRIANGLES_H_
+#define GAL_TLAG_ALGOS_TRIANGLES_H_
+
+#include <cstdint>
+
+#include "graph/graph.h"
+#include "tlag/task_engine.h"
+
+namespace gal {
+
+/// Intersection-based triangle counting — the "one machine beats 1636"
+/// side of the survey's §1 anecdote. Work is Σ_v d+(v)² intersections
+/// over a degree-oriented graph with *zero* messages, versus the TLAV
+/// formulation's one message per wedge.
+struct TriangleCountResult {
+  uint64_t triangles = 0;
+  /// Adjacency elements touched by the merge intersections; the unit to
+  /// compare against TlavStats::total_messages.
+  uint64_t intersection_ops = 0;
+  double wall_seconds = 0.0;
+  TaskEngineStats task_stats;  // zeroed for the serial variant
+};
+
+/// Single-threaded external-memory-style pass (Chu & Cheng's serial
+/// contender).
+TriangleCountResult SerialTriangleCount(const Graph& g);
+
+/// The same algorithm as per-vertex tasks on the work-stealing engine.
+TriangleCountResult TaskTriangleCount(const Graph& g,
+                                      const TaskEngineConfig& config = {});
+
+}  // namespace gal
+
+#endif  // GAL_TLAG_ALGOS_TRIANGLES_H_

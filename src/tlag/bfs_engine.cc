@@ -1,0 +1,118 @@
+#include "tlag/bfs_engine.h"
+
+#include <algorithm>
+
+namespace gal {
+namespace {
+
+uint64_t EmbeddingBytes(size_t embedding_size) {
+  // Vertex ids plus vector bookkeeping, the dominant cost a real system
+  // pays per materialized instance.
+  return embedding_size * sizeof(VertexId) + sizeof(Embedding);
+}
+
+}  // namespace
+
+BfsEngineStats BfsExtensionEngine::Run(const std::vector<VertexId>& roots,
+                                       uint32_t target_size,
+                                       const ExtendFn& extend,
+                                       const OutputFn& output) {
+  BfsEngineStats stats;
+  std::vector<Embedding> frontier;
+  frontier.reserve(roots.size());
+  for (VertexId r : roots) frontier.push_back({r});
+  stats.embeddings_generated += frontier.size();
+
+  auto footprint = [&](const std::vector<Embedding>& level,
+                       size_t embedding_size) {
+    return static_cast<uint64_t>(level.size()) *
+           EmbeddingBytes(embedding_size);
+  };
+
+  uint64_t current_bytes = footprint(frontier, 1);
+  stats.peak_materialized = frontier.size();
+  stats.peak_bytes = current_bytes;
+
+  std::vector<VertexId> candidates;
+  for (uint32_t size = 1; size < target_size; ++size) {
+    std::vector<Embedding> next;
+    uint64_t next_bytes = 0;
+    // Chunked expansion: only chunk_size source embeddings are consumed
+    // before their extensions are appended, mirroring G2-AIMD's
+    // adaptive chunking (keeps the *working set* bounded even though
+    // the output level itself may still explode).
+    for (size_t begin = 0; begin < frontier.size();
+         begin += config_.chunk_size) {
+      const size_t end =
+          std::min(frontier.size(), begin + config_.chunk_size);
+      for (size_t i = begin; i < end; ++i) {
+        const Embedding& e = frontier[i];
+        candidates.clear();
+        extend(e, candidates);
+        for (VertexId c : candidates) {
+          // Materialization accounting happens *before* policy checks so
+          // every policy sees the same demand curve.
+          const uint64_t bytes = EmbeddingBytes(e.size() + 1);
+          const uint64_t live = current_bytes + next_bytes + bytes;
+          ++stats.embeddings_generated;
+          if (config_.memory_budget_bytes != 0 &&
+              live > config_.memory_budget_bytes) {
+            switch (config_.policy) {
+              case MemoryPolicy::kStrict:
+                stats.budget_exceeded = true;
+                return stats;
+              case MemoryPolicy::kSpill:
+                stats.spilled_bytes += bytes;
+                break;  // spilled copies still join the next level
+              case MemoryPolicy::kHybridDfs: {
+                Embedding extended = e;
+                extended.push_back(c);
+                DfsComplete(extended, target_size, extend, output, stats);
+                continue;  // finished depth-first; not materialized
+              }
+            }
+          }
+          Embedding extended = e;
+          extended.push_back(c);
+          next_bytes += bytes;
+          if (extended.size() == target_size) {
+            output(extended);
+            // Output embeddings are handed over, not retained.
+            next_bytes -= bytes;
+          } else {
+            next.push_back(std::move(extended));
+          }
+        }
+      }
+    }
+    stats.peak_materialized =
+        std::max(stats.peak_materialized,
+                 static_cast<uint64_t>(frontier.size() + next.size()));
+    stats.peak_bytes = std::max(stats.peak_bytes, current_bytes + next_bytes);
+    frontier = std::move(next);
+    current_bytes = next_bytes;
+    if (frontier.empty()) break;
+  }
+  return stats;
+}
+
+void BfsExtensionEngine::DfsComplete(Embedding& e, uint32_t target_size,
+                                     const ExtendFn& extend,
+                                     const OutputFn& output,
+                                     BfsEngineStats& stats) {
+  if (e.size() == target_size) {
+    ++stats.dfs_fallback_embeddings;
+    output(e);
+    return;
+  }
+  std::vector<VertexId> candidates;
+  extend(e, candidates);
+  for (VertexId c : candidates) {
+    ++stats.embeddings_generated;
+    e.push_back(c);
+    DfsComplete(e, target_size, extend, output, stats);
+    e.pop_back();
+  }
+}
+
+}  // namespace gal

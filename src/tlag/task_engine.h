@@ -1,0 +1,262 @@
+#ifndef GAL_TLAG_TASK_ENGINE_H_
+#define GAL_TLAG_TASK_ENGINE_H_
+
+#include <atomic>
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/timer.h"
+
+namespace gal {
+
+/// Statistics of a task-engine run, the observables behind the survey's
+/// G-thinker/T-thinker discussion: how much work moved between workers
+/// (steals) and how evenly the makespan spread (idle time).
+struct TaskEngineStats {
+  uint64_t tasks_executed = 0;
+  uint64_t tasks_spawned = 0;
+  uint64_t steals = 0;
+  uint64_t failed_steal_attempts = 0;
+  double wall_seconds = 0.0;
+  /// Per-thread seconds spent executing tasks (vs idling/stealing).
+  std::vector<double> busy_seconds;
+
+  double TotalBusySeconds() const {
+    double s = 0.0;
+    for (double b : busy_seconds) s += b;
+    return s;
+  }
+  /// 1.0 = perfect balance; wall * threads / busy.
+  double ParallelEfficiency() const {
+    const double busy = TotalBusySeconds();
+    if (busy == 0.0 || wall_seconds == 0.0) return 1.0;
+    return busy / (wall_seconds * static_cast<double>(busy_seconds.size()));
+  }
+};
+
+/// How Run() spreads the initial tasks over the worker queues.
+enum class InitialDistribution : uint8_t {
+  /// Interleaved: task i goes to queue i mod threads. Smooths skew when
+  /// tasks are many (the default).
+  kRoundRobin,
+  /// Contiguous blocks: queue w gets tasks [w*n/T, (w+1)*n/T) — how real
+  /// systems statically shard a vertex range, and the distribution under
+  /// which heavy-task skew shows (the work-stealing ablation baseline).
+  kBlock,
+};
+
+struct TaskEngineConfig {
+  uint32_t num_threads = 4;
+  /// When false, each thread only runs the initial tasks assigned to it
+  /// (the static-partition baseline for the work-stealing ablation;
+  /// spawned subtasks stay with their spawner).
+  bool work_stealing = true;
+  InitialDistribution distribution = InitialDistribution::kRoundRobin;
+};
+
+/// A think-like-a-task scheduler in the T-thinker mold: tasks are
+/// independent units of subgraph search; each worker owns a deque (LIFO
+/// for itself — the DFS order that keeps memory bounded — FIFO for
+/// thieves, which steal the *largest/oldest* subproblems). User code
+/// runs inside Process and may spawn subtasks, which is exactly the
+/// "task splitting" mechanism G-thinker/STMatch use for load balancing.
+template <typename T>
+class TaskEngine {
+ public:
+  class Context;
+  using ProcessFn = std::function<void(T&, Context&)>;
+
+  /// A handle given to Process for spawning subtasks onto the engine.
+  class Context {
+   public:
+    /// Queues a subtask (visible to thieves). Prefer spawning the larger
+    /// half of a split so stealing moves real work.
+    void Spawn(T task) {
+      engine_->Push(thread_id_, std::move(task));
+      engine_->spawned_.fetch_add(1, std::memory_order_relaxed);
+    }
+    uint32_t thread_id() const { return thread_id_; }
+    /// Rough signal that other workers are hungry; tasks can use it to
+    /// decide whether splitting is worthwhile.
+    bool StealPressure() const {
+      return engine_->idle_threads_.load(std::memory_order_relaxed) > 0;
+    }
+
+   private:
+    friend class TaskEngine;
+    Context(TaskEngine* engine, uint32_t thread_id)
+        : engine_(engine), thread_id_(thread_id) {}
+    TaskEngine* engine_;
+    uint32_t thread_id_;
+  };
+
+  explicit TaskEngine(TaskEngineConfig config) : config_(config) {
+    GAL_CHECK(config_.num_threads >= 1);
+    queues_ = std::vector<Queue>(config_.num_threads);
+  }
+
+  /// Runs all `initial_tasks` (distributed round-robin) plus everything
+  /// they spawn; returns when no task remains anywhere.
+  TaskEngineStats Run(std::vector<T> initial_tasks, const ProcessFn& process) {
+    stats_ = TaskEngineStats{};
+    stats_.busy_seconds.assign(config_.num_threads, 0.0);
+    if (config_.distribution == InitialDistribution::kRoundRobin) {
+      for (size_t i = 0; i < initial_tasks.size(); ++i) {
+        queues_[i % config_.num_threads].deque.push_back(
+            std::move(initial_tasks[i]));
+      }
+    } else {
+      const size_t block =
+          (initial_tasks.size() + config_.num_threads - 1) /
+          config_.num_threads;
+      for (size_t i = 0; i < initial_tasks.size(); ++i) {
+        queues_[std::min<size_t>(i / std::max<size_t>(block, 1),
+                                 config_.num_threads - 1)]
+            .deque.push_back(std::move(initial_tasks[i]));
+      }
+    }
+    outstanding_.store(initial_tasks.size());
+    idle_threads_.store(0);
+    spawned_.store(0);
+
+    Timer wall;
+    std::vector<std::thread> threads;
+    threads.reserve(config_.num_threads);
+    for (uint32_t t = 0; t < config_.num_threads; ++t) {
+      threads.emplace_back([this, t, &process] { WorkerLoop(t, process); });
+    }
+    for (std::thread& th : threads) th.join();
+    stats_.wall_seconds = wall.ElapsedSeconds();
+    stats_.tasks_spawned = spawned_.load();
+    return stats_;
+  }
+
+ private:
+  struct Queue {
+    std::mutex mu;
+    std::deque<T> deque;
+  };
+
+  void Push(uint32_t thread_id, T task) {
+    Queue& q = queues_[thread_id];
+    {
+      std::lock_guard<std::mutex> lock(q.mu);
+      q.deque.push_back(std::move(task));
+    }
+    outstanding_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  bool PopLocal(uint32_t thread_id, T& out) {
+    Queue& q = queues_[thread_id];
+    std::lock_guard<std::mutex> lock(q.mu);
+    if (q.deque.empty()) return false;
+    out = std::move(q.deque.back());  // LIFO: DFS order, bounded memory
+    q.deque.pop_back();
+    return true;
+  }
+
+  bool Steal(uint32_t thief, T& out) {
+    for (uint32_t probe = 1; probe < config_.num_threads; ++probe) {
+      Queue& q = queues_[(thief + probe) % config_.num_threads];
+      std::lock_guard<std::mutex> lock(q.mu);
+      if (q.deque.empty()) continue;
+      out = std::move(q.deque.front());  // FIFO end: biggest subproblems
+      q.deque.pop_front();
+      return true;
+    }
+    return false;
+  }
+
+  void WorkerLoop(uint32_t thread_id, const ProcessFn& process) {
+    uint64_t executed = 0;
+    uint64_t steals = 0;
+    uint64_t failed_steals = 0;
+    double busy = 0.0;
+    T task;
+    for (;;) {
+      bool have = PopLocal(thread_id, task);
+      if (!have && config_.work_stealing) {
+        have = Steal(thread_id, task);
+        if (have) {
+          ++steals;
+        } else {
+          ++failed_steals;
+        }
+      }
+      if (have) {
+        Timer t;
+        Context ctx(this, thread_id);
+        process(task, ctx);
+        busy += t.ElapsedSeconds();
+        ++executed;
+        outstanding_.fetch_sub(1, std::memory_order_acq_rel);
+        continue;
+      }
+      // Nothing local, nothing stolen: spin-wait until either all work
+      // is done or new tasks appear.
+      idle_threads_.fetch_add(1, std::memory_order_relaxed);
+      for (;;) {
+        if (outstanding_.load(std::memory_order_acquire) == 0) {
+          idle_threads_.fetch_sub(1, std::memory_order_relaxed);
+          goto done;
+        }
+        // Without stealing, a thread with an empty queue can only wait
+        // for its own spawned tasks — which cannot appear — unless
+        // global work drains; but with stealing disabled the static
+        // baseline simply exits when its queue stays empty.
+        if (!config_.work_stealing) {
+          bool empty;
+          {
+            std::lock_guard<std::mutex> lock(queues_[thread_id].mu);
+            empty = queues_[thread_id].deque.empty();
+          }
+          if (empty) {
+            idle_threads_.fetch_sub(1, std::memory_order_relaxed);
+            goto done;
+          }
+        }
+        bool any_nonempty = false;
+        for (Queue& q : queues_) {
+          std::lock_guard<std::mutex> lock(q.mu);
+          if (!q.deque.empty()) {
+            any_nonempty = true;
+            break;
+          }
+        }
+        if (any_nonempty) {
+          idle_threads_.fetch_sub(1, std::memory_order_relaxed);
+          break;
+        }
+        // Back off so idle scanners do not hammer the queue locks that
+        // busy workers need.
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+      }
+    }
+  done:
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.tasks_executed += executed;
+    stats_.steals += steals;
+    stats_.failed_steal_attempts += failed_steals;
+    stats_.busy_seconds[thread_id] = busy;
+  }
+
+  TaskEngineConfig config_;
+  std::vector<Queue> queues_;
+  std::atomic<uint64_t> outstanding_{0};
+  std::atomic<uint64_t> spawned_{0};
+  std::atomic<uint32_t> idle_threads_{0};
+  std::mutex stats_mu_;
+  TaskEngineStats stats_;
+};
+
+}  // namespace gal
+
+#endif  // GAL_TLAG_TASK_ENGINE_H_

@@ -1,0 +1,55 @@
+#include "tlav/algos/pagerank.h"
+
+namespace gal {
+namespace {
+
+struct PageRankProgram : public VertexProgram<double, double> {
+  PageRankProgram(uint32_t iterations, double damping)
+      : iterations_(iterations), damping_(damping) {}
+
+  void Compute(VertexHandle<double, double>& v,
+               std::span<const double> messages) override {
+    const double n = static_cast<double>(v.num_vertices());
+    if (v.superstep() == 0) {
+      v.value() = 1.0 / n;
+    } else {
+      double sum = 0.0;
+      for (double m : messages) sum += m;
+      // Dangling mass from the previous superstep is shared uniformly.
+      const double dangling = v.GetAggregate("dangling") / n;
+      v.value() = (1.0 - damping_) / n + damping_ * (sum + dangling);
+    }
+    if (v.superstep() < iterations_) {
+      const uint32_t degree = v.Degree();
+      if (degree > 0) {
+        v.SendToAllNeighbors(v.value() / degree);
+      } else {
+        v.Aggregate("dangling", v.value());
+      }
+    } else {
+      v.VoteToHalt();
+    }
+  }
+
+  bool has_combiner() const override { return true; }
+  double Combine(const double& a, const double& b) const override {
+    return a + b;
+  }
+
+  uint32_t iterations_;
+  double damping_;
+};
+
+}  // namespace
+
+PageRankResult PageRank(const Graph& g, const PageRankOptions& options) {
+  TlavEngine<double, double> engine(&g, options.engine);
+  engine.RegisterAggregator("dangling", AggregateOp::kSum, 0.0);
+  PageRankProgram program(options.iterations, options.damping);
+  PageRankResult result;
+  result.stats = engine.Run(program);
+  result.ranks = engine.values();
+  return result;
+}
+
+}  // namespace gal

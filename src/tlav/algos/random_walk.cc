@@ -1,0 +1,71 @@
+#include "tlav/algos/random_walk.h"
+
+#include "common/rng.h"
+
+namespace gal {
+namespace {
+
+struct WalkerMsg {
+  uint32_t walk_id;
+};
+
+/// Deterministic per-(walk, step) randomness so the corpus is stable
+/// regardless of worker count or scheduling.
+uint64_t WalkHash(uint64_t seed, uint32_t walk_id, uint32_t step) {
+  uint64_t x = seed ^ (static_cast<uint64_t>(walk_id) << 32) ^ step;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+struct WalkProgram : public VertexProgram<uint8_t, WalkerMsg> {
+  WalkProgram(const RandomWalkOptions* options,
+              std::vector<std::vector<VertexId>>* corpus)
+      : options_(options), corpus_(corpus) {}
+
+  void Compute(VertexHandle<uint8_t, WalkerMsg>& v,
+               std::span<const WalkerMsg> messages) override {
+    const uint32_t step = v.superstep();
+    if (step == 0) {
+      for (uint32_t k = 0; k < options_->walks_per_vertex; ++k) {
+        const uint32_t walk_id = v.id() * options_->walks_per_vertex + k;
+        (*corpus_)[walk_id].push_back(v.id());
+        Forward(v, walk_id, 0);
+      }
+    } else {
+      for (const WalkerMsg& m : messages) {
+        // Safe without locking: a walk occupies one vertex per step.
+        (*corpus_)[m.walk_id].push_back(v.id());
+        if (step < options_->walk_length) Forward(v, m.walk_id, step);
+      }
+    }
+    v.VoteToHalt();
+  }
+
+  void Forward(VertexHandle<uint8_t, WalkerMsg>& v, uint32_t walk_id,
+               uint32_t step) {
+    const auto nbrs = v.Neighbors();
+    if (nbrs.empty()) return;  // dead end: walk truncates
+    const uint64_t h = WalkHash(options_->seed, walk_id, step);
+    v.SendTo(nbrs[h % nbrs.size()], {walk_id});
+  }
+
+  const RandomWalkOptions* options_;
+  std::vector<std::vector<VertexId>>* corpus_;
+};
+
+}  // namespace
+
+RandomWalkResult RandomWalkCorpus(const Graph& g,
+                                  const RandomWalkOptions& options) {
+  RandomWalkResult result;
+  const uint64_t num_walks =
+      static_cast<uint64_t>(g.NumVertices()) * options.walks_per_vertex;
+  result.corpus.assign(num_walks, {});
+  TlavEngine<uint8_t, WalkerMsg> engine(&g, options.engine);
+  WalkProgram program(&options, &result.corpus);
+  result.stats = engine.Run(program);
+  return result;
+}
+
+}  // namespace gal

@@ -1,0 +1,35 @@
+#ifndef GAL_TLAV_ALGOS_RANDOM_WALK_H_
+#define GAL_TLAV_ALGOS_RANDOM_WALK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "tlav/engine.h"
+
+namespace gal {
+
+/// DeepWalk-style random-walk corpus generation on the TLAV engine
+/// (Figure 1 path 2's analytics stage: walks feed vertex-embedding
+/// learners). Each vertex starts `walks_per_vertex` walkers; a walker is
+/// a message hopping to a uniform random neighbor each superstep.
+struct RandomWalkOptions {
+  uint32_t walks_per_vertex = 2;
+  uint32_t walk_length = 6;  // steps, so each walk has walk_length+1 vertices
+  uint64_t seed = 1;
+  TlavConfig engine;
+};
+
+struct RandomWalkResult {
+  /// corpus[w] is the vertex sequence of walk w; walks from dead ends
+  /// are truncated.
+  std::vector<std::vector<VertexId>> corpus;
+  TlavStats stats;
+};
+
+RandomWalkResult RandomWalkCorpus(const Graph& g,
+                                  const RandomWalkOptions& options = {});
+
+}  // namespace gal
+
+#endif  // GAL_TLAV_ALGOS_RANDOM_WALK_H_

@@ -1,0 +1,105 @@
+#include "tlav/algos/traversal.h"
+
+#include <algorithm>
+
+namespace gal {
+namespace {
+
+struct BfsProgram : public VertexProgram<uint32_t, uint32_t> {
+  explicit BfsProgram(VertexId source) : source_(source) {}
+
+  void Compute(VertexHandle<uint32_t, uint32_t>& v,
+               std::span<const uint32_t> messages) override {
+    if (v.superstep() == 0) {
+      v.value() = kUnreachable;
+      if (v.id() == source_) {
+        v.value() = 0;
+        v.SendToAllNeighbors(1);
+      }
+      v.VoteToHalt();
+      return;
+    }
+    uint32_t best = v.value();
+    for (uint32_t m : messages) best = std::min(best, m);
+    if (best < v.value()) {
+      v.value() = best;
+      v.SendToAllNeighbors(best + 1);
+    }
+    v.VoteToHalt();
+  }
+
+  bool has_combiner() const override { return true; }
+  uint32_t Combine(const uint32_t& a, const uint32_t& b) const override {
+    return std::min(a, b);
+  }
+
+  VertexId source_;
+};
+
+struct SsspProgram : public VertexProgram<uint64_t, uint64_t> {
+  explicit SsspProgram(VertexId source) : source_(source) {}
+
+  void Compute(VertexHandle<uint64_t, uint64_t>& v,
+               std::span<const uint64_t> messages) override {
+    if (v.superstep() == 0) {
+      v.value() = std::numeric_limits<uint64_t>::max();
+      if (v.id() == source_) {
+        v.value() = 0;
+        Relax(v);
+      }
+      v.VoteToHalt();
+      return;
+    }
+    uint64_t best = v.value();
+    for (uint64_t m : messages) best = std::min(best, m);
+    if (best < v.value()) {
+      v.value() = best;
+      Relax(v);
+    }
+    v.VoteToHalt();
+  }
+
+  void Relax(VertexHandle<uint64_t, uint64_t>& v) {
+    for (VertexId u : v.Neighbors()) {
+      v.SendTo(u, v.value() + SyntheticEdgeWeight(v.id(), u));
+    }
+  }
+
+  bool has_combiner() const override { return true; }
+  uint64_t Combine(const uint64_t& a, const uint64_t& b) const override {
+    return std::min(a, b);
+  }
+
+  VertexId source_;
+};
+
+}  // namespace
+
+uint32_t SyntheticEdgeWeight(VertexId u, VertexId v) {
+  if (u > v) std::swap(u, v);
+  uint64_t x = (static_cast<uint64_t>(u) << 32) | v;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  x ^= x >> 31;
+  return static_cast<uint32_t>(x % 16) + 1;
+}
+
+BfsResult TlavBfs(const Graph& g, VertexId source, const TlavConfig& config) {
+  TlavEngine<uint32_t, uint32_t> engine(&g, config);
+  BfsProgram program(source);
+  BfsResult result;
+  result.stats = engine.Run(program);
+  result.distance = engine.values();
+  return result;
+}
+
+SsspResult TlavSssp(const Graph& g, VertexId source, const TlavConfig& config) {
+  TlavEngine<uint64_t, uint64_t> engine(&g, config);
+  SsspProgram program(source);
+  SsspResult result;
+  result.stats = engine.Run(program);
+  result.distance = engine.values();
+  return result;
+}
+
+}  // namespace gal

@@ -1,0 +1,38 @@
+#ifndef GAL_TLAV_ALGOS_TRAVERSAL_H_
+#define GAL_TLAV_ALGOS_TRAVERSAL_H_
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "graph/graph.h"
+#include "tlav/engine.h"
+
+namespace gal {
+
+inline constexpr uint32_t kUnreachable = std::numeric_limits<uint32_t>::max();
+
+/// Hop distances from `source` (frontier-style BFS on the TLAV engine).
+struct BfsResult {
+  std::vector<uint32_t> distance;  // kUnreachable if not reached
+  TlavStats stats;
+};
+BfsResult TlavBfs(const Graph& g, VertexId source, const TlavConfig& config = {});
+
+/// Deterministic synthetic edge weight in [1, 16], symmetric in (u, v).
+/// Gives the unweighted substrate a weighted-SSSP workload without
+/// storing weights in the CSR arrays.
+uint32_t SyntheticEdgeWeight(VertexId u, VertexId v);
+
+/// Single-source shortest paths with SyntheticEdgeWeight, Pregel-style
+/// (delta-free Bellman-Ford with min combiner).
+struct SsspResult {
+  std::vector<uint64_t> distance;  // UINT64_MAX if not reached
+  TlavStats stats;
+};
+SsspResult TlavSssp(const Graph& g, VertexId source,
+                    const TlavConfig& config = {});
+
+}  // namespace gal
+
+#endif  // GAL_TLAV_ALGOS_TRAVERSAL_H_

@@ -1,0 +1,27 @@
+#ifndef GAL_TLAV_ALGOS_TRIANGLE_TLAV_H_
+#define GAL_TLAV_ALGOS_TRIANGLE_TLAV_H_
+
+#include <cstdint>
+
+#include "graph/graph.h"
+#include "tlav/engine.h"
+
+namespace gal {
+
+/// Triangle counting expressed vertex-centrically: every vertex forwards
+/// its higher-ordered neighbor pairs as "is w your neighbor?" queries.
+/// This is the message-heavy MapReduce/Pregel formulation that the
+/// survey's §1 anecdote skewers (5.33 min on 1636 machines vs 0.5 min on
+/// one): the wedge-query messages dwarf the serial algorithm's work.
+/// Kept deliberately faithful so bench_triangle_gap can measure the gap.
+struct TlavTriangleResult {
+  uint64_t triangles = 0;
+  TlavStats stats;
+};
+
+TlavTriangleResult TlavTriangleCount(const Graph& g,
+                                     const TlavConfig& config = {});
+
+}  // namespace gal
+
+#endif  // GAL_TLAV_ALGOS_TRIANGLE_TLAV_H_

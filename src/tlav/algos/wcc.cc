@@ -1,0 +1,47 @@
+#include "tlav/algos/wcc.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace gal {
+namespace {
+
+struct WccProgram : public VertexProgram<VertexId, VertexId> {
+  void Compute(VertexHandle<VertexId, VertexId>& v,
+               std::span<const VertexId> messages) override {
+    if (v.superstep() == 0) {
+      v.value() = v.id();
+      v.SendToAllNeighbors(v.value());
+      v.VoteToHalt();
+      return;
+    }
+    VertexId best = v.value();
+    for (VertexId m : messages) best = std::min(best, m);
+    if (best < v.value()) {
+      v.value() = best;
+      v.SendToAllNeighbors(best);
+    }
+    v.VoteToHalt();
+  }
+
+  bool has_combiner() const override { return true; }
+  VertexId Combine(const VertexId& a, const VertexId& b) const override {
+    return std::min(a, b);
+  }
+};
+
+}  // namespace
+
+WccResult Wcc(const Graph& g, const TlavConfig& config) {
+  TlavEngine<VertexId, VertexId> engine(&g, config);
+  WccProgram program;
+  WccResult result;
+  result.stats = engine.Run(program);
+  result.component = engine.values();
+  std::unordered_set<VertexId> roots(result.component.begin(),
+                                     result.component.end());
+  result.num_components = static_cast<uint32_t>(roots.size());
+  return result;
+}
+
+}  // namespace gal

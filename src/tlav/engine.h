@@ -1,0 +1,530 @@
+#ifndef GAL_TLAV_ENGINE_H_
+#define GAL_TLAV_ENGINE_H_
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/metrics.h"
+#include "common/threadpool.h"
+#include "common/timer.h"
+#include "graph/graph.h"
+#include "partition/partition.h"
+
+namespace gal {
+
+/// How an aggregator folds per-vertex contributions.
+enum class AggregateOp : uint8_t { kSum, kMin, kMax };
+
+/// Per-superstep and cumulative statistics of a TLAV run. The simulated
+/// workers make communication observable: a message is "cross-worker"
+/// when source and destination vertices live on different parts of the
+/// configured partition, which is exactly the traffic a real Pregel
+/// deployment puts on the network.
+struct TlavStats {
+  uint32_t supersteps = 0;
+  uint64_t total_messages = 0;        // logical deliveries
+  uint64_t cross_worker_messages = 0; // wire messages between workers
+  uint64_t total_message_bytes = 0;
+  uint64_t cross_worker_bytes = 0;
+  /// Logical deliveries folded into mirror broadcasts (Pregel+).
+  uint64_t mirrored_deliveries = 0;
+  /// Sum over supersteps of the number of vertices computed; the
+  /// "work" measure behind the O((|V|+|E|) log |V|) bound discussion.
+  uint64_t vertex_activations = 0;
+  uint64_t edge_scans = 0;
+  double wall_seconds = 0.0;
+  // Fault-tolerance accounting (LWCP-style checkpointing).
+  uint32_t checkpoints_taken = 0;
+  uint64_t checkpoint_bytes = 0;
+  uint32_t failures_recovered = 0;
+  uint32_t recomputed_supersteps = 0;
+
+  struct PerStep {
+    uint64_t active_vertices = 0;
+    uint64_t messages = 0;
+  };
+  std::vector<PerStep> per_step;
+};
+
+template <typename V, typename M>
+class TlavEngine;
+
+/// The view of one vertex handed to a VertexProgram::Compute call.
+/// Mirrors Pregel's Vertex class: value access, message sending,
+/// VoteToHalt, and aggregator access.
+template <typename V, typename M>
+class VertexHandle {
+ public:
+  VertexId id() const { return id_; }
+  uint32_t superstep() const;
+  VertexId num_vertices() const;
+
+  V& value() { return *value_; }
+  const V& value() const { return *value_; }
+
+  std::span<const VertexId> Neighbors() const;
+  uint32_t Degree() const;
+
+  void SendTo(VertexId target, const M& message);
+  void SendToAllNeighbors(const M& message);
+
+  /// Deactivates this vertex; it is revived by any incoming message.
+  void VoteToHalt();
+
+  /// Contributes to a registered aggregator (visible next superstep).
+  void Aggregate(const std::string& name, double value);
+  /// Value of an aggregator as of the end of the previous superstep.
+  double GetAggregate(const std::string& name) const;
+
+ private:
+  friend class TlavEngine<V, M>;
+  VertexHandle(TlavEngine<V, M>* engine, uint32_t worker, VertexId id, V* value)
+      : engine_(engine), worker_(worker), id_(id), value_(value) {}
+
+  TlavEngine<V, M>* engine_;
+  uint32_t worker_;
+  VertexId id_;
+  V* value_;
+};
+
+/// A user computation in the think-like-a-vertex model. Subclass and
+/// override Compute; optionally provide a commutative/associative
+/// combiner to shrink message traffic (Pregel's optimization).
+template <typename V, typename M>
+class VertexProgram {
+ public:
+  virtual ~VertexProgram() = default;
+
+  /// Called on every active vertex each superstep. At superstep 0 all
+  /// vertices are active and `messages` is empty.
+  virtual void Compute(VertexHandle<V, M>& vertex,
+                       std::span<const M> messages) = 0;
+
+  /// Return true and implement Combine to enable sender-side combining.
+  virtual bool has_combiner() const { return false; }
+  virtual M Combine(const M& a, const M& b) const {
+    (void)a;
+    return b;
+  }
+};
+
+/// Engine configuration.
+struct TlavConfig {
+  uint32_t num_workers = 4;
+  uint32_t max_supersteps = 1000000;
+  /// Simulated per-message network overhead added to sizeof(M) when the
+  /// message crosses workers (envelope: dst id + lengths).
+  uint32_t message_overhead_bytes = 8;
+  /// Pregel+-style mirroring: a vertex whose degree reaches this
+  /// threshold broadcasts to each remote worker once (its "mirror"
+  /// fans the value out locally) instead of once per neighbor
+  /// (0 = off). Only affects SendToAllNeighbors, and only the wire
+  /// accounting — logical deliveries are unchanged.
+  uint32_t mirror_degree_threshold = 0;
+  /// Lightweight checkpointing (LWCP-style): snapshot vertex state and
+  /// in-flight messages every N supersteps (0 = off). Checkpoint cost
+  /// is accounted in TlavStats.
+  uint32_t checkpoint_every = 0;
+  /// Fault injection for recovery testing: the named superstep "fails"
+  /// after its compute phase and the engine rolls back to the last
+  /// checkpoint, recomputing from there (UINT32_MAX = never). Requires
+  /// checkpoint_every > 0. The failure fires once.
+  uint32_t fail_at_superstep = UINT32_MAX;
+};
+
+/// A Pregel-style Bulk Synchronous Parallel engine over a simulated
+/// cluster of `num_workers` workers (threads). Vertices are placed by an
+/// explicit VertexPartition so partitioning strategies can be compared
+/// under identical programs.
+template <typename V, typename M>
+class TlavEngine {
+ public:
+  /// `partition` must cover g's vertices; pass HashPartition(g, workers)
+  /// for the Pregel default.
+  TlavEngine(const Graph* graph, TlavConfig config, VertexPartition partition)
+      : graph_(graph),
+        config_(config),
+        partition_(std::move(partition)),
+        pool_(config.num_workers) {
+    GAL_CHECK(partition_.assignment.size() == graph_->NumVertices());
+    GAL_CHECK(partition_.num_parts == config_.num_workers);
+    const VertexId n = graph_->NumVertices();
+    values_.resize(n);
+    halted_.assign(n, 0);
+    inbox_.resize(n);
+    next_inbox_.resize(n);
+    worker_vertices_.resize(config_.num_workers);
+    for (VertexId v = 0; v < n; ++v) {
+      worker_vertices_[partition_.assignment[v]].push_back(v);
+    }
+    outboxes_.resize(config_.num_workers);
+  }
+
+  /// Convenience: hash partition.
+  TlavEngine(const Graph* graph, TlavConfig config)
+      : TlavEngine(graph, config, HashPartition(*graph, config.num_workers)) {}
+
+  /// Sets every vertex value before the run.
+  void InitValues(const std::function<V(VertexId)>& init) {
+    for (VertexId v = 0; v < graph_->NumVertices(); ++v) values_[v] = init(v);
+  }
+
+  void RegisterAggregator(const std::string& name, AggregateOp op,
+                          double initial = 0.0) {
+    aggregators_[name] = {op, initial, initial, initial};
+  }
+
+  /// Runs supersteps until every vertex has halted and no messages are
+  /// in flight (or max_supersteps is hit). Returns accumulated stats.
+  TlavStats Run(VertexProgram<V, M>& program);
+
+  const std::vector<V>& values() const { return values_; }
+  std::vector<V>& mutable_values() { return values_; }
+  const Graph& graph() const { return *graph_; }
+  const TlavStats& stats() const { return stats_; }
+
+ private:
+  friend class VertexHandle<V, M>;
+
+  struct Aggregator {
+    AggregateOp op;
+    double initial;
+    double current;   // being accumulated this superstep
+    double previous;  // readable by Compute
+    void Fold(double v) {
+      switch (op) {
+        case AggregateOp::kSum: current += v; break;
+        case AggregateOp::kMin: current = std::min(current, v); break;
+        case AggregateOp::kMax: current = std::max(current, v); break;
+      }
+    }
+  };
+
+  struct Outgoing {
+    VertexId dst;
+    M message;
+  };
+
+  /// Per-source-worker buffers, one lane per destination worker; no
+  /// locking needed because a worker only appends to its own buffers.
+  /// With a combiner, messages fold into one slot per destination vertex
+  /// (Pregel's sender-side combining).
+  struct Outbox {
+    std::vector<std::vector<Outgoing>> lanes;                   // [dst_worker]
+    /// Combined slot: folded message + whether any non-mirrored send
+    /// touched it (mirrored sends ride the per-worker mirror message,
+    /// so they do not add per-vertex wire cost).
+    struct CombinedSlot {
+      M message;
+      uint8_t non_mirrored = 0;
+    };
+    std::vector<std::unordered_map<VertexId, CombinedSlot>> combined;
+    /// Wire-message count per destination worker this superstep:
+    /// normal sends cost one each; a mirror broadcast costs one per
+    /// remote worker regardless of how many neighbors it covers.
+    std::vector<uint64_t> wire;                                 // [dst_worker]
+    std::vector<uint64_t> logical;                              // [dst_worker]
+    uint64_t mirrored = 0;
+    uint64_t edge_scans = 0;
+  };
+
+  void Send(uint32_t src_worker, VertexId dst, const M& message,
+            VertexProgram<V, M>* program, bool mirrored = false) {
+    Outbox& box = outboxes_[src_worker];
+    const uint32_t dst_worker = partition_.assignment[dst];
+    ++box.logical[dst_worker];
+    if (program->has_combiner()) {
+      auto [it, inserted] = box.combined[dst_worker].emplace(
+          dst, typename Outbox::CombinedSlot{message, 0});
+      if (!inserted) {
+        it->second.message = program->Combine(it->second.message, message);
+      }
+      if (!mirrored) it->second.non_mirrored = 1;
+      return;
+    }
+    if (!mirrored) ++box.wire[dst_worker];
+    box.lanes[dst_worker].push_back({dst, message});
+  }
+
+  /// SendToAllNeighbors with Pregel+ mirroring for eligible hubs: one
+  /// wire message per remote worker that hosts any neighbor.
+  void Broadcast(uint32_t src_worker, VertexId src, const M& message,
+                 VertexProgram<V, M>* program) {
+    const auto nbrs = graph_->Neighbors(src);
+    const bool mirror = config_.mirror_degree_threshold > 0 &&
+                        nbrs.size() >= config_.mirror_degree_threshold;
+    if (!mirror) {
+      for (VertexId u : nbrs) Send(src_worker, u, message, program);
+      return;
+    }
+    Outbox& box = outboxes_[src_worker];
+    std::vector<uint8_t> worker_touched(config_.num_workers, 0);
+    for (VertexId u : nbrs) {
+      const uint32_t w = partition_.assignment[u];
+      if (!worker_touched[w]) {
+        worker_touched[w] = 1;
+        ++box.wire[w];  // the single mirror message to that worker
+      } else {
+        ++box.mirrored;
+      }
+      Send(src_worker, u, message, program, /*mirrored=*/true);
+    }
+  }
+
+  const Graph* graph_;
+  TlavConfig config_;
+  VertexPartition partition_;
+  ThreadPool pool_;
+
+  std::vector<V> values_;
+  std::vector<uint8_t> halted_;
+  std::vector<std::vector<M>> inbox_;       // messages for this superstep
+  std::vector<std::vector<M>> next_inbox_;  // being filled for next one
+  std::vector<std::vector<VertexId>> worker_vertices_;
+  std::vector<Outbox> outboxes_;
+  std::map<std::string, Aggregator> aggregators_;
+  std::mutex aggregator_mu_;
+  uint32_t superstep_ = 0;
+  TlavStats stats_;
+  VertexProgram<V, M>* running_program_ = nullptr;
+
+  /// A consistent cut taken at the superstep barrier.
+  struct Checkpoint {
+    uint32_t superstep = 0;
+    std::vector<V> values;
+    std::vector<uint8_t> halted;
+    std::vector<std::vector<M>> inbox;
+    std::map<std::string, Aggregator> aggregators;
+    size_t per_step_size = 0;
+  };
+  Checkpoint checkpoint_;
+  bool have_checkpoint_ = false;
+};
+
+// --- implementation --------------------------------------------------------
+
+template <typename V, typename M>
+uint32_t VertexHandle<V, M>::superstep() const { return engine_->superstep_; }
+
+template <typename V, typename M>
+VertexId VertexHandle<V, M>::num_vertices() const {
+  return engine_->graph_->NumVertices();
+}
+
+template <typename V, typename M>
+std::span<const VertexId> VertexHandle<V, M>::Neighbors() const {
+  engine_->outboxes_[worker_].edge_scans += engine_->graph_->Degree(id_);
+  return engine_->graph_->Neighbors(id_);
+}
+
+template <typename V, typename M>
+uint32_t VertexHandle<V, M>::Degree() const {
+  return engine_->graph_->Degree(id_);
+}
+
+template <typename V, typename M>
+void VertexHandle<V, M>::SendTo(VertexId target, const M& message) {
+  engine_->Send(worker_, target, message, engine_->running_program_);
+}
+
+template <typename V, typename M>
+void VertexHandle<V, M>::SendToAllNeighbors(const M& message) {
+  engine_->outboxes_[worker_].edge_scans += engine_->graph_->Degree(id_);
+  engine_->Broadcast(worker_, id_, message, engine_->running_program_);
+}
+
+template <typename V, typename M>
+void VertexHandle<V, M>::VoteToHalt() { engine_->halted_[id_] = 1; }
+
+template <typename V, typename M>
+void VertexHandle<V, M>::Aggregate(const std::string& name, double value) {
+  std::lock_guard<std::mutex> lock(engine_->aggregator_mu_);
+  auto it = engine_->aggregators_.find(name);
+  GAL_CHECK(it != engine_->aggregators_.end()) << "unknown aggregator " << name;
+  it->second.Fold(value);
+}
+
+template <typename V, typename M>
+double VertexHandle<V, M>::GetAggregate(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(engine_->aggregator_mu_);
+  auto it = engine_->aggregators_.find(name);
+  GAL_CHECK(it != engine_->aggregators_.end()) << "unknown aggregator " << name;
+  return it->second.previous;
+}
+
+template <typename V, typename M>
+TlavStats TlavEngine<V, M>::Run(VertexProgram<V, M>& program) {
+  Timer timer;
+  stats_ = TlavStats{};
+  running_program_ = &program;
+  const uint32_t workers = config_.num_workers;
+  for (Outbox& box : outboxes_) {
+    box.lanes.assign(workers, {});
+    box.combined.assign(workers, {});
+    box.wire.assign(workers, 0);
+    box.logical.assign(workers, 0);
+    box.mirrored = 0;
+  }
+
+  uint64_t pending_messages = 0;
+  for (superstep_ = 0; superstep_ < config_.max_supersteps; ++superstep_) {
+    // Compute phase: each worker processes its own vertices.
+    std::atomic<uint64_t> active_count{0};
+    pool_.ParallelFor(workers, [&](size_t w) {
+      uint64_t active = 0;
+      for (VertexId v : worker_vertices_[w]) {
+        const bool has_messages = !inbox_[v].empty();
+        if (halted_[v] && !has_messages) continue;
+        halted_[v] = 0;
+        VertexHandle<V, M> handle(this, static_cast<uint32_t>(w), v,
+                                  &values_[v]);
+        program.Compute(handle, std::span<const M>(inbox_[v]));
+        inbox_[v].clear();
+        ++active;
+      }
+      active_count.fetch_add(active);
+    });
+
+    // Message delivery phase (the BSP barrier): route every outbox lane
+    // to its destination worker's inboxes, applying receiver-side
+    // combining when the program has a combiner.
+    uint64_t step_messages = 0;
+    uint64_t step_cross = 0;
+    for (uint32_t src = 0; src < workers; ++src) {
+      stats_.mirrored_deliveries += outboxes_[src].mirrored;
+      outboxes_[src].mirrored = 0;
+      for (uint32_t dst = 0; dst < workers; ++dst) {
+        // Wire cost: one per mirror broadcast (already in wire[]) plus,
+        // with a combiner, one per combined slot that a non-mirrored
+        // send touched; without one, every non-mirrored send.
+        uint64_t wire = outboxes_[src].wire[dst];
+        if (program.has_combiner()) {
+          for (const auto& [v, slot] : outboxes_[src].combined[dst]) {
+            wire += slot.non_mirrored;
+          }
+        }
+        step_messages += outboxes_[src].logical[dst];
+        if (src != dst) step_cross += wire;
+        outboxes_[src].wire[dst] = 0;
+        outboxes_[src].logical[dst] = 0;
+      }
+    }
+    pool_.ParallelFor(workers, [&](size_t dst) {
+      for (uint32_t src = 0; src < workers; ++src) {
+        std::vector<Outgoing>& lane = outboxes_[src].lanes[dst];
+        for (Outgoing& o : lane) {
+          next_inbox_[o.dst].push_back(std::move(o.message));
+        }
+        lane.clear();
+        auto& combined = outboxes_[src].combined[dst];
+        for (auto& [v, slot] : combined) {
+          // Receiver-side combining collapses the per-source slots.
+          std::vector<M>& box = next_inbox_[v];
+          if (!box.empty()) {
+            box[0] = program.Combine(box[0], slot.message);
+          } else {
+            box.push_back(std::move(slot.message));
+          }
+        }
+        combined.clear();
+      }
+    });
+    std::swap(inbox_, next_inbox_);
+
+    // Aggregator barrier.
+    for (auto& [name, agg] : aggregators_) {
+      agg.previous = agg.current;
+      agg.current = agg.initial;
+    }
+
+    // Stats.
+    stats_.vertex_activations += active_count.load();
+    stats_.total_messages += step_messages;
+    stats_.cross_worker_messages += step_cross;
+    stats_.total_message_bytes += step_messages * sizeof(M);
+    stats_.cross_worker_bytes +=
+        step_cross * (sizeof(M) + config_.message_overhead_bytes);
+    for (Outbox& box : outboxes_) {
+      stats_.edge_scans += box.edge_scans;
+      box.edge_scans = 0;
+    }
+    stats_.per_step.push_back({active_count.load(), step_messages});
+
+    // --- LWCP checkpointing & failure injection -----------------------
+    if (config_.checkpoint_every > 0 &&
+        (superstep_ + 1) % config_.checkpoint_every == 0) {
+      checkpoint_.superstep = superstep_;
+      checkpoint_.values = values_;
+      checkpoint_.halted = halted_;
+      checkpoint_.inbox = inbox_;  // messages already delivered for next step
+      checkpoint_.aggregators = aggregators_;
+      checkpoint_.per_step_size = stats_.per_step.size();
+      have_checkpoint_ = true;
+      ++stats_.checkpoints_taken;
+      uint64_t bytes = values_.size() * sizeof(V) + halted_.size();
+      for (const auto& box : inbox_) bytes += box.size() * sizeof(M);
+      stats_.checkpoint_bytes += bytes;
+    }
+    if (superstep_ == config_.fail_at_superstep) {
+      config_.fail_at_superstep = UINT32_MAX;  // fail once
+      GAL_CHECK(have_checkpoint_)
+          << "failure injected before any checkpoint exists";
+      ++stats_.failures_recovered;
+      stats_.recomputed_supersteps += superstep_ - checkpoint_.superstep;
+      values_ = checkpoint_.values;
+      halted_ = checkpoint_.halted;
+      inbox_ = checkpoint_.inbox;
+      aggregators_ = checkpoint_.aggregators;
+      for (auto& box : next_inbox_) box.clear();
+      for (Outbox& box : outboxes_) {
+        for (auto& lane : box.lanes) lane.clear();
+        for (auto& lane : box.combined) lane.clear();
+      }
+      stats_.per_step.resize(checkpoint_.per_step_size);
+      superstep_ = checkpoint_.superstep;
+      continue;  // re-execute from the superstep after the checkpoint
+    }
+
+    pending_messages = step_messages;
+    if (active_count.load() == 0 && pending_messages == 0) break;
+    if (pending_messages == 0) {
+      // Check whether everything halted this step.
+      bool all_halted = true;
+      for (uint8_t h : halted_) {
+        if (!h) {
+          all_halted = false;
+          break;
+        }
+      }
+      if (all_halted) {
+        ++superstep_;
+        break;
+      }
+    }
+  }
+
+  stats_.supersteps = superstep_ + (superstep_ < config_.max_supersteps ? 1 : 0);
+  // Trim: the final bookkeeping step with zero activity is not a superstep.
+  while (!stats_.per_step.empty() && stats_.per_step.back().active_vertices == 0 &&
+         stats_.per_step.back().messages == 0) {
+    stats_.per_step.pop_back();
+  }
+  stats_.supersteps = static_cast<uint32_t>(stats_.per_step.size());
+  stats_.wall_seconds = timer.ElapsedSeconds();
+  running_program_ = nullptr;
+  return stats_;
+}
+
+}  // namespace gal
+
+#endif  // GAL_TLAV_ENGINE_H_

@@ -1,0 +1,342 @@
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "dist/cache.h"
+#include "dist/cost_model.h"
+#include "dist/dist_gcn.h"
+#include "dist/network.h"
+#include "dist/pipeline.h"
+#include "dist/quantization.h"
+#include "gnn/dataset.h"
+#include "graph/generators.h"
+
+namespace gal {
+namespace {
+
+// --- network ledger ------------------------------------------------------------
+
+TEST(NetworkTest, RecordsCrossWorkerOnly) {
+  SimulatedNetwork net(3);
+  net.Record(0, 1, 100);
+  net.Record(1, 1, 999);  // local: free
+  net.Record(2, 0, 50);
+  EXPECT_EQ(net.total_bytes(), 150u);
+  EXPECT_EQ(net.total_messages(), 2u);
+  EXPECT_EQ(net.PairBytes(0, 1), 100u);
+  EXPECT_EQ(net.PairBytes(1, 0), 0u);
+}
+
+TEST(NetworkTest, BroadcastHitsEveryPeer) {
+  SimulatedNetwork net(4);
+  net.RecordBroadcast(1, 10);
+  EXPECT_EQ(net.total_bytes(), 30u);
+  EXPECT_EQ(net.PairBytes(1, 0), 10u);
+  EXPECT_EQ(net.PairBytes(1, 1), 0u);
+}
+
+TEST(NetworkTest, NvlinkFasterThanEthernet) {
+  const uint64_t bytes = 100 * 1024 * 1024;
+  EXPECT_LT(NetworkCostModel::Nvlink().TransferSeconds(bytes),
+            NetworkCostModel::Ethernet10G().TransferSeconds(bytes) / 10);
+}
+
+// --- quantization ----------------------------------------------------------------
+
+TEST(QuantizationTest, WireBytesOrdering) {
+  EXPECT_GT(WireBytes(Quantization::kNone, 100, 64),
+            WireBytes(Quantization::kFp16, 100, 64));
+  EXPECT_GT(WireBytes(Quantization::kFp16, 100, 64),
+            WireBytes(Quantization::kInt8, 100, 64));
+  EXPECT_GT(WireBytes(Quantization::kInt8, 100, 64),
+            WireBytes(Quantization::kInt4, 100, 64));
+}
+
+TEST(QuantizationTest, ErrorShrinksWithMoreBits) {
+  Rng rng(3);
+  Matrix m = Matrix::Xavier(50, 32, rng);
+  const double e16 = m.MeanAbsDiff(QuantizeDequantize(m, Quantization::kFp16));
+  const double e8 = m.MeanAbsDiff(QuantizeDequantize(m, Quantization::kInt8));
+  const double e4 = m.MeanAbsDiff(QuantizeDequantize(m, Quantization::kInt4));
+  EXPECT_LT(e16, e8);
+  EXPECT_LT(e8, e4);
+  EXPECT_GT(e4, 0.0);
+  EXPECT_EQ(m.MeanAbsDiff(QuantizeDequantize(m, Quantization::kNone)), 0.0);
+}
+
+TEST(QuantizationTest, Int8BoundedError) {
+  Rng rng(9);
+  Matrix m = Matrix::Xavier(20, 16, rng);
+  Matrix q = QuantizeDequantize(m, Quantization::kInt8);
+  // Max error <= half a quantization step of the per-row range.
+  for (uint32_t r = 0; r < m.rows(); ++r) {
+    float lo = m.at(r, 0);
+    float hi = m.at(r, 0);
+    for (uint32_t c = 0; c < m.cols(); ++c) {
+      lo = std::min(lo, m.at(r, c));
+      hi = std::max(hi, m.at(r, c));
+    }
+    const float step = (hi - lo) / 255.0f;
+    for (uint32_t c = 0; c < m.cols(); ++c) {
+      EXPECT_LE(std::abs(m.at(r, c) - q.at(r, c)), step * 0.51f);
+    }
+  }
+}
+
+TEST(QuantizationTest, ErrorCompensationCancelsBiasOverTime) {
+  // Transmit the same matrix repeatedly; the *running mean* of EC
+  // transmissions converges to the true values, while plain
+  // quantization keeps its deterministic bias forever.
+  Rng rng(5);
+  Matrix m = Matrix::Xavier(10, 10, rng);
+  ErrorCompensatedCodec codec(Quantization::kInt4);
+  Matrix ec_mean(10, 10);
+  Matrix plain_mean(10, 10);
+  const int kRounds = 64;
+  for (int i = 0; i < kRounds; ++i) {
+    ec_mean.AddScaled(codec.Transmit(m), 1.0f / kRounds);
+    plain_mean.AddScaled(QuantizeDequantize(m, Quantization::kInt4),
+                         1.0f / kRounds);
+  }
+  EXPECT_LT(m.MeanAbsDiff(ec_mean), m.MeanAbsDiff(plain_mean) * 0.5);
+}
+
+// --- cache ------------------------------------------------------------------------
+
+TEST(CacheTest, LocalVerticesAlwaysHit) {
+  Graph g = Rmat(8, 6, 3);
+  VertexPartition parts = HashPartition(g, 4);
+  StaticFeatureCache cache(g, parts, 0.0);
+  for (VertexId v = 0; v < 64; ++v) {
+    EXPECT_TRUE(cache.Fetch(parts.assignment[v], v));
+  }
+  EXPECT_EQ(cache.misses(), 0u);
+}
+
+TEST(CacheTest, HotVerticesCachedRemotely) {
+  Graph g = Star(200);  // vertex 0 is by far the hottest
+  VertexPartition parts = HashPartition(g, 4);
+  StaticFeatureCache cache(g, parts, 0.01);
+  for (uint32_t w = 0; w < 4; ++w) {
+    EXPECT_TRUE(cache.Fetch(w, 0)) << "hub must be cached on worker " << w;
+  }
+}
+
+TEST(CacheTest, LargerCacheHigherHitRate) {
+  Graph g = Rmat(9, 8, 7);
+  VertexPartition parts = HashPartition(g, 4);
+  StaticFeatureCache small(g, parts, 0.02);
+  StaticFeatureCache big(g, parts, 0.4);
+  Rng rng(3);
+  for (int i = 0; i < 20000; ++i) {
+    // Degree-biased access pattern: sample an adjacency slot.
+    const VertexId v = g.targets()[rng.Uniform(g.targets().size())];
+    const uint32_t w = static_cast<uint32_t>(rng.Uniform(4));
+    small.Fetch(w, v);
+    big.Fetch(w, v);
+  }
+  EXPECT_GT(big.HitRate(), small.HitRate());
+}
+
+// --- pipeline ----------------------------------------------------------------------
+
+TEST(PipelineTest, OverlapBeatsSerial) {
+  auto spin = [](double ms) {
+    const auto end =
+        std::chrono::steady_clock::now() +
+        std::chrono::microseconds(static_cast<int64_t>(ms * 1000));
+    while (std::chrono::steady_clock::now() < end) {
+    }
+  };
+  std::vector<PipelineStage> stages = {
+      {"sample", [&](uint32_t) { spin(2.0); }},
+      {"gather", [&](uint32_t) { spin(2.0); }},
+      {"compute", [&](uint32_t) { spin(2.0); }},
+  };
+  PipelineReport report = RunPipeline(stages, 16);
+  EXPECT_GT(report.speedup, 1.5);
+  EXPECT_EQ(report.stage_names.size(), 3u);
+}
+
+TEST(PipelineTest, OrderingRespected) {
+  // Stage 1 must never process batch b before stage 0 finished it.
+  std::vector<std::atomic<int>> stage0_done(32);
+  std::atomic<bool> violation{false};
+  std::vector<PipelineStage> stages = {
+      {"first", [&](uint32_t b) { stage0_done[b] = 1; }},
+      {"second",
+       [&](uint32_t b) {
+         if (!stage0_done[b].load()) violation = true;
+       }},
+  };
+  RunPipeline(stages, 32);
+  EXPECT_FALSE(violation.load());
+}
+
+// --- cost model -----------------------------------------------------------------------
+
+TEST(CostModelTest, DorylusValueShape) {
+  const double cpu_epoch = 100.0;
+  CostReport cpu = EvaluateDeployment(CloudDeployment::CpuServer(), cpu_epoch);
+  CostReport gpu = EvaluateDeployment(CloudDeployment::GpuServer(), cpu_epoch);
+  CostReport lambda =
+      EvaluateDeployment(CloudDeployment::CpuPlusServerless(), cpu_epoch);
+  EXPECT_NEAR(cpu.value, 1.0, 1e-9);
+  // GPU is fastest...
+  EXPECT_LT(gpu.epoch_seconds, lambda.epoch_seconds);
+  // ...but serverless has the best value (the Dorylus claim).
+  EXPECT_GT(lambda.value, gpu.value);
+  EXPECT_GT(lambda.value, cpu.value);
+}
+
+// --- distributed GCN ---------------------------------------------------------------------
+
+NodeClassificationDataset SmallDataset() {
+  PlantedDatasetOptions opt;
+  opt.num_vertices = 300;
+  opt.num_classes = 3;
+  opt.noise = 1.5;
+  return MakePlantedDataset(opt);
+}
+
+TEST(DistGcnTest, BspMatchesAccuracyOfCentralized) {
+  NodeClassificationDataset ds = SmallDataset();
+  DistGcnConfig config;
+  config.epochs = 40;
+  DistGcnReport report = TrainDistGcn(ds, config);
+  EXPECT_GT(report.final_test_accuracy, 0.8);
+  EXPECT_GT(report.comm_bytes, 0u);
+  EXPECT_EQ(report.broadcasts_skipped, 0u);
+}
+
+TEST(DistGcnTest, HalosCoverExactlyCrossNeighbors) {
+  Graph g = Rmat(7, 5, 3);
+  VertexPartition parts = HashPartition(g, 4);
+  auto halos = ComputeHalos(g, parts);
+  for (uint32_t w = 0; w < 4; ++w) {
+    for (VertexId u : halos[w]) {
+      EXPECT_NE(parts.assignment[u], w);
+    }
+  }
+  // Every cross edge's far endpoint is in the owner's halo.
+  for (const Edge& e : g.CollectEdges()) {
+    const uint32_t pw = parts.assignment[e.src];
+    const uint32_t pu = parts.assignment[e.dst];
+    if (pw == pu) continue;
+    EXPECT_TRUE(std::binary_search(halos[pw].begin(), halos[pw].end(), e.dst));
+    EXPECT_TRUE(std::binary_search(halos[pu].begin(), halos[pu].end(), e.src));
+  }
+}
+
+TEST(DistGcnTest, BetterPartitionLessComm) {
+  NodeClassificationDataset ds = SmallDataset();
+  DistGcnConfig hash;
+  hash.epochs = 5;
+  hash.partition = PartitionScheme::kHash;
+  DistGcnConfig ml = hash;
+  ml.partition = PartitionScheme::kMultilevel;
+  DistGcnReport rh = TrainDistGcn(ds, hash);
+  DistGcnReport rm = TrainDistGcn(ds, ml);
+  EXPECT_LT(rm.edge_cut, rh.edge_cut);
+  EXPECT_LT(rm.comm_bytes, rh.comm_bytes);
+}
+
+TEST(DistGcnTest, BoundedStalenessCutsCommKeepsAccuracy) {
+  NodeClassificationDataset ds = SmallDataset();
+  DistGcnConfig bsp;
+  bsp.epochs = 40;
+  DistGcnConfig stale = bsp;
+  stale.sync = SyncMode::kBoundedStaleness;
+  stale.staleness_bound = 4;
+  DistGcnReport rb = TrainDistGcn(ds, bsp);
+  DistGcnReport rs = TrainDistGcn(ds, stale);
+  EXPECT_LT(rs.comm_bytes, rb.comm_bytes);
+  EXPECT_GT(rs.broadcasts_skipped, 0u);
+  EXPECT_GT(rs.final_test_accuracy, rb.final_test_accuracy - 0.1);
+}
+
+TEST(DistGcnTest, SancusSkipsBroadcastsAdaptively) {
+  NodeClassificationDataset ds = SmallDataset();
+  DistGcnConfig config;
+  config.epochs = 40;
+  config.sync = SyncMode::kSancus;
+  config.sancus_drift_threshold = 0.1;
+  DistGcnReport report = TrainDistGcn(ds, config);
+  EXPECT_GT(report.broadcasts_skipped, 0u);
+  EXPECT_GT(report.final_test_accuracy, 0.7);
+}
+
+TEST(DistGcnTest, QuantizationCutsBytesAtSmallAccuracyCost) {
+  NodeClassificationDataset ds = SmallDataset();
+  DistGcnConfig fp32;
+  fp32.epochs = 40;
+  DistGcnConfig int8 = fp32;
+  int8.quantization = Quantization::kInt8;
+  DistGcnReport r32 = TrainDistGcn(ds, fp32);
+  DistGcnReport r8 = TrainDistGcn(ds, int8);
+  // int8 payload is 1/4 of fp32 plus 8B/row scale metadata, so with
+  // 16-wide activations the wire ratio lands near 37%.
+  EXPECT_LT(r8.comm_bytes, r32.comm_bytes * 2 / 5);
+  EXPECT_GT(r8.final_test_accuracy, r32.final_test_accuracy - 0.08);
+}
+
+TEST(DistGcnTest, P3SplitChangesLayer0Traffic) {
+  PlantedDatasetOptions opt;
+  opt.num_vertices = 300;
+  opt.feature_dim = 128;  // fat features: P3's sweet spot
+  NodeClassificationDataset ds = MakePlantedDataset(opt);
+  DistGcnConfig base;
+  base.epochs = 5;
+  base.hidden_dim = 8;
+  DistGcnConfig p3 = base;
+  p3.p3_feature_split = true;
+  DistGcnReport rb = TrainDistGcn(ds, base);
+  DistGcnReport rp = TrainDistGcn(ds, p3);
+  // Identical math => same learning curve.
+  EXPECT_NEAR(rb.epoch_loss.back(), rp.epoch_loss.back(), 1e-5);
+  // Fat raw features dominate the halo traffic; P3 avoids shipping them.
+  EXPECT_LT(rp.comm_bytes, rb.comm_bytes);
+}
+
+TEST(DistGcnTest, SingleWorkerHasZeroCommunication) {
+  NodeClassificationDataset ds = SmallDataset();
+  DistGcnConfig config;
+  config.num_workers = 1;
+  config.epochs = 5;
+  DistGcnReport r = TrainDistGcn(ds, config);
+  EXPECT_EQ(r.comm_bytes, 0u);
+  EXPECT_EQ(r.edge_cut, 0u);
+  EXPECT_EQ(r.halo_rows_exchanged, 0u);
+}
+
+TEST(DistGcnTest, WorkerCountDoesNotChangeTheMathUnderBsp) {
+  // BSP with fp32 exchanges fresh values every epoch: the computation
+  // is exactly the centralized one regardless of the worker count.
+  NodeClassificationDataset ds = SmallDataset();
+  DistGcnConfig one;
+  one.num_workers = 1;
+  one.epochs = 8;
+  DistGcnConfig four = one;
+  four.num_workers = 4;
+  DistGcnReport a = TrainDistGcn(ds, one);
+  DistGcnReport b = TrainDistGcn(ds, four);
+  for (size_t e = 0; e < a.epoch_loss.size(); ++e) {
+    EXPECT_NEAR(a.epoch_loss[e], b.epoch_loss[e], 1e-6) << "epoch " << e;
+  }
+}
+
+TEST(DistGcnTest, OverlapReducesSimulatedTime) {
+  NodeClassificationDataset ds = SmallDataset();
+  DistGcnConfig serial;
+  serial.epochs = 10;
+  DistGcnConfig overlap = serial;
+  overlap.overlap_comm_compute = true;
+  DistGcnReport rs = TrainDistGcn(ds, serial);
+  DistGcnReport ro = TrainDistGcn(ds, overlap);
+  EXPECT_LE(ro.simulated_epoch_seconds, rs.simulated_epoch_seconds);
+}
+
+}  // namespace
+}  // namespace gal

@@ -1,0 +1,390 @@
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "fsm/canonical.h"
+#include "fsm/fsm.h"
+#include "fsm/mni.h"
+#include "graph/generators.h"
+#include "graph/transaction_db.h"
+#include "match/executor.h"
+#include "match/pattern.h"
+
+namespace gal {
+namespace {
+
+Graph LabeledGraph(VertexId n, std::vector<Edge> edges,
+                   std::vector<Label> labels) {
+  Graph g = std::move(Graph::FromEdges(n, std::move(edges), {}).value());
+  EXPECT_TRUE(g.SetLabels(std::move(labels)).ok());
+  return g;
+}
+
+// --- canonical codes -----------------------------------------------------------
+
+TEST(CanonicalTest, IsomorphicPatternsShareCode) {
+  // Same labeled triangle, two vertex orderings.
+  Graph a = LabeledGraph(3, {{0, 1}, {1, 2}, {0, 2}}, {5, 6, 7});
+  Graph b = LabeledGraph(3, {{0, 1}, {1, 2}, {0, 2}}, {7, 5, 6});
+  EXPECT_EQ(CanonicalCode(a), CanonicalCode(b));
+  EXPECT_TRUE(PatternsIsomorphic(a, b));
+}
+
+TEST(CanonicalTest, DifferentStructuresDiffer) {
+  Graph path = LabeledGraph(3, {{0, 1}, {1, 2}}, {1, 1, 1});
+  Graph tri = LabeledGraph(3, {{0, 1}, {1, 2}, {0, 2}}, {1, 1, 1});
+  EXPECT_NE(CanonicalCode(path), CanonicalCode(tri));
+  EXPECT_FALSE(PatternsIsomorphic(path, tri));
+}
+
+TEST(CanonicalTest, LabelsDistinguish) {
+  Graph a = LabeledGraph(2, {{0, 1}}, {1, 2});
+  Graph b = LabeledGraph(2, {{0, 1}}, {1, 3});
+  EXPECT_NE(CanonicalCode(a), CanonicalCode(b));
+}
+
+TEST(CanonicalTest, PathEndpointsIrrelevant) {
+  Graph a = LabeledGraph(4, {{0, 1}, {1, 2}, {2, 3}}, {1, 2, 2, 1});
+  Graph b = LabeledGraph(4, {{3, 2}, {2, 1}, {1, 0}}, {1, 2, 2, 1});
+  EXPECT_TRUE(PatternsIsomorphic(a, b));
+}
+
+TEST(CanonicalTest, ExtendPatternProducesUniqueChildren) {
+  Graph edge = EdgePattern(0, 0);
+  std::vector<Graph> children = ExtendPattern(edge, {0, 1});
+  std::set<std::string> codes;
+  for (const Graph& c : children) {
+    EXPECT_TRUE(codes.insert(CanonicalCode(c)).second);
+    EXPECT_EQ(c.NumEdges(), 2u);
+  }
+  // Children of an A-A edge with alphabet {A,B}: a new vertex (A or B)
+  // attached to either endpoint — but both endpoints are equivalent, so
+  // exactly 2 distinct children (no closable pair exists).
+  EXPECT_EQ(children.size(), 2u);
+}
+
+TEST(CanonicalTest, ExtendClosesTriangle) {
+  Graph path = LabeledGraph(3, {{0, 1}, {1, 2}}, {0, 0, 0});
+  std::vector<Graph> children = ExtendPattern(path, {0});
+  bool has_triangle = false;
+  for (const Graph& c : children) {
+    if (c.NumVertices() == 3 && c.NumEdges() == 3) has_triangle = true;
+  }
+  EXPECT_TRUE(has_triangle);
+}
+
+// --- MNI support ------------------------------------------------------------------
+
+TEST(MniTest, EdgePatternSupportByHand) {
+  // Data: star with center label 0, three leaves label 1. Edge (0,1):
+  // center image {c}, leaf images {3 leaves} -> MNI = min(1, 3) = 1.
+  Graph data = LabeledGraph(4, {{0, 1}, {0, 2}, {0, 3}}, {0, 1, 1, 1});
+  MniResult r = MniSupport(data, EdgePattern(0, 1));
+  EXPECT_EQ(r.support, 1u);
+  std::vector<uint32_t> sorted = r.images;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted.front(), 1u);
+  EXPECT_EQ(sorted.back(), 3u);
+}
+
+TEST(MniTest, MatchesDistinctImagesFromFullEnumeration) {
+  Graph data = WithRandomLabels(ErdosRenyi(60, 0.1, 5), 2, 7);
+  Graph pattern = TrianglePattern();
+  ASSERT_TRUE(pattern.SetLabels({0, 0, 1}).ok());
+  MniResult mni = MniSupport(data, pattern);
+
+  MatchResult full = SubgraphMatch(data, pattern, {}, /*collect=*/true);
+  // full.matches[i][j] hosts plan.order[j]; recover per-query-vertex
+  // image sets.
+  std::vector<std::set<VertexId>> images(3);
+  for (const auto& m : full.matches) {
+    for (uint32_t j = 0; j < 3; ++j) {
+      images[full.plan.order[j]].insert(m[j]);
+    }
+  }
+  uint32_t expect = data.NumVertices();
+  for (const auto& s : images) {
+    expect = std::min(expect, static_cast<uint32_t>(s.size()));
+  }
+  EXPECT_EQ(mni.support, expect);
+  for (uint32_t u = 0; u < 3; ++u) {
+    EXPECT_EQ(mni.images[u], images[u].size());
+  }
+}
+
+TEST(MniTest, EarlyTerminationStillDecidesFrequency) {
+  Graph data = WithRandomLabels(Rmat(9, 6, 3), 2, 11);
+  Graph pattern = EdgePattern(0, 1);
+  MniResult exact = MniSupport(data, pattern);
+  for (uint32_t threshold : {2u, 10u, 1000000u}) {
+    MniOptions opt;
+    opt.threshold = threshold;
+    MniResult fast = MniSupport(data, pattern, opt);
+    EXPECT_EQ(fast.support >= threshold, exact.support >= threshold)
+        << "threshold " << threshold;
+    EXPECT_LE(fast.existence_checks, exact.existence_checks);
+  }
+}
+
+TEST(MniTest, ParallelMatchesSerial) {
+  Graph data = WithRandomLabels(Rmat(8, 8, 9), 3, 13);
+  Graph pattern = TrianglePattern();
+  ASSERT_TRUE(pattern.SetLabels({0, 1, 2}).ok());
+  MniOptions serial;
+  serial.num_threads = 1;
+  MniOptions parallel;
+  parallel.num_threads = 8;
+  EXPECT_EQ(MniSupport(data, pattern, serial).support,
+            MniSupport(data, pattern, parallel).support);
+}
+
+// --- single-graph FSM ---------------------------------------------------------------
+
+TEST(SingleGraphFsmTest, FindsPlantedFrequentTriangles) {
+  // Plant many label-(0,1,2) triangles in a sparse labeled background.
+  std::vector<Edge> edges;
+  std::vector<Label> labels;
+  const uint32_t kTriangles = 12;
+  for (uint32_t t = 0; t < kTriangles; ++t) {
+    const VertexId base = t * 3;
+    edges.push_back({base, base + 1});
+    edges.push_back({base + 1, base + 2});
+    edges.push_back({base, base + 2});
+    labels.push_back(0);
+    labels.push_back(1);
+    labels.push_back(2);
+  }
+  // Chain the triangles together so the graph is connected.
+  for (uint32_t t = 0; t + 1 < kTriangles; ++t) {
+    edges.push_back({t * 3, (t + 1) * 3});
+  }
+  Graph data = LabeledGraph(kTriangles * 3, edges, labels);
+
+  SingleGraphFsmOptions opt;
+  opt.min_support = kTriangles;
+  opt.max_edges = 3;
+  SingleGraphFsmResult r = MineSingleGraph(data, opt);
+
+  Graph want = TrianglePattern();
+  ASSERT_TRUE(want.SetLabels({0, 1, 2}).ok());
+  bool found = false;
+  for (const FrequentPattern& p : r.patterns) {
+    if (PatternsIsomorphic(p.pattern, want)) {
+      found = true;
+      EXPECT_GE(p.support, kTriangles);
+    }
+  }
+  EXPECT_TRUE(found);
+  EXPECT_GT(r.stats.patterns_evaluated, 0u);
+}
+
+TEST(SingleGraphFsmTest, AllReportedPatternsAreActuallyFrequent) {
+  Graph data = WithRandomLabels(ErdosRenyi(80, 0.06, 3), 2, 17);
+  SingleGraphFsmOptions opt;
+  opt.min_support = 5;
+  opt.max_edges = 3;
+  SingleGraphFsmResult r = MineSingleGraph(data, opt);
+  for (const FrequentPattern& p : r.patterns) {
+    MniResult exact = MniSupport(data, p.pattern);  // threshold 0: exact
+    EXPECT_GE(exact.support, opt.min_support)
+        << CanonicalCode(p.pattern);
+  }
+  // No isomorphic duplicates.
+  std::set<std::string> codes;
+  for (const FrequentPattern& p : r.patterns) {
+    EXPECT_TRUE(codes.insert(CanonicalCode(p.pattern)).second);
+  }
+}
+
+TEST(SingleGraphFsmTest, HigherThresholdYieldsSubset) {
+  Graph data = WithRandomLabels(ErdosRenyi(100, 0.05, 9), 2, 23);
+  SingleGraphFsmOptions low;
+  low.min_support = 4;
+  low.max_edges = 3;
+  SingleGraphFsmOptions high = low;
+  high.min_support = 12;
+  SingleGraphFsmResult rl = MineSingleGraph(data, low);
+  SingleGraphFsmResult rh = MineSingleGraph(data, high);
+  EXPECT_LE(rh.patterns.size(), rl.patterns.size());
+  std::set<std::string> low_codes;
+  for (const FrequentPattern& p : rl.patterns) {
+    low_codes.insert(CanonicalCode(p.pattern));
+  }
+  for (const FrequentPattern& p : rh.patterns) {
+    EXPECT_TRUE(low_codes.count(CanonicalCode(p.pattern)));
+  }
+}
+
+// --- transaction FSM ---------------------------------------------------------------
+
+TEST(TransactionFsmTest, FindsClassMotifs) {
+  MoleculeDbOptions db_opt;
+  db_opt.num_transactions = 60;
+  TransactionDb db = SyntheticMoleculeDb(db_opt, 31);
+  TransactionFsmOptions opt;
+  opt.min_support = 20;
+  opt.max_edges = 3;
+  TransactionFsmResult r = MineTransactions(db, opt);
+
+  Graph motif = TrianglePattern();  // class-0 motif: labels 0,1,2
+  ASSERT_TRUE(motif.SetLabels({0, 1, 2}).ok());
+  bool found = false;
+  for (const FrequentPattern& p : r.patterns) {
+    if (PatternsIsomorphic(p.pattern, motif)) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(TransactionFsmTest, SupportsAreExactTransactionCounts) {
+  MoleculeDbOptions db_opt;
+  db_opt.num_transactions = 30;
+  db_opt.vertices_per_graph = 12;
+  TransactionDb db = SyntheticMoleculeDb(db_opt, 7);
+  TransactionFsmOptions opt;
+  opt.min_support = 10;
+  opt.max_edges = 2;
+  TransactionFsmResult r = MineTransactions(db, opt);
+  ASSERT_EQ(r.patterns.size(), r.occurrences.size());
+  for (size_t i = 0; i < r.patterns.size(); ++i) {
+    uint32_t count = 0;
+    for (uint32_t t = 0; t < db.size(); ++t) {
+      MatchOptions m;
+      m.limit = 1;
+      if (HasSubgraphMatch(db[t].graph, r.patterns[i].pattern, m)) ++count;
+    }
+    EXPECT_EQ(r.patterns[i].support, count);
+    EXPECT_EQ(r.occurrences[i].size(), count);
+  }
+}
+
+TEST(TransactionFsmTest, NoDuplicatesAndThreadInvariant) {
+  MoleculeDbOptions db_opt;
+  db_opt.num_transactions = 24;
+  db_opt.vertices_per_graph = 10;
+  TransactionDb db = SyntheticMoleculeDb(db_opt, 9);
+  TransactionFsmOptions opt1;
+  opt1.min_support = 8;
+  opt1.max_edges = 3;
+  opt1.num_threads = 1;
+  TransactionFsmOptions opt8 = opt1;
+  opt8.num_threads = 8;
+  TransactionFsmResult a = MineTransactions(db, opt1);
+  TransactionFsmResult b = MineTransactions(db, opt8);
+
+  auto codes = [](const TransactionFsmResult& r) {
+    std::set<std::string> s;
+    for (const FrequentPattern& p : r.patterns) {
+      EXPECT_TRUE(s.insert(CanonicalCode(p.pattern)).second);
+    }
+    return s;
+  };
+  EXPECT_EQ(codes(a), codes(b));
+}
+
+// --- canonicalization choices agree ---------------------------------------------
+
+TEST(FsmCanonicalizationTest, DfsCodeDedupMatchesPermutationDedup) {
+  Graph data = WithRandomLabels(ErdosRenyi(80, 0.06, 3), 2, 17);
+  SingleGraphFsmOptions perm;
+  perm.min_support = 5;
+  perm.max_edges = 3;
+  SingleGraphFsmOptions dfs = perm;
+  dfs.canonical = Canonicalization::kMinDfsCode;
+  SingleGraphFsmResult a = MineSingleGraph(data, perm);
+  SingleGraphFsmResult b = MineSingleGraph(data, dfs);
+  auto codes = [](const SingleGraphFsmResult& r) {
+    std::set<std::string> s;
+    for (const FrequentPattern& p : r.patterns) {
+      s.insert(CanonicalCode(p.pattern));
+    }
+    return s;
+  };
+  EXPECT_EQ(codes(a), codes(b));
+
+  MoleculeDbOptions db_opt;
+  db_opt.num_transactions = 24;
+  db_opt.vertices_per_graph = 10;
+  TransactionDb db = SyntheticMoleculeDb(db_opt, 9);
+  TransactionFsmOptions tx_perm;
+  tx_perm.min_support = 8;
+  tx_perm.max_edges = 3;
+  TransactionFsmOptions tx_dfs = tx_perm;
+  tx_dfs.canonical = Canonicalization::kMinDfsCode;
+  TransactionFsmResult ta = MineTransactions(db, tx_perm);
+  TransactionFsmResult tb = MineTransactions(db, tx_dfs);
+  std::set<std::string> sa, sb;
+  for (const FrequentPattern& p : ta.patterns) sa.insert(CanonicalCode(p.pattern));
+  for (const FrequentPattern& p : tb.patterns) sb.insert(CanonicalCode(p.pattern));
+  EXPECT_EQ(sa, sb);
+}
+
+// --- closed patterns ---------------------------------------------------------
+
+TEST(ClosedPatternsTest, RemovesSubPatternsOfEqualSupport) {
+  MoleculeDbOptions db_opt;
+  db_opt.num_transactions = 40;
+  db_opt.vertices_per_graph = 12;
+  TransactionDb db = SyntheticMoleculeDb(db_opt, 5);
+  TransactionFsmOptions opt;
+  opt.min_support = 12;
+  opt.max_edges = 3;
+  TransactionFsmResult r = MineTransactions(db, opt);
+  std::vector<FrequentPattern> closed = ClosedPatterns(r.patterns);
+  ASSERT_FALSE(closed.empty());
+  EXPECT_LT(closed.size(), r.patterns.size());
+
+  // Every closed pattern really has no equal-support super-pattern.
+  for (const FrequentPattern& c : closed) {
+    for (const FrequentPattern& p : r.patterns) {
+      if (p.support != c.support) continue;
+      if (p.pattern.NumEdges() <= c.pattern.NumEdges()) continue;
+      MatchOptions m;
+      m.limit = 1;
+      EXPECT_FALSE(HasSubgraphMatch(p.pattern, c.pattern, m))
+          << "closed pattern has an equal-support super-pattern";
+    }
+  }
+  // And every removed pattern does have one.
+  std::set<std::string> closed_codes;
+  for (const FrequentPattern& c : closed) {
+    closed_codes.insert(CanonicalCode(c.pattern));
+  }
+  for (const FrequentPattern& p : r.patterns) {
+    if (closed_codes.count(CanonicalCode(p.pattern))) continue;
+    bool has_super = false;
+    for (const FrequentPattern& q : r.patterns) {
+      if (q.support != p.support || q.pattern.NumEdges() <= p.pattern.NumEdges()) {
+        continue;
+      }
+      MatchOptions m;
+      m.limit = 1;
+      if (HasSubgraphMatch(q.pattern, p.pattern, m)) {
+        has_super = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(has_super);
+  }
+}
+
+TEST(ClosedPatternsTest, AllClosedWhenSupportsDiffer) {
+  // Hand-built set: an edge (support 10) and a triangle (support 5):
+  // the edge is contained in the triangle but supports differ -> both
+  // closed.
+  std::vector<FrequentPattern> patterns;
+  patterns.push_back({EdgePattern(0, 0), 10});
+  Graph tri = std::move(
+      Graph::FromEdges(3, {{0, 1}, {1, 2}, {0, 2}}, {}).value());
+  GAL_CHECK_OK(tri.SetLabels({0, 0, 0}));
+  patterns.push_back({tri, 5});
+  EXPECT_EQ(ClosedPatterns(patterns).size(), 2u);
+  // Equal support: only the triangle survives.
+  patterns[1].support = 10;
+  std::vector<FrequentPattern> closed = ClosedPatterns(patterns);
+  ASSERT_EQ(closed.size(), 1u);
+  EXPECT_EQ(closed[0].pattern.NumEdges(), 3u);
+}
+
+}  // namespace
+}  // namespace gal

@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "gnn/graph_classifier.h"
+#include "graph/generators.h"
+#include "graph/transaction_db.h"
+
+namespace gal {
+namespace {
+
+// --- local subgraph features -------------------------------------------------
+
+TEST(LocalSubgraphFeaturesTest, TriangleAndCycleCounts) {
+  // Diamond: vertices 0,1 are in 2 triangles each, 2,3 in 1 each; every
+  // vertex lies on exactly one 4-cycle? The diamond (K4 minus 2-3) has
+  // exactly one 4-cycle (0-2-1-3) through all four vertices.
+  Graph diamond = std::move(
+      Graph::FromEdges(4, {{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}}, {})
+          .value());
+  Matrix x = LocalSubgraphFeatures(diamond);
+  EXPECT_FLOAT_EQ(x.at(0, 2), 2.0f);  // triangles through 0
+  EXPECT_FLOAT_EQ(x.at(2, 2), 1.0f);
+  for (VertexId v = 0; v < 4; ++v) EXPECT_FLOAT_EQ(x.at(v, 4), 1.0f);
+  // Clustering: vertex 2 has degree 2 and its neighbors are adjacent.
+  EXPECT_FLOAT_EQ(x.at(2, 3), 1.0f);
+}
+
+TEST(LocalSubgraphFeaturesTest, CycleGraphHasNoTriangles) {
+  Graph c6 = Cycle(6);
+  Matrix x = LocalSubgraphFeatures(c6);
+  for (VertexId v = 0; v < 6; ++v) {
+    EXPECT_FLOAT_EQ(x.at(v, 2), 0.0f);
+    EXPECT_FLOAT_EQ(x.at(v, 4), 0.0f);  // C6 has no 4-cycles either
+  }
+  Graph c4 = Cycle(4);
+  Matrix x4 = LocalSubgraphFeatures(c4);
+  for (VertexId v = 0; v < 4; ++v) EXPECT_FLOAT_EQ(x4.at(v, 4), 1.0f);
+}
+
+// --- graph classification ------------------------------------------------------
+
+/// The classic 1-WL blind spot: a 6-cycle vs two disjoint triangles.
+/// Both are 2-regular, so plain message passing from constant features
+/// computes identical embeddings — a regular GNN cannot tell them
+/// apart. Local subgraph counts (triangles!) separate them instantly:
+/// the survey's Subgraph-GNN expressiveness claim, reproduced.
+TransactionDb WlBlindSpotDb(uint32_t copies, uint64_t seed) {
+  TransactionDb db;
+  Rng rng(seed);
+  for (uint32_t i = 0; i < copies; ++i) {
+    // Class 0: one 6-cycle. Class 1: two disjoint triangles.
+    Graph c6 = Cycle(6);
+    GAL_CHECK_OK(c6.SetLabels(std::vector<Label>(6, 0)));
+    db.Add(std::move(c6), 0);
+    Graph two_triangles = std::move(
+        Graph::FromEdges(6, {{0, 1}, {1, 2}, {0, 2}, {3, 4}, {4, 5}, {3, 5}},
+                         {})
+            .value());
+    GAL_CHECK_OK(two_triangles.SetLabels(std::vector<Label>(6, 0)));
+    db.Add(std::move(two_triangles), 1);
+  }
+  (void)rng;
+  return db;
+}
+
+TEST(GraphClassifierTest, PlainGnnCannotBeatChanceOnWlBlindSpot) {
+  TransactionDb db = WlBlindSpotDb(12, 3);
+  GraphClassifierConfig config;
+  config.subgraph_features = false;
+  config.epochs = 150;
+  GraphClassifierReport r = TrainGraphClassifier(db, config);
+  // Both classes are 2-regular on 6 vertices: embeddings identical,
+  // so even TRAIN accuracy is stuck at chance.
+  EXPECT_NEAR(r.train_accuracy, 0.5, 0.01);
+  EXPECT_NEAR(r.test_accuracy, 0.5, 0.01);
+}
+
+TEST(GraphClassifierTest, SubgraphFeaturesBreakTheWlCeiling) {
+  TransactionDb db = WlBlindSpotDb(12, 3);
+  GraphClassifierConfig config;
+  config.subgraph_features = true;
+  config.epochs = 150;
+  GraphClassifierReport r = TrainGraphClassifier(db, config);
+  EXPECT_DOUBLE_EQ(r.train_accuracy, 1.0);
+  EXPECT_DOUBLE_EQ(r.test_accuracy, 1.0);
+}
+
+TEST(GraphClassifierTest, LearnsMoleculeClasses) {
+  MoleculeDbOptions opt;
+  opt.num_transactions = 60;
+  opt.vertices_per_graph = 12;
+  opt.motif_rate = 1.0;
+  opt.extra_edges = 4;  // cleaner backbones: motif counts dominate
+  TransactionDb db = SyntheticMoleculeDb(opt, 11);
+  GraphClassifierConfig config;
+  config.subgraph_features = true;
+  config.epochs = 200;
+  GraphClassifierReport r = TrainGraphClassifier(db, config);
+  // Class 0 plants triangles, class 1 squares: triangle/4-cycle counts
+  // are exactly the separating statistic.
+  EXPECT_GT(r.test_accuracy, 0.85);
+  EXPECT_LT(r.epoch_loss.back(), r.epoch_loss.front());
+}
+
+}  // namespace
+}  // namespace gal

@@ -1,0 +1,196 @@
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "partition/partition.h"
+
+namespace gal {
+namespace {
+
+void ExpectValid(const Graph& g, const VertexPartition& p,
+                 uint32_t num_parts) {
+  ASSERT_EQ(p.num_parts, num_parts);
+  ASSERT_EQ(p.assignment.size(), g.NumVertices());
+  for (uint32_t a : p.assignment) EXPECT_LT(a, num_parts);
+}
+
+TEST(PartitionTest, HashBalancedAndValid) {
+  Graph g = Rmat(10, 8, 1);
+  VertexPartition p = HashPartition(g, 4);
+  ExpectValid(g, p, 4);
+  PartitionQuality q = EvaluatePartition(g, p);
+  EXPECT_LT(q.balance, 1.15);
+}
+
+TEST(PartitionTest, RangePartitionContiguous) {
+  Graph g = Path(100);
+  VertexPartition p = RangePartition(g, 4);
+  ExpectValid(g, p, 4);
+  // Contiguity: assignment is non-decreasing over vertex ids.
+  EXPECT_TRUE(std::is_sorted(p.assignment.begin(), p.assignment.end()));
+  // A path split into 4 ranges cuts exactly 3 edges.
+  EXPECT_EQ(EvaluatePartition(g, p).edge_cut, 3u);
+}
+
+TEST(PartitionTest, LdgBeatsHashOnCommunityGraph) {
+  Graph g = PlantedPartition(400, 4, 0.15, 0.005, 17);
+  PartitionQuality hash = EvaluatePartition(g, HashPartition(g, 4));
+  PartitionQuality ldg = EvaluatePartition(g, LdgPartition(g, 4, 3));
+  EXPECT_LT(ldg.edge_cut, hash.edge_cut);
+  EXPECT_LT(ldg.balance, 1.3);
+}
+
+TEST(PartitionTest, MultilevelBeatsHashOnCommunityGraph) {
+  Graph g = PlantedPartition(600, 6, 0.12, 0.004, 23);
+  PartitionQuality hash = EvaluatePartition(g, HashPartition(g, 6));
+  PartitionQuality ml = EvaluatePartition(g, MultilevelPartition(g, 6));
+  EXPECT_LT(ml.edge_cut, hash.edge_cut / 2);
+  EXPECT_LT(ml.balance, 1.25);
+}
+
+TEST(PartitionTest, MultilevelGridLowCut) {
+  Graph g = Grid(40, 40);
+  PartitionQuality ml = EvaluatePartition(g, MultilevelPartition(g, 4));
+  // A 40x40 grid has 3120 edges; a good 4-way cut is O(perimeter).
+  EXPECT_LT(ml.edge_cut, g.NumEdges() / 8);
+}
+
+TEST(PartitionTest, SinglePartIsTrivial) {
+  Graph g = Rmat(8, 4, 9);
+  for (const VertexPartition& p :
+       {HashPartition(g, 1), LdgPartition(g, 1), MultilevelPartition(g, 1)}) {
+    PartitionQuality q = EvaluatePartition(g, p);
+    EXPECT_EQ(q.edge_cut, 0u);
+  }
+}
+
+TEST(PartitionTest, BfsVoronoiCoversAllVerticesEvenDisconnected) {
+  // Two disconnected cliques plus isolated vertices.
+  std::vector<Edge> edges;
+  for (VertexId u = 0; u < 5; ++u)
+    for (VertexId v = u + 1; v < 5; ++v) edges.push_back({u, v});
+  for (VertexId u = 5; u < 10; ++u)
+    for (VertexId v = u + 1; v < 10; ++v) edges.push_back({u, v});
+  Graph g = std::move(Graph::FromEdges(12, edges, {}).value());
+  VertexPartition p = BfsVoronoiPartition(g, 2, {0, 5});
+  ExpectValid(g, p, 2);
+}
+
+TEST(PartitionTest, BfsVoronoiKeepsSeedNeighborhoodsLocal) {
+  Graph g = PlantedPartition(400, 8, 0.2, 0.002, 31);
+  // One seed per community (communities are v % 8).
+  std::vector<VertexId> seeds;
+  for (VertexId s = 0; s < 8; ++s) seeds.push_back(s);
+  VertexPartition p = BfsVoronoiPartition(g, 4, seeds);
+  ExpectValid(g, p, 4);
+  // Each seed's 1-hop neighborhood should be mostly co-located with it.
+  uint64_t local = 0;
+  uint64_t total = 0;
+  for (VertexId s : seeds) {
+    for (VertexId u : g.Neighbors(s)) {
+      ++total;
+      local += (p.PartOf(u) == p.PartOf(s));
+    }
+  }
+  EXPECT_GT(static_cast<double>(local) / total, 0.6);
+}
+
+TEST(PartitionTest, BfsVoronoiBalancesSeeds) {
+  Graph g = Rmat(9, 8, 3);
+  std::vector<VertexId> seeds;
+  for (VertexId s = 0; s < 64; ++s) seeds.push_back(s * 7 % g.NumVertices());
+  std::sort(seeds.begin(), seeds.end());
+  seeds.erase(std::unique(seeds.begin(), seeds.end()), seeds.end());
+  VertexPartition p = BfsVoronoiPartition(g, 4, seeds);
+  std::vector<uint32_t> seeds_per_part(4, 0);
+  for (VertexId s : seeds) ++seeds_per_part[p.PartOf(s)];
+  const uint32_t max_seeds =
+      *std::max_element(seeds_per_part.begin(), seeds_per_part.end());
+  const uint32_t min_seeds =
+      *std::min_element(seeds_per_part.begin(), seeds_per_part.end());
+  EXPECT_LE(max_seeds - min_seeds, seeds.size() / 2);
+}
+
+TEST(PartitionTest, GreedyVertexCutAssignsEveryEdge) {
+  Graph g = Rmat(9, 8, 5);
+  EdgePartition ep = GreedyVertexCut(g, 4);
+  EXPECT_EQ(ep.edge_assignment.size(), g.NumEdges());
+  for (uint32_t a : ep.edge_assignment) EXPECT_LT(a, 4u);
+}
+
+TEST(PartitionTest, GreedyVertexCutReplicationBounded) {
+  Graph g = Rmat(10, 8, 7);
+  EdgePartition ep = GreedyVertexCut(g, 4);
+  EXPECT_GE(ep.replication_factor, 1.0);
+  EXPECT_LE(ep.replication_factor, 4.0);
+  // Greedy should do far better than the worst case on most vertices.
+  EXPECT_LT(ep.replication_factor, 2.5);
+}
+
+TEST(PartitionTest, GreedyVertexCutSinglePartHasNoReplication) {
+  Graph g = Rmat(8, 4, 11);
+  EdgePartition ep = GreedyVertexCut(g, 1);
+  EXPECT_DOUBLE_EQ(ep.replication_factor, 1.0);
+}
+
+TEST(PartitionTest, FeatureDimensionPartitionCoversAllColumns) {
+  auto ranges = FeatureDimensionPartition(10, 3);
+  ASSERT_EQ(ranges.size(), 3u);
+  EXPECT_EQ(ranges[0], (std::pair<uint32_t, uint32_t>{0, 4}));
+  EXPECT_EQ(ranges[1], (std::pair<uint32_t, uint32_t>{4, 7}));
+  EXPECT_EQ(ranges[2], (std::pair<uint32_t, uint32_t>{7, 10}));
+}
+
+TEST(PartitionTest, FeatureDimensionPartitionMorePartsThanDims) {
+  auto ranges = FeatureDimensionPartition(2, 4);
+  ASSERT_EQ(ranges.size(), 4u);
+  uint32_t total = 0;
+  for (auto [b, e] : ranges) total += e - b;
+  EXPECT_EQ(total, 2u);
+}
+
+// Property sweep: every strategy yields a valid partition on varied
+// graphs and part counts.
+class PartitionPropertyTest
+    : public ::testing::TestWithParam<std::tuple<int, uint32_t>> {};
+
+TEST_P(PartitionPropertyTest, AllStrategiesValid) {
+  const auto [graph_kind, parts] = GetParam();
+  Graph g;
+  switch (graph_kind) {
+    case 0: g = Rmat(8, 6, 13); break;
+    case 1: g = ErdosRenyi(300, 0.02, 13); break;
+    case 2: g = Grid(15, 20); break;
+    default: g = BarabasiAlbert(300, 3, 13); break;
+  }
+  std::vector<VertexId> seeds;
+  for (VertexId s = 0; s < std::min<VertexId>(16, g.NumVertices()); ++s) {
+    seeds.push_back(s);
+  }
+  for (const VertexPartition& p :
+       {HashPartition(g, parts), RangePartition(g, parts),
+        LdgPartition(g, parts), MultilevelPartition(g, parts),
+        BfsVoronoiPartition(g, parts, seeds)}) {
+    ASSERT_EQ(p.assignment.size(), g.NumVertices());
+    std::set<uint32_t> used;
+    for (uint32_t a : p.assignment) {
+      ASSERT_LT(a, parts);
+      used.insert(a);
+    }
+    // All parts used when there are enough vertices.
+    if (g.NumVertices() >= parts * 8) {
+      EXPECT_EQ(used.size(), parts);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PartitionPropertyTest,
+    ::testing::Combine(::testing::Values(0, 1, 2, 3),
+                       ::testing::Values(2u, 3u, 8u)));
+
+}  // namespace
+}  // namespace gal

@@ -1,0 +1,471 @@
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "tlag/algos/cliques.h"
+#include "tlag/algos/quasi_clique.h"
+#include "tlag/algos/subgraph_enum.h"
+#include "tlag/algos/triangles.h"
+#include "tlag/bfs_engine.h"
+#include "tlag/task_engine.h"
+
+namespace gal {
+namespace {
+
+// --- TaskEngine --------------------------------------------------------------
+
+TEST(TaskEngineTest, ExecutesAllInitialTasks) {
+  TaskEngine<int> engine(TaskEngineConfig{.num_threads = 4});
+  std::atomic<int> sum{0};
+  std::vector<int> tasks;
+  for (int i = 1; i <= 100; ++i) tasks.push_back(i);
+  TaskEngineStats stats =
+      engine.Run(std::move(tasks),
+                 [&sum](int& t, TaskEngine<int>::Context&) { sum += t; });
+  EXPECT_EQ(sum.load(), 5050);
+  EXPECT_EQ(stats.tasks_executed, 100u);
+}
+
+TEST(TaskEngineTest, SpawnedTasksRunToo) {
+  TaskEngine<int> engine(TaskEngineConfig{.num_threads = 4});
+  std::atomic<int> count{0};
+  TaskEngineStats stats = engine.Run(
+      {3}, [&count](int& depth, TaskEngine<int>::Context& ctx) {
+        count.fetch_add(1);
+        if (depth > 0) {
+          ctx.Spawn(depth - 1);
+          ctx.Spawn(depth - 1);
+        }
+      });
+  EXPECT_EQ(count.load(), 15);  // complete binary tree of depth 3
+  EXPECT_EQ(stats.tasks_executed, 15u);
+  EXPECT_EQ(stats.tasks_spawned, 14u);
+}
+
+TEST(TaskEngineTest, SingleThreadWorks) {
+  TaskEngine<int> engine(TaskEngineConfig{.num_threads = 1});
+  std::atomic<int> count{0};
+  engine.Run({1, 2, 3},
+             [&count](int&, TaskEngine<int>::Context&) { count++; });
+  EXPECT_EQ(count.load(), 3);
+}
+
+TEST(TaskEngineTest, StealingMovesWorkFromSkewedQueues) {
+  // All heavy work lands (round-robin) such that thread 0 owns the one
+  // giant task plus spawns; stealing should record activity.
+  TaskEngine<int> engine(TaskEngineConfig{.num_threads = 4});
+  std::atomic<uint64_t> work{0};
+  TaskEngineStats stats = engine.Run(
+      {20000}, [&work](int& n, TaskEngine<int>::Context& ctx) {
+        if (n > 1) {
+          ctx.Spawn(n / 2);
+          ctx.Spawn(n - n / 2);
+        } else {
+          // Simulate leaf work.
+          volatile uint64_t x = 0;
+          for (int i = 0; i < 50; ++i) x = x + i;
+          work.fetch_add(1, std::memory_order_relaxed);
+        }
+      });
+  EXPECT_EQ(work.load(), 20000u);
+  EXPECT_GT(stats.steals, 0u);
+}
+
+TEST(TaskEngineTest, NoStealingStaysStatic) {
+  TaskEngine<int> engine(
+      TaskEngineConfig{.num_threads = 4, .work_stealing = false});
+  std::atomic<int> count{0};
+  TaskEngineStats stats = engine.Run(
+      {1, 2, 3, 4, 5, 6, 7, 8},
+      [&count](int&, TaskEngine<int>::Context&) { count++; });
+  EXPECT_EQ(count.load(), 8);
+  EXPECT_EQ(stats.steals, 0u);
+}
+
+// --- BFS extension engine ------------------------------------------------------
+
+/// Clique-style canonical extension: common neighbors greater than the
+/// last vertex.
+BfsExtensionEngine::ExtendFn CliqueExtend(const Graph& g) {
+  return [&g](const Embedding& e, std::vector<VertexId>& out) {
+    const VertexId last = e.back();
+    for (VertexId u : g.Neighbors(last)) {
+      if (u <= last) continue;
+      bool adjacent_to_all = true;
+      for (VertexId v : e) {
+        if (v != last && !g.HasEdge(u, v)) {
+          adjacent_to_all = false;
+          break;
+        }
+      }
+      if (adjacent_to_all) out.push_back(u);
+    }
+  };
+}
+
+std::vector<VertexId> AllVertices(const Graph& g) {
+  std::vector<VertexId> roots(g.NumVertices());
+  for (VertexId v = 0; v < g.NumVertices(); ++v) roots[v] = v;
+  return roots;
+}
+
+TEST(BfsEngineTest, EnumeratesTrianglesOnce) {
+  Graph g = Complete(6);
+  BfsExtensionEngine engine(BfsEngineConfig{});
+  std::atomic<uint64_t> triangles{0};
+  BfsEngineStats stats =
+      engine.Run(AllVertices(g), 3, CliqueExtend(g),
+                 [&triangles](const Embedding&) { triangles++; });
+  EXPECT_EQ(triangles.load(), 20u);  // C(6,3)
+  EXPECT_GT(stats.peak_materialized, 0u);
+  EXPECT_FALSE(stats.budget_exceeded);
+}
+
+TEST(BfsEngineTest, PeakMemoryGrowsWithLevelWidth) {
+  Graph g = Complete(14);
+  BfsExtensionEngine engine(BfsEngineConfig{});
+  uint64_t outputs = 0;
+  BfsEngineStats s4 = engine.Run(AllVertices(g), 4, CliqueExtend(g),
+                                 [&outputs](const Embedding&) { ++outputs; });
+  EXPECT_EQ(outputs, 1001u);  // C(14,4)
+  // Materialized frontier must cover at least the size-3 level: C(14,3).
+  EXPECT_GE(s4.peak_materialized, 364u);
+}
+
+TEST(BfsEngineTest, StrictPolicyAbortsOnBudget) {
+  Graph g = Complete(12);
+  BfsEngineConfig config;
+  config.memory_budget_bytes = 512;  // absurdly small
+  config.policy = MemoryPolicy::kStrict;
+  BfsExtensionEngine engine(config);
+  BfsEngineStats stats =
+      engine.Run(AllVertices(g), 4, CliqueExtend(g), [](const Embedding&) {});
+  EXPECT_TRUE(stats.budget_exceeded);
+}
+
+TEST(BfsEngineTest, SpillPolicyCompletesAndAccountsOverflow) {
+  Graph g = Complete(12);
+  BfsEngineConfig config;
+  config.memory_budget_bytes = 2048;
+  config.policy = MemoryPolicy::kSpill;
+  BfsExtensionEngine engine(config);
+  uint64_t outputs = 0;
+  BfsEngineStats stats = engine.Run(AllVertices(g), 4, CliqueExtend(g),
+                                    [&outputs](const Embedding&) { ++outputs; });
+  EXPECT_EQ(outputs, 495u);  // C(12,4)
+  EXPECT_GT(stats.spilled_bytes, 0u);
+  EXPECT_FALSE(stats.budget_exceeded);
+}
+
+TEST(BfsEngineTest, HybridPolicyMatchesCountWithBoundedMemory) {
+  Graph g = Complete(12);
+  BfsEngineConfig unlimited;
+  BfsExtensionEngine full(unlimited);
+  uint64_t expect = 0;
+  full.Run(AllVertices(g), 4, CliqueExtend(g),
+           [&expect](const Embedding&) { ++expect; });
+
+  BfsEngineConfig config;
+  config.memory_budget_bytes = 4096;
+  config.policy = MemoryPolicy::kHybridDfs;
+  BfsExtensionEngine hybrid(config);
+  uint64_t outputs = 0;
+  BfsEngineStats stats = hybrid.Run(AllVertices(g), 4, CliqueExtend(g),
+                                    [&outputs](const Embedding&) { ++outputs; });
+  EXPECT_EQ(outputs, expect);
+  EXPECT_GT(stats.dfs_fallback_embeddings, 0u);
+  EXPECT_LE(stats.peak_bytes, 2 * config.memory_budget_bytes);
+}
+
+// --- Triangles -----------------------------------------------------------------
+
+uint64_t BruteTriangles(const Graph& g) {
+  uint64_t count = 0;
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    for (VertexId u : g.Neighbors(v)) {
+      if (u <= v) continue;
+      for (VertexId w : g.Neighbors(v)) {
+        if (w <= u) continue;
+        count += g.HasEdge(u, w);
+      }
+    }
+  }
+  return count;
+}
+
+TEST(TrianglesTest, SerialMatchesBruteForce) {
+  for (uint64_t seed : {1ull, 5ull, 9ull}) {
+    Graph g = ErdosRenyi(150, 0.07, seed);
+    EXPECT_EQ(SerialTriangleCount(g).triangles, BruteTriangles(g));
+  }
+}
+
+TEST(TrianglesTest, TaskMatchesSerial) {
+  Graph g = Rmat(10, 8, 17);
+  TriangleCountResult serial = SerialTriangleCount(g);
+  TriangleCountResult task =
+      TaskTriangleCount(g, TaskEngineConfig{.num_threads = 8});
+  EXPECT_EQ(task.triangles, serial.triangles);
+  EXPECT_EQ(task.intersection_ops, serial.intersection_ops);
+}
+
+TEST(TrianglesTest, CompleteAndBipartite) {
+  EXPECT_EQ(SerialTriangleCount(Complete(20)).triangles, 1140u);
+  EXPECT_EQ(SerialTriangleCount(Grid(8, 8)).triangles, 0u);
+}
+
+// --- Maximal cliques ---------------------------------------------------------
+
+TEST(MaximalCliquesTest, CompleteGraphHasOne) {
+  MaximalCliqueResult r = MaximalCliques(Complete(8));
+  EXPECT_EQ(r.count, 1u);
+  EXPECT_EQ(r.largest, 8u);
+}
+
+TEST(MaximalCliquesTest, TriangleWithPendant) {
+  // Triangle {0,1,2} + pendant edge 2-3: maximal cliques {0,1,2}, {2,3}.
+  Graph g = std::move(
+      Graph::FromEdges(4, {{0, 1}, {1, 2}, {0, 2}, {2, 3}}, {}).value());
+  MaximalCliqueResult r = MaximalCliques(g, {}, /*collect=*/true);
+  EXPECT_EQ(r.count, 2u);
+  std::sort(r.cliques.begin(), r.cliques.end());
+  EXPECT_EQ(r.cliques[0], (std::vector<VertexId>{0, 1, 2}));
+  EXPECT_EQ(r.cliques[1], (std::vector<VertexId>{2, 3}));
+}
+
+TEST(MaximalCliquesTest, MoonMoserWorstCase) {
+  // K(3,3,3) complement-style: the cocktail-party-like bound. Build the
+  // complete tripartite complement: 3 groups of 3, edges between groups.
+  std::vector<Edge> edges;
+  for (VertexId u = 0; u < 9; ++u) {
+    for (VertexId v = u + 1; v < 9; ++v) {
+      if (u / 3 != v / 3) edges.push_back({u, v});
+    }
+  }
+  Graph g = std::move(Graph::FromEdges(9, edges, {}).value());
+  MaximalCliqueResult r = MaximalCliques(g);
+  EXPECT_EQ(r.count, 27u);  // 3^3 maximal cliques (Moon–Moser)
+  EXPECT_EQ(r.largest, 3u);
+}
+
+TEST(MaximalCliquesTest, MinSizeFilters) {
+  Graph g = std::move(
+      Graph::FromEdges(4, {{0, 1}, {1, 2}, {0, 2}, {2, 3}}, {}).value());
+  MaximalCliqueOptions opt;
+  opt.min_size = 3;
+  EXPECT_EQ(MaximalCliques(g, opt).count, 1u);
+}
+
+TEST(MaximalCliquesTest, ThreadCountInvariant) {
+  Graph g = ErdosRenyi(200, 0.08, 42);
+  MaximalCliqueOptions opt1;
+  opt1.engine.num_threads = 1;
+  MaximalCliqueOptions opt8;
+  opt8.engine.num_threads = 8;
+  opt8.split_depth = 3;
+  MaximalCliqueResult a = MaximalCliques(g, opt1);
+  MaximalCliqueResult b = MaximalCliques(g, opt8);
+  EXPECT_EQ(a.count, b.count);
+  EXPECT_EQ(a.largest, b.largest);
+}
+
+TEST(MaximalCliquesTest, CollectedCliquesAreMaximalCliques) {
+  Graph g = ErdosRenyi(80, 0.15, 7);
+  MaximalCliqueResult r = MaximalCliques(g, {}, /*collect=*/true);
+  ASSERT_EQ(r.cliques.size(), r.count);
+  std::set<std::vector<VertexId>> unique(r.cliques.begin(), r.cliques.end());
+  EXPECT_EQ(unique.size(), r.count);  // no duplicates
+  for (const auto& clique : r.cliques) {
+    for (size_t i = 0; i < clique.size(); ++i) {
+      for (size_t j = i + 1; j < clique.size(); ++j) {
+        ASSERT_TRUE(g.HasEdge(clique[i], clique[j]));
+      }
+    }
+    // Maximality: no vertex extends it.
+    for (VertexId v = 0; v < g.NumVertices(); ++v) {
+      if (std::binary_search(clique.begin(), clique.end(), v)) continue;
+      bool extends = true;
+      for (VertexId u : clique) {
+        if (!g.HasEdge(u, v)) {
+          extends = false;
+          break;
+        }
+      }
+      ASSERT_FALSE(extends);
+    }
+  }
+}
+
+// --- Maximum clique -----------------------------------------------------------
+
+TEST(MaximumCliqueTest, FindsPlantedClique) {
+  Graph bg = ErdosRenyi(150, 0.05, 3);
+  std::vector<Edge> edges = bg.CollectEdges();
+  for (VertexId u = 100; u < 108; ++u) {
+    for (VertexId v = u + 1; v < 108; ++v) edges.push_back({u, v});
+  }
+  Graph g = std::move(Graph::FromEdges(150, edges, {}).value());
+  MaximumCliqueResult r = MaximumClique(g);
+  EXPECT_EQ(r.size, 8u);
+  for (size_t i = 0; i < r.clique.size(); ++i) {
+    for (size_t j = i + 1; j < r.clique.size(); ++j) {
+      EXPECT_TRUE(g.HasEdge(r.clique[i], r.clique[j]));
+    }
+  }
+}
+
+TEST(MaximumCliqueTest, AgreesWithMaximalLargest) {
+  for (uint64_t seed : {2ull, 8ull}) {
+    Graph g = ErdosRenyi(120, 0.12, seed);
+    EXPECT_EQ(MaximumClique(g).size, MaximalCliques(g).largest);
+  }
+}
+
+TEST(MaximumCliqueTest, PruningActuallyPrunes) {
+  Graph g = ErdosRenyi(150, 0.2, 5);
+  MaximumCliqueResult r = MaximumClique(g);
+  EXPECT_GT(r.branches_pruned, 0u);
+}
+
+// --- Connected subgraph enumeration --------------------------------------------
+
+TEST(SubgraphEnumTest, CountsAllConnectedSubsetsOfK4) {
+  Graph g = Complete(4);
+  SubgraphEnumOptions opt;
+  opt.max_size = 4;
+  std::atomic<uint64_t> count{0};
+  SubgraphEnumStats stats = EnumerateConnectedSubgraphs(
+      g, opt, [&count](const std::vector<VertexId>&) {
+        count++;
+        return true;
+      });
+  EXPECT_EQ(count.load(), 15u);  // all nonempty subsets of K4
+  EXPECT_EQ(stats.subgraphs_visited, 15u);
+}
+
+TEST(SubgraphEnumTest, PathSubgraphsAreIntervals) {
+  Graph g = Path(6);
+  SubgraphEnumOptions opt;
+  opt.max_size = 6;
+  std::mutex mu;
+  std::set<std::vector<VertexId>> seen;
+  EnumerateConnectedSubgraphs(g, opt, [&](const std::vector<VertexId>& s) {
+    std::vector<VertexId> sorted = s;
+    std::sort(sorted.begin(), sorted.end());
+    std::lock_guard<std::mutex> lock(mu);
+    EXPECT_TRUE(seen.insert(sorted).second) << "duplicate subgraph";
+    return true;
+  });
+  // Connected subgraphs of a path are intervals: 6+5+4+3+2+1 = 21.
+  EXPECT_EQ(seen.size(), 21u);
+}
+
+TEST(SubgraphEnumTest, SizeCapRespected) {
+  Graph g = Complete(6);
+  SubgraphEnumOptions opt;
+  opt.max_size = 2;
+  std::atomic<uint64_t> count{0};
+  EnumerateConnectedSubgraphs(g, opt, [&count](const std::vector<VertexId>& s) {
+    EXPECT_LE(s.size(), 2u);
+    count++;
+    return true;
+  });
+  EXPECT_EQ(count.load(), 6u + 15u);  // singletons + edges
+}
+
+TEST(SubgraphEnumTest, PruningStopsExtensions) {
+  Graph g = Complete(6);
+  SubgraphEnumOptions opt;
+  opt.max_size = 4;
+  std::atomic<uint64_t> count{0};
+  EnumerateConnectedSubgraphs(g, opt, [&count](const std::vector<VertexId>& s) {
+    count++;
+    return s.size() < 2;  // never extend beyond pairs
+  });
+  EXPECT_EQ(count.load(), 6u + 15u);
+}
+
+// --- Quasi-cliques -------------------------------------------------------------
+
+std::vector<std::vector<VertexId>> BruteQuasiCliques(const Graph& g,
+                                                     double gamma,
+                                                     uint32_t min_size,
+                                                     uint32_t max_size) {
+  std::vector<std::vector<VertexId>> out;
+  const VertexId n = g.NumVertices();
+  for (uint32_t mask = 1; mask < (1u << n); ++mask) {
+    std::vector<VertexId> s;
+    for (VertexId v = 0; v < n; ++v) {
+      if (mask & (1u << v)) s.push_back(v);
+    }
+    if (s.size() < min_size || s.size() > max_size) continue;
+    if (IsQuasiClique(g, s, gamma)) out.push_back(s);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+TEST(QuasiCliqueTest, MatchesBruteForceOnSmallGraphs) {
+  for (uint64_t seed : {1ull, 2ull, 3ull, 4ull}) {
+    Graph g = ErdosRenyi(12, 0.35, seed);
+    QuasiCliqueOptions opt;
+    opt.gamma = 0.6;
+    opt.min_size = 3;
+    opt.max_size = 5;
+    QuasiCliqueResult r = FindQuasiCliques(g, opt);
+    EXPECT_EQ(r.quasi_cliques,
+              BruteQuasiCliques(g, 0.6, 3, 5)) << "seed " << seed;
+  }
+}
+
+TEST(QuasiCliqueTest, GammaOneMeansCliques) {
+  Graph g = ErdosRenyi(14, 0.4, 11);
+  QuasiCliqueOptions opt;
+  opt.gamma = 1.0;
+  opt.min_size = 3;
+  opt.max_size = 4;
+  QuasiCliqueResult r = FindQuasiCliques(g, opt);
+  for (const auto& s : r.quasi_cliques) {
+    for (size_t i = 0; i < s.size(); ++i) {
+      for (size_t j = i + 1; j < s.size(); ++j) {
+        EXPECT_TRUE(g.HasEdge(s[i], s[j]));
+      }
+    }
+  }
+}
+
+TEST(QuasiCliqueTest, FindsPlantedDenseGroup) {
+  // Sparse graph + near-clique (K6 minus one edge) on 0..5.
+  Graph bg = ErdosRenyi(40, 0.02, 9);
+  std::vector<Edge> edges = bg.CollectEdges();
+  for (VertexId u = 0; u < 6; ++u) {
+    for (VertexId v = u + 1; v < 6; ++v) {
+      if (!(u == 0 && v == 1)) edges.push_back({u, v});
+    }
+  }
+  Graph g = std::move(Graph::FromEdges(40, edges, {}).value());
+  QuasiCliqueOptions opt;
+  opt.gamma = 0.8;
+  opt.min_size = 6;
+  opt.max_size = 6;
+  QuasiCliqueResult r = FindQuasiCliques(g, opt);
+  std::vector<VertexId> planted = {0, 1, 2, 3, 4, 5};
+  EXPECT_TRUE(std::find(r.quasi_cliques.begin(), r.quasi_cliques.end(),
+                        planted) != r.quasi_cliques.end());
+}
+
+TEST(QuasiCliqueTest, IsQuasiCliqueEdgeCases) {
+  Graph g = Complete(5);
+  EXPECT_TRUE(IsQuasiClique(g, {0, 1, 2}, 1.0));
+  EXPECT_FALSE(IsQuasiClique(g, {}, 0.5));
+  Graph p = Path(4);
+  EXPECT_FALSE(IsQuasiClique(p, {0, 1, 2, 3}, 0.8));  // ends have deg 1
+  EXPECT_TRUE(IsQuasiClique(p, {0, 1}, 1.0));
+}
+
+}  // namespace
+}  // namespace gal
