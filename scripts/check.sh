@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Tier-1 verification plus a ThreadSanitizer pass over the concurrent
+# machinery (pipeline executor, thread pool, task engine). Run from
+# anywhere; builds land in build/ and build-tsan/.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="${JOBS:-$(nproc)}"
+
+echo "== tier-1: build + full test suite =="
+cmake -B build -S .
+cmake --build build -j "${JOBS}"
+(cd build && ctest --output-on-failure -j "${JOBS}")
+
+echo
+echo "== tsan: pipeline / threadpool / task-engine tests =="
+cmake -B build-tsan -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMAKE_CXX_FLAGS="-fsanitize=thread" \
+    -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
+cmake --build build-tsan --target gal_tests -j "${JOBS}"
+./build-tsan/tests/gal_tests \
+    --gtest_filter='PipelineTest.*:ThreadPoolTest.*:TaskEngineTest.*'
+
+echo
+echo "check.sh: all green"

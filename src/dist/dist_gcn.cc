@@ -7,7 +7,9 @@
 #include <unordered_set>
 
 #include "common/logging.h"
+#include "common/metrics.h"
 #include "common/timer.h"
+#include "dist/pipeline.h"
 #include "nn/gcn.h"
 #include "nn/optimizer.h"
 #include "tensor/sparse.h"
@@ -48,7 +50,11 @@ std::string DistGcnReport::Summary() const {
   std::ostringstream os;
   os << "acc=" << final_test_accuracy << " comm=" << comm_bytes
      << "B halo_rows=" << halo_rows_exchanged << " skipped="
-     << broadcasts_skipped << " sim_epoch_s=" << simulated_epoch_seconds;
+     << broadcasts_skipped << " sim_epoch_s=" << simulated_epoch_seconds
+     << " modeled_overlap_s=" << modeled_overlap_epoch_seconds
+     << " modeled_overlap=" << modeled_overlap_speedup << "x ("
+     << (overlap_bottleneck_stage == 0 ? "compute" : "comm")
+     << "-bound)";
   return os.str();
 }
 
@@ -250,14 +256,32 @@ DistGcnReport TrainDistGcn(const NodeClassificationDataset& dataset,
     return out;
   };
 
+  // Per-epoch span histograms: the GNN "stages" of one training step.
+  Histogram forward_hist;
+  Histogram backward_hist;
+  Histogram step_hist;
+  // Per-epoch {compute, comm} traces, replayed through the modeled
+  // pipeline executor after the loop.
+  std::vector<double> epoch_compute_trace;
+  std::vector<double> epoch_comm_trace;
+
   Timer total_timer;
   for (epoch = 0; epoch < config.epochs; ++epoch) {
     Timer compute_timer;
-    Matrix logits = model.Forward(dataset.features, aggregate);
+    Matrix logits = [&] {
+      ScopedSpan span(&forward_hist);
+      return model.Forward(dataset.features, aggregate);
+    }();
     SoftmaxXentResult train =
         SoftmaxCrossEntropy(logits, dataset.labels, dataset.train_mask);
-    std::vector<Matrix> grads = model.Backward(train.grad, aggregate);
-    opt.Step(grads);
+    std::vector<Matrix> grads = [&] {
+      ScopedSpan span(&backward_hist);
+      return model.Backward(train.grad, aggregate);
+    }();
+    {
+      ScopedSpan span(&step_hist);
+      opt.Step(grads);
+    }
     // Data-parallel compute: each worker handles ~1/W of the rows.
     const double epoch_compute =
         compute_timer.ElapsedSeconds() / std::max(1u, config.num_workers);
@@ -280,6 +304,25 @@ DistGcnReport TrainDistGcn(const NodeClassificationDataset& dataset,
     report.simulated_epoch_seconds += config.overlap_comm_compute
                                           ? std::max(epoch_compute, epoch_comm)
                                           : epoch_compute + epoch_comm;
+    epoch_compute_trace.push_back(epoch_compute);
+    epoch_comm_trace.push_back(epoch_comm);
+  }
+
+  report.stage_timings = {
+      StageTimingStat::FromHistogram("forward", forward_hist),
+      StageTimingStat::FromHistogram("backward", backward_hist),
+      StageTimingStat::FromHistogram("step", step_hist),
+  };
+  if (!epoch_compute_trace.empty()) {
+    // Epochs flow through a 2-stage compute -> comm pipeline; the
+    // modeled makespan is what a pipelined system (P3/Dorylus-style
+    // overlap) would pay, regardless of this host's core count.
+    ModeledPipelineResult overlap =
+        ModelPipelineSchedule({epoch_compute_trace, epoch_comm_trace});
+    report.modeled_overlap_epoch_seconds = overlap.pipelined_seconds;
+    report.modeled_overlap_speedup = overlap.speedup;
+    report.overlap_bottleneck_stage =
+        static_cast<uint32_t>(overlap.bottleneck_stage);
   }
 
   Matrix logits = model.Forward(dataset.features, aggregate);

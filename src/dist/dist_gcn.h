@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "common/metrics.h"
 #include "dist/network.h"
 #include "dist/quantization.h"
 #include "gnn/dataset.h"
@@ -69,6 +70,19 @@ struct DistGcnReport {
   double compute_seconds = 0.0;       // measured math time
   double comm_seconds = 0.0;          // modeled wire time
   double simulated_epoch_seconds = 0.0;  // Σ per-epoch max/sum per overlap
+
+  /// Measured per-epoch span summaries (forward / backward / optimizer
+  /// step), p50/p95/max over epochs — the same stage-level
+  /// observability RunPipeline reports for batch pipelines.
+  std::vector<StageTimingStat> stage_timings;
+
+  /// Modeled comm/compute overlap: the per-epoch {compute, comm} times
+  /// replayed through the virtual-clock pipeline executor
+  /// (ModelPipelineSchedule), independent of this host's core count.
+  /// `overlap_bottleneck_stage` is 0 for compute, 1 for comm.
+  double modeled_overlap_epoch_seconds = 0.0;
+  double modeled_overlap_speedup = 1.0;
+  uint32_t overlap_bottleneck_stage = 0;
 
   std::string Summary() const;
 };

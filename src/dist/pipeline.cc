@@ -1,52 +1,159 @@
 #include "dist/pipeline.h"
 
+#include <algorithm>
 #include <condition_variable>
 #include <mutex>
+#include <sstream>
 #include <thread>
 
 #include "common/logging.h"
+#include "common/metrics.h"
 #include "common/timer.h"
 
 namespace gal {
+
+ModeledPipelineResult ModelPipelineSchedule(
+    const std::vector<std::vector<double>>& busy) {
+  GAL_CHECK(!busy.empty());
+  const size_t num_stages = busy.size();
+  const size_t num_batches = busy[0].size();
+  for (const auto& row : busy) GAL_CHECK(row.size() == num_batches);
+
+  ModeledPipelineResult result;
+  result.stage_busy_seconds.assign(num_stages, 0.0);
+  result.stage_fill_seconds.assign(num_stages, 0.0);
+  result.stage_stall_seconds.assign(num_stages, 0.0);
+  result.stage_drain_seconds.assign(num_stages, 0.0);
+  if (num_batches == 0) return result;
+
+  // finish[s] tracks stage s's finish time for the batch most recently
+  // scheduled on it; prev_stage_finish[b] is only needed one batch at a
+  // time, so a rolling column suffices.
+  std::vector<double> finish(num_stages, 0.0);
+  for (uint32_t b = 0; b < num_batches; ++b) {
+    double upstream_done = 0.0;  // stage s-1's finish time for batch b
+    double chain = 0.0;          // Σ_s busy[s][b], the batch's own chain
+    for (size_t s = 0; s < num_stages; ++s) {
+      const double t = busy[s][b];
+      const double ready = finish[s];  // executor free (batch b-1 done)
+      const double start = std::max(ready, upstream_done);
+      if (b == 0) {
+        result.stage_fill_seconds[s] = start;
+      } else {
+        result.stage_stall_seconds[s] += std::max(0.0, upstream_done - ready);
+      }
+      finish[s] = start + t;
+      upstream_done = finish[s];
+      result.stage_busy_seconds[s] += t;
+      result.serial_seconds += t;
+      chain += t;
+    }
+    result.critical_path_seconds = std::max(result.critical_path_seconds, chain);
+  }
+  result.pipelined_seconds = finish[num_stages - 1];
+  for (size_t s = 0; s < num_stages; ++s) {
+    result.stage_drain_seconds[s] = result.pipelined_seconds - finish[s];
+    if (result.stage_busy_seconds[s] > result.bottleneck_busy_seconds) {
+      result.bottleneck_busy_seconds = result.stage_busy_seconds[s];
+      result.bottleneck_stage = s;
+    }
+  }
+  result.speedup = result.pipelined_seconds > 0.0
+                       ? result.serial_seconds / result.pipelined_seconds
+                       : 1.0;
+  return result;
+}
+
+std::string PipelineReport::Summary() const {
+  std::ostringstream os;
+  os << "measured " << measured_speedup << "x, modeled " << modeled_speedup
+     << "x over " << stages.size() << " stages (bottleneck "
+     << (bottleneck_stage < stage_names.size()
+             ? stage_names[bottleneck_stage]
+             : "?")
+     << ", hw_concurrency " << hardware_concurrency
+     << (overlap_feasible ? "" : " — overlap infeasible") << ")";
+  return os.str();
+}
 
 PipelineReport RunPipeline(const std::vector<PipelineStage>& stages,
                            uint32_t num_batches) {
   GAL_CHECK(!stages.empty());
   PipelineReport report;
-  report.stage_busy_seconds.assign(stages.size(), 0.0);
-  for (const PipelineStage& s : stages) report.stage_names.push_back(s.name);
+  report.hardware_concurrency = std::thread::hardware_concurrency();
+  report.overlap_feasible =
+      report.hardware_concurrency >= stages.size();
+  report.stages.resize(stages.size());
+  for (size_t s = 0; s < stages.size(); ++s) {
+    report.stages[s].name = stages[s].name;
+    report.stage_names.push_back(stages[s].name);
+  }
 
-  // Pass 1: serial.
+  // Pass 1: serial, recording per-stage per-batch busy times — these
+  // feed both the busy histograms and the modeled replay.
+  std::vector<std::vector<double>> busy(
+      stages.size(), std::vector<double>(num_batches, 0.0));
+  std::vector<Histogram> busy_hist(stages.size());
   {
     Timer wall;
     for (uint32_t b = 0; b < num_batches; ++b) {
       for (size_t s = 0; s < stages.size(); ++s) {
         Timer t;
         stages[s].work(b);
-        report.stage_busy_seconds[s] += t.ElapsedSeconds();
+        busy[s][b] = t.ElapsedSeconds();
+        busy_hist[s].Observe(busy[s][b]);
+        report.stages[s].serial_busy_seconds += busy[s][b];
       }
     }
     report.serial_seconds = wall.ElapsedSeconds();
   }
 
+  // Modeled pipeline: replay the recorded times through the virtual
+  // clock. Deterministic given the recorded times, and correct on any
+  // core count (a 1-core host records valid busy times serially).
+  ModeledPipelineResult modeled = ModelPipelineSchedule(busy);
+  report.modeled_pipelined_seconds = modeled.pipelined_seconds;
+  report.modeled_speedup = modeled.speedup;
+  report.critical_path_seconds = modeled.critical_path_seconds;
+  report.bottleneck_stage = modeled.bottleneck_stage;
+  for (size_t s = 0; s < stages.size(); ++s) {
+    report.stages[s].modeled_fill_seconds = modeled.stage_fill_seconds[s];
+    report.stages[s].modeled_stall_seconds = modeled.stage_stall_seconds[s];
+    report.stages[s].modeled_drain_seconds = modeled.stage_drain_seconds[s];
+  }
+
   // Pass 2: pipelined — one thread per stage; stage s may process batch
   // b once stage s-1 finished batch b. progress[s] = batches completed
-  // by stage s.
+  // by stage s. Workers are pre-spawned and parked at a start line so
+  // thread-creation overhead is not charged to the pipelined wall time.
   {
     std::vector<uint32_t> progress(stages.size(), 0);
+    std::vector<double> pipelined_busy(stages.size(), 0.0);
+    std::vector<Histogram> stall_hist(stages.size());
     std::mutex mu;
     std::condition_variable cv;
-    Timer wall;
+    bool go = false;
     std::vector<std::thread> threads;
     threads.reserve(stages.size());
     for (size_t s = 0; s < stages.size(); ++s) {
       threads.emplace_back([&, s] {
+        {
+          std::unique_lock<std::mutex> lock(mu);
+          cv.wait(lock, [&] { return go; });
+        }
         for (uint32_t b = 0; b < num_batches; ++b) {
           if (s > 0) {
+            Timer wait;
             std::unique_lock<std::mutex> lock(mu);
             cv.wait(lock, [&] { return progress[s - 1] > b; });
+            lock.unlock();
+            stall_hist[s].Observe(wait.ElapsedSeconds());
+          } else {
+            stall_hist[s].Observe(0.0);
           }
+          Timer t;
           stages[s].work(b);
+          pipelined_busy[s] += t.ElapsedSeconds();
           {
             std::lock_guard<std::mutex> lock(mu);
             progress[s] = b + 1;
@@ -55,13 +162,32 @@ PipelineReport RunPipeline(const std::vector<PipelineStage>& stages,
         }
       });
     }
+    Timer wall;
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      go = true;
+      wall.Reset();
+    }
+    cv.notify_all();
     for (std::thread& t : threads) t.join();
     report.pipelined_seconds = wall.ElapsedSeconds();
+    for (size_t s = 0; s < stages.size(); ++s) {
+      report.stages[s].pipelined_busy_seconds = pipelined_busy[s];
+      report.stages[s].stall_p50_seconds = stall_hist[s].P50();
+      report.stages[s].stall_p95_seconds = stall_hist[s].P95();
+      report.stages[s].stall_max_seconds = stall_hist[s].Max();
+    }
   }
 
-  report.speedup = report.pipelined_seconds > 0.0
-                       ? report.serial_seconds / report.pipelined_seconds
-                       : 1.0;
+  for (size_t s = 0; s < stages.size(); ++s) {
+    report.stages[s].busy_p50_seconds = busy_hist[s].P50();
+    report.stages[s].busy_p95_seconds = busy_hist[s].P95();
+    report.stages[s].busy_max_seconds = busy_hist[s].Max();
+  }
+  report.measured_speedup = report.pipelined_seconds > 0.0
+                                ? report.serial_seconds /
+                                      report.pipelined_seconds
+                                : 1.0;
   return report;
 }
 

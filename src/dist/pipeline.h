@@ -1,6 +1,7 @@
 #ifndef GAL_DIST_PIPELINE_H_
 #define GAL_DIST_PIPELINE_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <string>
@@ -21,19 +22,98 @@ struct PipelineStage {
   std::function<void(uint32_t batch)> work;
 };
 
+/// Result of replaying recorded per-stage, per-batch busy times through
+/// a virtual clock that assumes one dedicated executor per stage and
+/// batch-ordered handoff: stage s may start batch b once (a) stage s
+/// finished batch b-1 and (b) stage s-1 finished batch b. This is the
+/// *modeled* pipeline — deterministic and independent of how many cores
+/// the host happens to have, matching how the survey's systems (and the
+/// rest of src/dist, e.g. SimulatedNetwork::SerializedSeconds) report
+/// overlap analytically.
+struct ModeledPipelineResult {
+  double serial_seconds = 0.0;     // Σ over stages and batches
+  double pipelined_seconds = 0.0;  // virtual-clock makespan
+  double speedup = 1.0;            // serial / pipelined
+  /// Longest single-batch stage chain (max_b Σ_s busy[s][b]) — the
+  /// latency critical path: no schedule finishes faster even with
+  /// unlimited executors per stage.
+  double critical_path_seconds = 0.0;
+  /// Stage with the largest total busy time; its total is the
+  /// throughput lower bound on the makespan.
+  size_t bottleneck_stage = 0;
+  double bottleneck_busy_seconds = 0.0;
+  /// Per-stage virtual-clock accounting. For every stage:
+  ///   fill + stall + busy + drain == pipelined_seconds.
+  std::vector<double> stage_busy_seconds;   // Σ_b busy[s][b]
+  std::vector<double> stage_fill_seconds;   // idle before its first batch
+  std::vector<double> stage_stall_seconds;  // idle waiting for upstream
+  std::vector<double> stage_drain_seconds;  // idle after its last batch
+};
+
+/// Replays `busy[s][b]` (stage s, batch b; all rows the same length)
+/// through the virtual clock described above. Pure function — the unit
+/// of testability for the modeled executor.
+ModeledPipelineResult ModelPipelineSchedule(
+    const std::vector<std::vector<double>>& busy);
+
+/// Per-stage observability of one RunPipeline call.
+struct PipelineStageStats {
+  std::string name;
+  /// Busy seconds accumulated during the serial pass (pass 1).
+  double serial_busy_seconds = 0.0;
+  /// Busy seconds accumulated during the pipelined pass (pass 2) — kept
+  /// separate from the serial pass because thread contention can make
+  /// them differ, and the stall accounting is relative to this pass.
+  double pipelined_busy_seconds = 0.0;
+  /// Modeled (virtual clock) idle accounting, from the serial-pass times.
+  double modeled_fill_seconds = 0.0;
+  double modeled_stall_seconds = 0.0;
+  double modeled_drain_seconds = 0.0;
+  /// Per-batch busy distribution (serial pass).
+  double busy_p50_seconds = 0.0;
+  double busy_p95_seconds = 0.0;
+  double busy_max_seconds = 0.0;
+  /// Measured per-batch wait-for-upstream distribution (pipelined pass;
+  /// the first batch's wait is the measured fill time).
+  double stall_p50_seconds = 0.0;
+  double stall_p95_seconds = 0.0;
+  double stall_max_seconds = 0.0;
+};
+
 struct PipelineReport {
-  double serial_seconds = 0.0;     // Σ over batches and stages
-  double pipelined_seconds = 0.0;  // measured overlapped wall time
-  /// Busy seconds per stage (same for both executions).
-  std::vector<double> stage_busy_seconds;
-  std::vector<std::string> stage_names;
-  double speedup = 0.0;            // serial / pipelined
+  /// std::thread::hardware_concurrency() at run time. When this is
+  /// smaller than the stage count, CPU-bound stages cannot actually
+  /// overlap and the *measured* speedup is meaningless — use the
+  /// modeled numbers, which assume one executor per stage.
+  unsigned hardware_concurrency = 0;
+  bool overlap_feasible = false;  // hardware_concurrency >= #stages
+
+  // Measured (wall clock, real threads).
+  double serial_seconds = 0.0;     // pass 1 wall time
+  double pipelined_seconds = 0.0;  // pass 2 wall time, workers pre-spawned
+  double measured_speedup = 1.0;   // serial / pipelined
+
+  // Modeled (virtual clock over the serial pass's recorded times).
+  double modeled_pipelined_seconds = 0.0;
+  double modeled_speedup = 1.0;
+  double critical_path_seconds = 0.0;
+  size_t bottleneck_stage = 0;
+
+  std::vector<PipelineStageStats> stages;
+  std::vector<std::string> stage_names;  // convenience view of stages[].name
+
+  /// One-line human summary (measured vs modeled).
+  std::string Summary() const;
 };
 
 /// Runs `num_batches` through the stages twice — serially and pipelined
-/// (one thread per stage, batch-ordered handoff) — and reports both
-/// wall times. Stage callables must be safe to call again for the
-/// second execution.
+/// (one thread per stage, batch-ordered handoff) — and reports measured
+/// wall times for both, plus the modeled pipeline obtained by replaying
+/// the serial pass's per-batch stage times through ModelPipelineSchedule.
+/// Stage callables must be safe to call again for the second execution.
+/// The pipelined wall timer starts only after every worker thread has
+/// been spawned and parked at the start line, so thread-creation
+/// overhead is not charged to the pipelined run.
 PipelineReport RunPipeline(const std::vector<PipelineStage>& stages,
                            uint32_t num_batches);
 

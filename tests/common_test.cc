@@ -243,5 +243,56 @@ TEST(MetricsTest, RegistryAccumulatesByName) {
   EXPECT_EQ(snap.size(), 2u);
 }
 
+TEST(MetricsTest, HistogramQuantilesAndMax) {
+  Histogram h;
+  for (int i = 1; i <= 100; ++i) h.Observe(static_cast<double>(i));
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_DOUBLE_EQ(h.sum(), 5050.0);
+  EXPECT_DOUBLE_EQ(h.Max(), 100.0);
+  EXPECT_NEAR(h.P50(), 50.5, 1e-9);
+  EXPECT_NEAR(h.P95(), 95.05, 1e-9);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 100.0);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+}
+
+TEST(MetricsTest, HistogramEmptyReadsAsZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.P50(), 0.0);
+  EXPECT_DOUBLE_EQ(h.P95(), 0.0);
+  EXPECT_DOUBLE_EQ(h.Max(), 0.0);
+}
+
+TEST(MetricsTest, HistogramObserveIsThreadSafe) {
+  Histogram h;
+  ThreadPool pool(8);
+  pool.ParallelFor(5000, [&h](size_t) { h.Observe(1.0); });
+  EXPECT_EQ(h.count(), 5000u);
+  EXPECT_DOUBLE_EQ(h.sum(), 5000.0);
+}
+
+TEST(MetricsTest, ScopedSpanRecordsOneSample) {
+  Histogram h;
+  {
+    ScopedSpan span(&h);
+  }
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_GE(h.Max(), 0.0);
+}
+
+TEST(MetricsTest, StageTimingStatSummarizesHistogram) {
+  Histogram h;
+  h.Observe(1.0);
+  h.Observe(2.0);
+  h.Observe(3.0);
+  StageTimingStat stat = StageTimingStat::FromHistogram("forward", h);
+  EXPECT_EQ(stat.name, "forward");
+  EXPECT_DOUBLE_EQ(stat.total_seconds, 6.0);
+  EXPECT_DOUBLE_EQ(stat.p50_seconds, 2.0);
+  EXPECT_DOUBLE_EQ(stat.max_seconds, 3.0);
+}
+
 }  // namespace
 }  // namespace gal

@@ -156,8 +156,93 @@ TEST(PipelineTest, OverlapBeatsSerial) {
       {"compute", [&](uint32_t) { spin(2.0); }},
   };
   PipelineReport report = RunPipeline(stages, 16);
-  EXPECT_GT(report.speedup, 1.5);
+  // The modeled speedup assumes one executor per stage and is therefore
+  // deterministic on any core count: 3 equal stages over 16 batches
+  // give 48/(16+2) ≈ 2.67x.
+  EXPECT_GT(report.modeled_speedup, 1.5);
   EXPECT_EQ(report.stage_names.size(), 3u);
+  EXPECT_GT(report.hardware_concurrency, 0u);
+  // The *measured* wall-clock speedup only materializes when the host
+  // can actually run one thread per CPU-bound spin stage.
+  if (std::thread::hardware_concurrency() >= stages.size()) {
+    EXPECT_GT(report.measured_speedup, 1.5);
+  }
+}
+
+TEST(PipelineTest, ModeledExecutorMoreStagesThanCores) {
+  // 8 stages regardless of the host's core count: the modeled replay
+  // must still show near-perfect overlap for uniform stages.
+  const size_t kStages = 8;
+  const uint32_t kBatches = 24;
+  std::vector<std::vector<double>> busy(
+      kStages, std::vector<double>(kBatches, 1.0));
+  ModeledPipelineResult m = ModelPipelineSchedule(busy);
+  EXPECT_DOUBLE_EQ(m.serial_seconds, double(kStages * kBatches));
+  // Uniform pipeline makespan: batches + (stages - 1).
+  EXPECT_DOUBLE_EQ(m.pipelined_seconds, double(kBatches + kStages - 1));
+  EXPECT_NEAR(m.speedup,
+              double(kStages * kBatches) / double(kBatches + kStages - 1),
+              1e-12);
+  EXPECT_DOUBLE_EQ(m.critical_path_seconds, double(kStages));
+  // Fill + stall + busy + drain accounts for every stage's whole run.
+  for (size_t s = 0; s < kStages; ++s) {
+    EXPECT_NEAR(m.stage_fill_seconds[s] + m.stage_stall_seconds[s] +
+                    m.stage_busy_seconds[s] + m.stage_drain_seconds[s],
+                m.pipelined_seconds, 1e-9)
+        << "stage " << s;
+  }
+}
+
+TEST(PipelineTest, ModeledExecutorBottleneckDominates) {
+  // Skewed stages: the slow middle stage sets the pace; modeled speedup
+  // approaches total / bottleneck as batches grow.
+  const uint32_t kBatches = 64;
+  std::vector<std::vector<double>> busy = {
+      std::vector<double>(kBatches, 0.1),
+      std::vector<double>(kBatches, 1.0),
+      std::vector<double>(kBatches, 0.1),
+  };
+  ModeledPipelineResult m = ModelPipelineSchedule(busy);
+  EXPECT_EQ(m.bottleneck_stage, 1u);
+  EXPECT_DOUBLE_EQ(m.bottleneck_busy_seconds, double(kBatches));
+  // Makespan = fill (0.1) + bottleneck total (64) + drain (0.1).
+  EXPECT_NEAR(m.pipelined_seconds, 0.1 + kBatches + 0.1, 1e-9);
+  EXPECT_NEAR(m.speedup, m.serial_seconds / m.bottleneck_busy_seconds, 0.05);
+  // Fast downstream stage mostly stalls waiting on the bottleneck.
+  EXPECT_GT(m.stage_stall_seconds[2], 0.8 * kBatches * (1.0 - 0.1));
+}
+
+TEST(PipelineTest, ModeledExecutorSingleStageHasNoOverlap) {
+  std::vector<std::vector<double>> busy = {{0.5, 1.0, 0.25, 2.0}};
+  ModeledPipelineResult m = ModelPipelineSchedule(busy);
+  EXPECT_DOUBLE_EQ(m.pipelined_seconds, m.serial_seconds);
+  EXPECT_DOUBLE_EQ(m.speedup, 1.0);
+  EXPECT_EQ(m.bottleneck_stage, 0u);
+  EXPECT_DOUBLE_EQ(m.stage_fill_seconds[0], 0.0);
+  EXPECT_DOUBLE_EQ(m.stage_stall_seconds[0], 0.0);
+  EXPECT_DOUBLE_EQ(m.stage_drain_seconds[0], 0.0);
+  EXPECT_DOUBLE_EQ(m.critical_path_seconds, 2.0);
+}
+
+TEST(PipelineTest, ReportSeparatesSerialAndPipelinedBusyTime) {
+  std::vector<PipelineStage> stages = {
+      {"a", [](uint32_t) {}},
+      {"b", [](uint32_t) {}},
+  };
+  PipelineReport report = RunPipeline(stages, 8);
+  ASSERT_EQ(report.stages.size(), 2u);
+  for (const PipelineStageStats& s : report.stages) {
+    // Both passes ran all 8 batches; both busy totals were recorded.
+    EXPECT_GE(s.serial_busy_seconds, 0.0);
+    EXPECT_GE(s.pipelined_busy_seconds, 0.0);
+    EXPECT_GE(s.busy_max_seconds, s.busy_p50_seconds);
+    EXPECT_GE(s.stall_max_seconds, s.stall_p50_seconds);
+  }
+  // Virtual-clock consistency: modeled makespan is bounded below by the
+  // critical path and above by the serial total.
+  EXPECT_GE(report.modeled_pipelined_seconds, report.critical_path_seconds);
+  EXPECT_LE(report.modeled_pipelined_seconds,
+            report.serial_seconds + 1e-9);
 }
 
 TEST(PipelineTest, OrderingRespected) {
