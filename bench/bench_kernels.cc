@@ -3,11 +3,14 @@
 // matmul, sampling, and the TLAV superstep loop. These are the numbers
 // to watch when optimizing the library itself.
 
+#include <thread>
+
 #include <benchmark/benchmark.h>
 
 #include "common/rng.h"
 #include "gnn/sampler.h"
 #include "graph/generators.h"
+#include "tensor/kernel_context.h"
 #include "tensor/matrix.h"
 #include "tensor/sparse.h"
 #include "tlag/algos/triangles.h"
@@ -15,6 +18,16 @@
 
 namespace gal {
 namespace {
+
+// Thread-count sweep for the KernelContext-backed kernels: 1 / 2 / 4 /
+// hardware_concurrency. The GFLOP/s and edges/s counters are the kernel
+// throughput trajectory BENCH_*.json tracks across PRs.
+void KernelThreadArgs(benchmark::internal::Benchmark* b) {
+  b->Arg(1)->Arg(2)->Arg(4);
+  const int hw = static_cast<int>(
+      std::max(1u, std::thread::hardware_concurrency()));
+  if (hw != 1 && hw != 2 && hw != 4) b->Arg(hw);
+}
 
 void BM_CsrConstruction(benchmark::State& state) {
   const uint32_t scale = static_cast<uint32_t>(state.range(0));
@@ -72,6 +85,45 @@ void BM_DenseMatmul(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * uint64_t{n} * n * n);
 }
 BENCHMARK(BM_DenseMatmul)->Arg(64)->Arg(128);
+
+void BM_GemmThreadSweep(benchmark::State& state) {
+  const uint32_t n = 256;  // >= the acceptance problem size (256^3)
+  const size_t threads = static_cast<size_t>(state.range(0));
+  Rng rng(4);
+  Matrix a = Matrix::Xavier(n, n, rng);
+  Matrix b = Matrix::Xavier(n, n, rng);
+  KernelContext::Get().SetNumThreads(threads);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Matmul(a, b).rows());
+  }
+  KernelContext::Get().SetNumThreads(0);
+  const double flops = 2.0 * n * n * n * state.iterations();
+  state.counters["GFLOP/s"] =
+      benchmark::Counter(flops * 1e-9, benchmark::Counter::kIsRate);
+  state.counters["threads"] = static_cast<double>(threads);
+}
+BENCHMARK(BM_GemmThreadSweep)->Apply(KernelThreadArgs)->UseRealTime();
+
+void BM_SpmmThreadSweep(benchmark::State& state) {
+  // Power-law generator graph: the nnz-balanced shards are what keeps
+  // the hub rows from serializing one shard.
+  Graph g = Rmat(12, 8, 5);
+  SparseMatrix adj = NormalizedAdjacency(g, AdjNorm::kSymmetric);
+  Rng rng(5);
+  Matrix h = Matrix::Xavier(g.NumVertices(), 32, rng);
+  const size_t threads = static_cast<size_t>(state.range(0));
+  KernelContext::Get().SetNumThreads(threads);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(adj.Multiply(h).rows());
+  }
+  KernelContext::Get().SetNumThreads(0);
+  const double edges = static_cast<double>(adj.nnz()) * state.iterations();
+  state.counters["edges/s"] =
+      benchmark::Counter(edges, benchmark::Counter::kIsRate);
+  state.counters["threads"] = static_cast<double>(threads);
+  state.SetItemsProcessed(state.iterations() * adj.nnz() * h.cols());
+}
+BENCHMARK(BM_SpmmThreadSweep)->Apply(KernelThreadArgs)->UseRealTime();
 
 void BM_WccSuperstepLoop(benchmark::State& state) {
   Graph g = Rmat(static_cast<uint32_t>(state.range(0)), 8, 7);

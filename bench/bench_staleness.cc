@@ -80,6 +80,18 @@ int main() {
                   Fmt("%.2f", st.max_seconds * 1e3)});
   }
   spans.Print();
+
+  std::printf("\n-- BSP kernel-class attribution (KernelContext spans across "
+              "all four workers) --\n");
+  Table kernels({"kernel class", "total ms", "p50 ms", "p95 ms", "max ms"});
+  for (const StageTimingStat& st : bsp.kernel_timings) {
+    kernels.AddRow({st.name, Fmt("%.1f", st.total_seconds * 1e3),
+                    Fmt("%.2f", st.p50_seconds * 1e3),
+                    Fmt("%.2f", st.p95_seconds * 1e3),
+                    Fmt("%.2f", st.max_seconds * 1e3)});
+  }
+  kernels.Print();
+
   std::printf("modeled compute->comm overlap: %.1f ms total (%.2fx vs "
               "serial, %s-bound)\n",
               bsp.modeled_overlap_epoch_seconds * 1e3,

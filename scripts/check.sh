@@ -13,14 +13,14 @@ cmake --build build -j "${JOBS}"
 (cd build && ctest --output-on-failure -j "${JOBS}")
 
 echo
-echo "== tsan: pipeline / threadpool / task-engine tests =="
+echo "== tsan: pipeline / threadpool / task-engine / tensor-kernel tests =="
 cmake -B build-tsan -S . \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DCMAKE_CXX_FLAGS="-fsanitize=thread" \
     -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
 cmake --build build-tsan --target gal_tests -j "${JOBS}"
 ./build-tsan/tests/gal_tests \
-    --gtest_filter='PipelineTest.*:ThreadPoolTest.*:TaskEngineTest.*'
+    --gtest_filter='PipelineTest.*:ThreadPoolTest.*:TaskEngineTest.*:KernelContextTest.*:KernelParityTest.*:TensorTest.*:MatrixTest.*:SparseTest.*'
 
 echo
 echo "check.sh: all green"

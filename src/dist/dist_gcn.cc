@@ -12,6 +12,7 @@
 #include "dist/pipeline.h"
 #include "nn/gcn.h"
 #include "nn/optimizer.h"
+#include "tensor/kernel_context.h"
 #include "tensor/sparse.h"
 
 namespace gal {
@@ -260,6 +261,11 @@ DistGcnReport TrainDistGcn(const NodeClassificationDataset& dataset,
   Histogram forward_hist;
   Histogram backward_hist;
   Histogram step_hist;
+  // Kernel-class attribution: pre-warm the shared pool so worker spawn
+  // lands outside the timed epochs, and restart the per-kernel spans so
+  // report.kernel_timings covers exactly this run.
+  KernelContext& kernel_ctx = KernelContext::Get();
+  kernel_ctx.ResetKernelStats();
   // Per-epoch {compute, comm} traces, replayed through the modeled
   // pipeline executor after the loop.
   std::vector<double> epoch_compute_trace;
@@ -313,6 +319,7 @@ DistGcnReport TrainDistGcn(const NodeClassificationDataset& dataset,
       StageTimingStat::FromHistogram("backward", backward_hist),
       StageTimingStat::FromHistogram("step", step_hist),
   };
+  report.kernel_timings = kernel_ctx.KernelStats();
   if (!epoch_compute_trace.empty()) {
     // Epochs flow through a 2-stage compute -> comm pipeline; the
     // modeled makespan is what a pipelined system (P3/Dorylus-style

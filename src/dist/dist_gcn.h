@@ -76,6 +76,12 @@ struct DistGcnReport {
   /// observability RunPipeline reports for batch pipelines.
   std::vector<StageTimingStat> stage_timings;
 
+  /// Kernel-class attribution of the run's compute time ("gemm" /
+  /// "spmm" / "elementwise"), from the KernelContext span histograms.
+  /// TrainDistGcn resets the process-wide kernel histograms at entry, so
+  /// these cover exactly this training run.
+  std::vector<StageTimingStat> kernel_timings;
+
   /// Modeled comm/compute overlap: the per-epoch {compute, comm} times
   /// replayed through the virtual-clock pipeline executor
   /// (ModelPipelineSchedule), independent of this host's core count.

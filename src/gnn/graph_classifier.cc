@@ -5,6 +5,7 @@
 
 #include "common/logging.h"
 #include "nn/optimizer.h"
+#include "tensor/kernel_context.h"
 
 namespace gal {
 
@@ -13,7 +14,13 @@ Matrix LocalSubgraphFeatures(const Graph& g) {
   Matrix x(n, 5);
   const float max_degree = std::max<uint32_t>(1, g.MaxDegree());
 
-  for (VertexId v = 0; v < n; ++v) {
+  // Each vertex fills only its own feature row (the co-neighbor map is
+  // loop-local), so the structural sweep shards cleanly over vertices.
+  const uint64_t avg_deg = 1 + g.NumAdjacencyEntries() / std::max<VertexId>(1, n);
+  KernelContext::Get().ParallelFor1D(
+      n, avg_deg * avg_deg, [&](size_t v_begin, size_t v_end) {
+  for (VertexId v = static_cast<VertexId>(v_begin);
+       v < static_cast<VertexId>(v_end); ++v) {
     // Triangles through v: pairs of adjacent neighbors.
     uint64_t triangles = 0;
     const auto nv = g.Neighbors(v);
@@ -42,6 +49,7 @@ Matrix LocalSubgraphFeatures(const Graph& g) {
                         : 0.0f;
     x.at(v, 4) = static_cast<float>(cycles);
   }
+  });
   return x;
 }
 

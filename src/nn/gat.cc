@@ -5,6 +5,7 @@
 
 #include "common/logging.h"
 #include "nn/optimizer.h"
+#include "tensor/kernel_context.h"
 
 namespace gal {
 namespace {
@@ -59,18 +60,28 @@ Matrix GatModel::Forward(const Matrix& features) {
     const float* a_src = attn_src_[l].row(0);
     const float* a_dst = attn_dst_[l].row(0);
 
+    KernelContext& ctx = KernelContext::Get();
+
     // Per-vertex source/destination attention scalars.
     std::vector<float> src_score(n);
     std::vector<float> dst_score(n);
-    for (VertexId v = 0; v < n; ++v) {
-      src_score[v] = Dot(z.row(v), a_src, d);
-      dst_score[v] = Dot(z.row(v), a_dst, d);
-    }
+    ctx.ParallelFor1D(n, 2 * uint64_t{d}, [&](size_t begin, size_t end) {
+      for (size_t v = begin; v < end; ++v) {
+        src_score[v] = Dot(z.row(static_cast<VertexId>(v)), a_src, d);
+        dst_score[v] = Dot(z.row(static_cast<VertexId>(v)), a_dst, d);
+      }
+    });
 
     alpha_[l].assign(n, {});
     e_raw_[l].assign(n, {});
     Matrix out(n, d);
-    for (VertexId i = 0; i < n; ++i) {
+    // Each vertex writes only its own out/alpha/e_raw rows, so the
+    // attention aggregation parallelizes without races.
+    const uint64_t avg_fan =
+        1 + graph_->NumAdjacencyEntries() / std::max<uint64_t>(1, n);
+    ctx.ParallelFor1D(n, avg_fan * d, [&](size_t v_begin, size_t v_end) {
+    for (VertexId i = static_cast<VertexId>(v_begin);
+         i < static_cast<VertexId>(v_end); ++i) {
       const auto nbrs = graph_->Neighbors(i);
       const size_t fan = nbrs.size() + 1;  // self first
       std::vector<float>& raw = e_raw_[l][i];
@@ -99,6 +110,7 @@ Matrix GatModel::Forward(const Matrix& features) {
         for (uint32_t c = 0; c < d; ++c) oi[c] += att[j] * zj[c];
       }
     }
+    });
     z_.push_back(std::move(z));
     if (l + 1 < num_layers()) {
       Matrix mask;
@@ -127,6 +139,8 @@ std::vector<Matrix> GatModel::Backward(const Matrix& grad_logits) {
     Matrix da_src(1, d);
     Matrix da_dst(1, d);
 
+    // Stays serial: the attention-path gradient scatters into dz rows of
+    // neighboring vertices, which races under vertex sharding.
     for (VertexId i = 0; i < n; ++i) {
       const auto nbrs = graph_->Neighbors(i);
       const size_t fan = nbrs.size() + 1;

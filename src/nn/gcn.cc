@@ -4,6 +4,7 @@
 
 #include "common/logging.h"
 #include "nn/optimizer.h"
+#include "tensor/kernel_context.h"
 
 namespace gal {
 
@@ -76,6 +77,10 @@ TrainReport TrainNodeClassifier(GcnModel& model, const Matrix& features,
     opt = std::make_unique<Sgd>(config.lr);
   }
   opt->Attach(model.Parameters());
+
+  // Pre-warm the shared kernel pool so worker spawn cost lands before
+  // the first epoch, not inside it (same policy as the pipeline benches).
+  KernelContext::Get();
 
   TrainReport report;
   for (uint32_t epoch = 0; epoch < config.epochs; ++epoch) {

@@ -4,21 +4,26 @@
 
 #include "common/logging.h"
 #include "nn/optimizer.h"
+#include "tensor/kernel_context.h"
 
 namespace gal {
 namespace {
 
-/// [A ; B] column-wise concatenation (same row count).
+/// [A ; B] column-wise concatenation (same row count). Row-parallel on
+/// the shared kernel pool — pure copies, so order-independent.
 Matrix ConcatCols(const Matrix& a, const Matrix& b) {
   GAL_CHECK(a.rows() == b.rows());
   Matrix out(a.rows(), a.cols() + b.cols());
-  for (uint32_t r = 0; r < a.rows(); ++r) {
-    float* dst = out.row(r);
-    const float* ar = a.row(r);
-    const float* br = b.row(r);
-    std::copy(ar, ar + a.cols(), dst);
-    std::copy(br, br + b.cols(), dst + a.cols());
-  }
+  KernelContext::Get().ParallelFor1D(
+      a.rows(), out.cols(), [&](size_t begin, size_t end) {
+        for (size_t r = begin; r < end; ++r) {
+          float* dst = out.row(static_cast<uint32_t>(r));
+          const float* ar = a.row(static_cast<uint32_t>(r));
+          const float* br = b.row(static_cast<uint32_t>(r));
+          std::copy(ar, ar + a.cols(), dst);
+          std::copy(br, br + b.cols(), dst + a.cols());
+        }
+      });
   return out;
 }
 
@@ -27,11 +32,16 @@ void SplitCols(const Matrix& dc, uint32_t left_cols, Matrix* dleft,
                Matrix* dright) {
   *dleft = Matrix(dc.rows(), left_cols);
   *dright = Matrix(dc.rows(), dc.cols() - left_cols);
-  for (uint32_t r = 0; r < dc.rows(); ++r) {
-    const float* src = dc.row(r);
-    std::copy(src, src + left_cols, dleft->row(r));
-    std::copy(src + left_cols, src + dc.cols(), dright->row(r));
-  }
+  KernelContext::Get().ParallelFor1D(
+      dc.rows(), dc.cols(), [&](size_t begin, size_t end) {
+        for (size_t r = begin; r < end; ++r) {
+          const float* src = dc.row(static_cast<uint32_t>(r));
+          std::copy(src, src + left_cols,
+                    dleft->row(static_cast<uint32_t>(r)));
+          std::copy(src + left_cols, src + dc.cols(),
+                    dright->row(static_cast<uint32_t>(r)));
+        }
+      });
 }
 
 }  // namespace

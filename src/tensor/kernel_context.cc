@@ -1,0 +1,86 @@
+#include "tensor/kernel_context.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <thread>
+
+namespace gal {
+namespace {
+
+/// Below this many scalar operations a kernel runs inline: the pool's
+/// dispatch + wakeup latency would dominate the work itself.
+constexpr uint64_t kSerialGrain = 1 << 15;
+
+}  // namespace
+
+KernelContext& KernelContext::Get() {
+  static KernelContext ctx;
+  return ctx;
+}
+
+KernelContext::KernelContext() { SetNumThreads(0); }
+
+size_t KernelContext::DefaultNumThreads() {
+  if (const char* env = std::getenv("GAL_KERNEL_THREADS")) {
+    char* end = nullptr;
+    const unsigned long v = std::strtoul(env, &end, 10);
+    if (end != env && *end == '\0' && v > 0) return static_cast<size_t>(v);
+  }
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+void KernelContext::SetNumThreads(size_t n) {
+  if (n == 0) n = DefaultNumThreads();
+  if (n == num_threads_ && (n == 1) == (pool_ == nullptr)) return;
+  pool_.reset();  // join old workers before spawning the new pool
+  if (n > 1) pool_ = std::make_unique<ThreadPool>(n);
+  num_threads_ = n;
+}
+
+size_t KernelContext::ShardCountFor(uint64_t work) const {
+  if (num_threads_ <= 1 || work < kSerialGrain) return 1;
+  return static_cast<size_t>(
+      std::min<uint64_t>(num_threads_, work / kSerialGrain));
+}
+
+void KernelContext::RunShards(size_t shards,
+                              const std::function<void(size_t)>& fn) {
+  if (shards <= 1 || pool_ == nullptr) {
+    for (size_t s = 0; s < shards; ++s) fn(s);
+    return;
+  }
+  pool_->ParallelFor(shards, fn);
+}
+
+void KernelContext::ParallelFor1D(
+    size_t n, uint64_t work_per_item,
+    const std::function<void(size_t, size_t)>& fn) {
+  if (n == 0) return;
+  const size_t shards =
+      std::min<size_t>(n, ShardCountFor(n * std::max<uint64_t>(1, work_per_item)));
+  if (shards <= 1) {
+    fn(0, n);
+    return;
+  }
+  RunShards(shards, [&](size_t s) {
+    const size_t begin = n * s / shards;
+    const size_t end = n * (s + 1) / shards;
+    if (begin < end) fn(begin, end);
+  });
+}
+
+std::vector<StageTimingStat> KernelContext::KernelStats() const {
+  return {
+      StageTimingStat::FromHistogram("gemm", gemm_hist_),
+      StageTimingStat::FromHistogram("spmm", spmm_hist_),
+      StageTimingStat::FromHistogram("elementwise", elementwise_hist_),
+  };
+}
+
+void KernelContext::ResetKernelStats() {
+  gemm_hist_.Reset();
+  spmm_hist_.Reset();
+  elementwise_hist_.Reset();
+}
+
+}  // namespace gal

@@ -1,0 +1,81 @@
+#ifndef GAL_TENSOR_KERNEL_CONTEXT_H_
+#define GAL_TENSOR_KERNEL_CONTEXT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/threadpool.h"
+
+namespace gal {
+
+/// Process-wide executor + instrumentation shared by every tensor kernel
+/// (dense GEMM, SpMM, elementwise). Kernels shard work over output rows,
+/// so each output element is produced by exactly one shard with a fixed
+/// accumulation order — results are bit-identical regardless of thread
+/// count.
+///
+/// Thread count resolution: `GAL_KERNEL_THREADS` env override if set to
+/// a positive integer, else `hardware_concurrency`. With one thread no
+/// pool is spawned and every kernel runs inline (serial fallback).
+class KernelContext {
+ public:
+  /// The singleton; first call resolves the thread-count policy and
+  /// spawns the pool.
+  static KernelContext& Get();
+
+  KernelContext(const KernelContext&) = delete;
+  KernelContext& operator=(const KernelContext&) = delete;
+
+  /// Rebuilds the worker pool with `n` threads; `n == 0` restores the
+  /// default policy (env override, else hardware concurrency). Must not
+  /// be called concurrently with running kernels.
+  void SetNumThreads(size_t n);
+  size_t num_threads() const { return num_threads_; }
+
+  /// Runs fn(shard) for shard in [0, shards). Serial inline loop when
+  /// `shards <= 1` or the context is single-threaded. Shards must write
+  /// disjoint output.
+  void RunShards(size_t shards, const std::function<void(size_t)>& fn);
+
+  /// Splits [0, n) into at most ShardCountFor(n * work_per_item)
+  /// contiguous ranges and runs fn(begin, end) on each — the elementwise
+  /// fast path.
+  void ParallelFor1D(size_t n, uint64_t work_per_item,
+                     const std::function<void(size_t, size_t)>& fn);
+
+  /// How many shards a job of `work` scalar operations deserves: 1 below
+  /// the serial grain (parallel dispatch would cost more than it saves),
+  /// else capped by the thread count.
+  size_t ShardCountFor(uint64_t work) const;
+
+  /// Per-kernel-class span sinks; every kernel entry point records its
+  /// wall time into one of these so training loops can attribute compute
+  /// to kernel class (see DistGcnReport::kernel_timings).
+  Histogram* gemm_hist() { return &gemm_hist_; }
+  Histogram* spmm_hist() { return &spmm_hist_; }
+  Histogram* elementwise_hist() { return &elementwise_hist_; }
+
+  /// Summaries of the three kernel-class histograms, named
+  /// "gemm" / "spmm" / "elementwise".
+  std::vector<StageTimingStat> KernelStats() const;
+  void ResetKernelStats();
+
+ private:
+  KernelContext();
+  static size_t DefaultNumThreads();
+
+  size_t num_threads_ = 1;
+  std::unique_ptr<ThreadPool> pool_;  // null when num_threads_ == 1
+
+  Histogram gemm_hist_;
+  Histogram spmm_hist_;
+  Histogram elementwise_hist_;
+};
+
+}  // namespace gal
+
+#endif  // GAL_TENSOR_KERNEL_CONTEXT_H_

@@ -4,7 +4,27 @@
 #include <cmath>
 #include <sstream>
 
+#include "tensor/kernel_context.h"
+
 namespace gal {
+namespace {
+
+/// k-tile width: one tile of B (kKTile rows) stays hot in cache while a
+/// shard's C rows stream over it.
+constexpr uint32_t kKTile = 128;
+/// C-row panel width for the transpose-A kernel: the panel of output
+/// rows revisited on every k step must fit in cache.
+constexpr uint32_t kIPanel = 64;
+
+/// Shard count for a GEMM parallelized over `out_rows` output rows doing
+/// `work` scalar ops total. Each output row is produced by exactly one
+/// shard, so results are bit-identical at any thread count.
+size_t GemmShards(const KernelContext& ctx, uint32_t out_rows, uint64_t work) {
+  return std::min<size_t>(std::max<uint32_t>(1, out_rows),
+                          ctx.ShardCountFor(work));
+}
+
+}  // namespace
 
 Matrix Matrix::Xavier(uint32_t rows, uint32_t cols, Rng& rng) {
   Matrix m(rows, cols);
@@ -17,12 +37,13 @@ Matrix Matrix::Xavier(uint32_t rows, uint32_t cols, Rng& rng) {
 }
 
 void Matrix::AddScaled(const Matrix& other, float alpha) {
-  GAL_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
-  for (size_t i = 0; i < data_.size(); ++i) data_[i] += alpha * other.data_[i];
-}
-
-void Matrix::Apply(const std::function<float(float)>& fn) {
-  for (float& v : data_) v = fn(v);
+  GAL_CHECK(rows_ == other.rows_ && cols_ == other.cols_)
+      << ShapeString() << " += alpha * " << other.ShapeString();
+  KernelContext& ctx = KernelContext::Get();
+  ScopedSpan span(ctx.elementwise_hist());
+  ctx.ParallelFor1D(data_.size(), 2, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) data_[i] += alpha * other.data_[i];
+  });
 }
 
 double Matrix::FrobeniusNorm() const {
@@ -51,17 +72,36 @@ Matrix Matmul(const Matrix& a, const Matrix& b) {
   GAL_CHECK(a.cols() == b.rows())
       << a.ShapeString() << " * " << b.ShapeString();
   Matrix c(a.rows(), b.cols());
-  // i-k-j loop order: streams through b and c rows (cache-friendly).
-  for (uint32_t i = 0; i < a.rows(); ++i) {
-    float* ci = c.row(i);
-    const float* ai = a.row(i);
-    for (uint32_t k = 0; k < a.cols(); ++k) {
-      const float aik = ai[k];
-      if (aik == 0.0f) continue;
-      const float* bk = b.row(k);
-      for (uint32_t j = 0; j < b.cols(); ++j) ci[j] += aik * bk[j];
+  if (a.rows() == 0 || a.cols() == 0 || b.cols() == 0) return c;
+  KernelContext& ctx = KernelContext::Get();
+  ScopedSpan span(ctx.gemm_hist());
+  const uint64_t work =
+      uint64_t{a.rows()} * a.cols() * b.cols();
+  const size_t shards = GemmShards(ctx, a.rows(), work);
+  const uint32_t rows = a.rows();
+  const uint32_t kdim = a.cols();
+  const uint32_t ncols = b.cols();
+  ctx.RunShards(shards, [&](size_t s) {
+    const uint32_t r0 = static_cast<uint32_t>(uint64_t{rows} * s / shards);
+    const uint32_t r1 =
+        static_cast<uint32_t>(uint64_t{rows} * (s + 1) / shards);
+    // Row-panel × k-tile: per k-tile the touched B panel stays cached
+    // while this shard's C rows stream over it. Per C row the k order is
+    // 0..K ascending whatever the shard bounds — bit-deterministic.
+    for (uint32_t k0 = 0; k0 < kdim; k0 += kKTile) {
+      const uint32_t k1 = std::min(kdim, k0 + kKTile);
+      for (uint32_t i = r0; i < r1; ++i) {
+        float* ci = c.row(i);
+        const float* ai = a.row(i);
+        for (uint32_t k = k0; k < k1; ++k) {
+          const float aik = ai[k];
+          if (aik == 0.0f) continue;
+          const float* bk = b.row(k);
+          for (uint32_t j = 0; j < ncols; ++j) ci[j] += aik * bk[j];
+        }
+      }
     }
-  }
+  });
   return c;
 }
 
@@ -69,16 +109,35 @@ Matrix MatmulTransposeA(const Matrix& a, const Matrix& b) {
   GAL_CHECK(a.rows() == b.rows())
       << a.ShapeString() << "^T * " << b.ShapeString();
   Matrix c(a.cols(), b.cols());
-  for (uint32_t k = 0; k < a.rows(); ++k) {
-    const float* ak = a.row(k);
-    const float* bk = b.row(k);
-    for (uint32_t i = 0; i < a.cols(); ++i) {
-      const float aki = ak[i];
-      if (aki == 0.0f) continue;
-      float* ci = c.row(i);
-      for (uint32_t j = 0; j < b.cols(); ++j) ci[j] += aki * bk[j];
+  if (a.rows() == 0 || a.cols() == 0 || b.cols() == 0) return c;
+  KernelContext& ctx = KernelContext::Get();
+  ScopedSpan span(ctx.gemm_hist());
+  const uint64_t work = uint64_t{a.rows()} * a.cols() * b.cols();
+  const size_t shards = GemmShards(ctx, a.cols(), work);
+  const uint32_t out_rows = a.cols();
+  const uint32_t kdim = a.rows();
+  const uint32_t ncols = b.cols();
+  ctx.RunShards(shards, [&](size_t s) {
+    const uint32_t r0 = static_cast<uint32_t>(uint64_t{out_rows} * s / shards);
+    const uint32_t r1 =
+        static_cast<uint32_t>(uint64_t{out_rows} * (s + 1) / shards);
+    // Output rows of C = A^T B are indexed by A's columns; sharding by
+    // output row keeps the scatter race-free. Within a C-row panel each
+    // k step reads a contiguous slice a[k][i0..i1) and one B row.
+    for (uint32_t i0 = r0; i0 < r1; i0 += kIPanel) {
+      const uint32_t i1 = std::min(r1, i0 + kIPanel);
+      for (uint32_t k = 0; k < kdim; ++k) {
+        const float* ak = a.row(k);
+        const float* bk = b.row(k);
+        for (uint32_t i = i0; i < i1; ++i) {
+          const float aki = ak[i];
+          if (aki == 0.0f) continue;
+          float* ci = c.row(i);
+          for (uint32_t j = 0; j < ncols; ++j) ci[j] += aki * bk[j];
+        }
+      }
     }
-  }
+  });
   return c;
 }
 
@@ -86,60 +145,105 @@ Matrix MatmulTransposeB(const Matrix& a, const Matrix& b) {
   GAL_CHECK(a.cols() == b.cols())
       << a.ShapeString() << " * " << b.ShapeString() << "^T";
   Matrix c(a.rows(), b.rows());
-  for (uint32_t i = 0; i < a.rows(); ++i) {
-    const float* ai = a.row(i);
-    float* ci = c.row(i);
-    for (uint32_t j = 0; j < b.rows(); ++j) {
-      const float* bj = b.row(j);
-      double s = 0.0;
-      for (uint32_t k = 0; k < a.cols(); ++k) s += ai[k] * bj[k];
-      ci[j] = static_cast<float>(s);
+  if (a.rows() == 0 || a.cols() == 0 || b.rows() == 0) return c;
+  KernelContext& ctx = KernelContext::Get();
+  ScopedSpan span(ctx.gemm_hist());
+  const uint64_t work = uint64_t{a.rows()} * a.cols() * b.rows();
+  const size_t shards = GemmShards(ctx, a.rows(), work);
+  const uint32_t rows = a.rows();
+  const uint32_t kdim = a.cols();
+  const uint32_t out_cols = b.rows();
+  ctx.RunShards(shards, [&](size_t s) {
+    const uint32_t r0 = static_cast<uint32_t>(uint64_t{rows} * s / shards);
+    const uint32_t r1 =
+        static_cast<uint32_t>(uint64_t{rows} * (s + 1) / shards);
+    // Blocked accumulator form of the dot products: per k-tile partial
+    // sums flow into the C row, so the k-tile of B is streamed once per
+    // A row instead of once per (i, j) pair.
+    for (uint32_t i = r0; i < r1; ++i) {
+      const float* ai = a.row(i);
+      float* ci = c.row(i);
+      for (uint32_t k0 = 0; k0 < kdim; k0 += kKTile) {
+        const uint32_t k1 = std::min(kdim, k0 + kKTile);
+        for (uint32_t j = 0; j < out_cols; ++j) {
+          const float* bj = b.row(j);
+          float s_kj = 0.0f;
+          for (uint32_t k = k0; k < k1; ++k) s_kj += ai[k] * bj[k];
+          ci[j] += s_kj;
+        }
+      }
     }
-  }
+  });
   return c;
 }
 
 Matrix ReluForward(const Matrix& z, Matrix* mask) {
   Matrix h = z;
   if (mask != nullptr) *mask = Matrix(z.rows(), z.cols());
-  for (uint32_t i = 0; i < z.rows(); ++i) {
-    for (uint32_t j = 0; j < z.cols(); ++j) {
-      if (z.at(i, j) > 0.0f) {
-        if (mask != nullptr) mask->at(i, j) = 1.0f;
+  KernelContext& ctx = KernelContext::Get();
+  ScopedSpan span(ctx.elementwise_hist());
+  float* hd = h.data().data();
+  float* md = mask != nullptr ? mask->data().data() : nullptr;
+  const float* zd = z.data().data();
+  ctx.ParallelFor1D(h.size(), 1, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      if (zd[i] > 0.0f) {
+        if (md != nullptr) md[i] = 1.0f;
       } else {
-        h.at(i, j) = 0.0f;
+        hd[i] = 0.0f;
       }
     }
-  }
+  });
   return h;
 }
 
 Matrix ReluBackward(const Matrix& grad, const Matrix& mask) {
-  GAL_CHECK(grad.rows() == mask.rows() && grad.cols() == mask.cols());
+  GAL_CHECK(grad.rows() == mask.rows() && grad.cols() == mask.cols())
+      << grad.ShapeString() << " vs mask " << mask.ShapeString();
   Matrix out = grad;
-  for (size_t i = 0; i < out.data().size(); ++i) {
-    out.data()[i] *= mask.data()[i];
-  }
+  KernelContext& ctx = KernelContext::Get();
+  ScopedSpan span(ctx.elementwise_hist());
+  float* od = out.data().data();
+  const float* md = mask.data().data();
+  ctx.ParallelFor1D(out.size(), 1, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) od[i] *= md[i];
+  });
   return out;
 }
 
-Matrix SoftmaxRows(const Matrix& z) {
+namespace {
+
+/// Row-parallel softmax body shared by SoftmaxRows and the fused
+/// cross-entropy (which must not double-record the elementwise span).
+Matrix SoftmaxRowsImpl(const Matrix& z) {
   Matrix p(z.rows(), z.cols());
-  for (uint32_t i = 0; i < z.rows(); ++i) {
-    const float* zi = z.row(i);
-    float* pi = p.row(i);
-    float mx = zi[0];
-    for (uint32_t j = 1; j < z.cols(); ++j) mx = std::max(mx, zi[j]);
-    double sum = 0.0;
-    for (uint32_t j = 0; j < z.cols(); ++j) {
-      pi[j] = std::exp(zi[j] - mx);
-      sum += pi[j];
+  if (z.rows() == 0 || z.cols() == 0) return p;
+  KernelContext& ctx = KernelContext::Get();
+  ctx.ParallelFor1D(z.rows(), 4 * uint64_t{z.cols()},
+                    [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      const float* zi = z.row(static_cast<uint32_t>(i));
+      float* pi = p.row(static_cast<uint32_t>(i));
+      float mx = zi[0];
+      for (uint32_t j = 1; j < z.cols(); ++j) mx = std::max(mx, zi[j]);
+      double sum = 0.0;
+      for (uint32_t j = 0; j < z.cols(); ++j) {
+        pi[j] = std::exp(zi[j] - mx);
+        sum += pi[j];
+      }
+      for (uint32_t j = 0; j < z.cols(); ++j) {
+        pi[j] = static_cast<float>(pi[j] / sum);
+      }
     }
-    for (uint32_t j = 0; j < z.cols(); ++j) {
-      pi[j] = static_cast<float>(pi[j] / sum);
-    }
-  }
+  });
   return p;
+}
+
+}  // namespace
+
+Matrix SoftmaxRows(const Matrix& z) {
+  ScopedSpan span(KernelContext::Get().elementwise_hist());
+  return SoftmaxRowsImpl(z);
 }
 
 SoftmaxXentResult SoftmaxCrossEntropy(const Matrix& logits,
@@ -147,30 +251,45 @@ SoftmaxXentResult SoftmaxCrossEntropy(const Matrix& logits,
                                       const std::vector<uint8_t>& mask) {
   GAL_CHECK(labels.size() == logits.rows());
   GAL_CHECK(mask.size() == logits.rows());
+  KernelContext& ctx = KernelContext::Get();
+  ScopedSpan span(ctx.elementwise_hist());
   SoftmaxXentResult result;
   result.grad = Matrix(logits.rows(), logits.cols());
-  Matrix probs = SoftmaxRows(logits);
+  Matrix probs = SoftmaxRowsImpl(logits);
   uint32_t selected = 0;
   for (uint32_t i = 0; i < logits.rows(); ++i) selected += (mask[i] != 0);
   result.total = selected;
   if (selected == 0) return result;
 
+  // Per-row pass is embarrassingly parallel (grad rows are disjoint);
+  // the loss/accuracy reduction runs serially afterwards in row order so
+  // the sums are bit-identical at any thread count.
+  std::vector<double> row_loss(logits.rows(), 0.0);
+  std::vector<uint8_t> row_correct(logits.rows(), 0);
+  ctx.ParallelFor1D(logits.rows(), 4 * uint64_t{logits.cols()},
+                    [&](size_t begin, size_t end) {
+    for (size_t row = begin; row < end; ++row) {
+      const uint32_t i = static_cast<uint32_t>(row);
+      if (!mask[i]) continue;
+      const int32_t y = labels[i];
+      GAL_CHECK(y >= 0 && static_cast<uint32_t>(y) < logits.cols());
+      const float p = std::max(probs.at(i, y), 1e-12f);
+      row_loss[i] = -std::log(p);
+      uint32_t argmax = 0;
+      for (uint32_t j = 1; j < logits.cols(); ++j) {
+        if (probs.at(i, j) > probs.at(i, argmax)) argmax = j;
+      }
+      row_correct[i] = (argmax == static_cast<uint32_t>(y));
+      for (uint32_t j = 0; j < logits.cols(); ++j) {
+        result.grad.at(i, j) =
+            (probs.at(i, j) - (j == static_cast<uint32_t>(y) ? 1.0f : 0.0f)) /
+            static_cast<float>(selected);
+      }
+    }
+  });
   for (uint32_t i = 0; i < logits.rows(); ++i) {
-    if (!mask[i]) continue;
-    const int32_t y = labels[i];
-    GAL_CHECK(y >= 0 && static_cast<uint32_t>(y) < logits.cols());
-    const float p = std::max(probs.at(i, y), 1e-12f);
-    result.loss -= std::log(p);
-    uint32_t argmax = 0;
-    for (uint32_t j = 1; j < logits.cols(); ++j) {
-      if (probs.at(i, j) > probs.at(i, argmax)) argmax = j;
-    }
-    result.correct += (argmax == static_cast<uint32_t>(y));
-    for (uint32_t j = 0; j < logits.cols(); ++j) {
-      result.grad.at(i, j) =
-          (probs.at(i, j) - (j == static_cast<uint32_t>(y) ? 1.0f : 0.0f)) /
-          static_cast<float>(selected);
-    }
+    result.loss += row_loss[i];
+    result.correct += row_correct[i];
   }
   result.loss /= selected;
   return result;

@@ -1,8 +1,8 @@
 #ifndef GAL_TENSOR_MATRIX_H_
 #define GAL_TENSOR_MATRIX_H_
 
+#include <algorithm>
 #include <cstdint>
-#include <functional>
 #include <string>
 #include <vector>
 
@@ -51,8 +51,12 @@ class Matrix {
 
   /// this += alpha * other (same shape).
   void AddScaled(const Matrix& other, float alpha);
-  /// Elementwise transform in place.
-  void Apply(const std::function<float(float)>& fn);
+  /// Elementwise transform in place. Templated (not std::function) so
+  /// activation/rounding lambdas inline into the loop.
+  template <typename Fn>
+  void Apply(Fn&& fn) {
+    for (float& v : data_) v = fn(v);
+  }
   void Fill(float v) { std::fill(data_.begin(), data_.end(), v); }
 
   double FrobeniusNorm() const;

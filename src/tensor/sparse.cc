@@ -2,9 +2,39 @@
 
 #include <algorithm>
 #include <cmath>
+#include <sstream>
 #include <tuple>
 
+#include "tensor/kernel_context.h"
+
 namespace gal {
+namespace {
+
+/// Splits rows [0, rows) into `shards` contiguous ranges with roughly
+/// equal nnz, via binary search on the CSR offset prefix sums. Returns
+/// shards+1 row bounds. Row-count splitting would serialize on the hub
+/// shard of a power-law graph; nnz splitting keeps shards balanced.
+std::vector<uint32_t> NnzBalancedRowBounds(
+    const std::vector<uint64_t>& offsets, uint32_t rows, size_t shards) {
+  std::vector<uint32_t> bounds(shards + 1, rows);
+  bounds[0] = 0;
+  const uint64_t total = offsets.empty() ? 0 : offsets[rows];
+  for (size_t s = 1; s < shards; ++s) {
+    const uint64_t target = total * s / shards;
+    const auto it =
+        std::lower_bound(offsets.begin(), offsets.begin() + rows + 1, target);
+    uint32_t row = static_cast<uint32_t>(it - offsets.begin());
+    bounds[s] = std::max(bounds[s - 1], std::min(row, rows));
+  }
+  return bounds;
+}
+
+}  // namespace
+
+struct SparseMatrix::TransposeCache {
+  std::once_flag once;
+  SparseMatrix transposed;
+};
 
 SparseMatrix SparseMatrix::FromTriplets(
     uint32_t rows, uint32_t cols,
@@ -18,10 +48,11 @@ SparseMatrix SparseMatrix::FromTriplets(
   SparseMatrix m;
   m.rows_ = rows;
   m.cols_ = cols;
-  m.offsets_.assign(rows + 1, 0);
+  m.offsets_.assign(static_cast<size_t>(rows) + 1, 0);
   for (size_t i = 0; i < triplets.size(); ++i) {
     const auto& [r, c, v] = triplets[i];
-    GAL_CHECK(r < rows && c < cols);
+    GAL_CHECK(r < rows && c < cols)
+        << "triplet (" << r << "," << c << ") out of " << m.ShapeString();
     if (!m.cols_idx_.empty() && i > 0 &&
         std::get<0>(triplets[i - 1]) == r &&
         std::get<1>(triplets[i - 1]) == c) {
@@ -33,34 +64,94 @@ SparseMatrix SparseMatrix::FromTriplets(
     m.values_.push_back(v);
   }
   for (uint32_t r = 0; r < rows; ++r) m.offsets_[r + 1] += m.offsets_[r];
+  m.tcache_ = std::make_shared<TransposeCache>();
   return m;
 }
 
+std::string SparseMatrix::ShapeString() const {
+  std::ostringstream os;
+  os << "[" << rows_ << "x" << cols_ << " nnz=" << nnz() << "]";
+  return os.str();
+}
+
 Matrix SparseMatrix::Multiply(const Matrix& dense) const {
-  GAL_CHECK(cols_ == dense.rows());
+  GAL_CHECK(cols_ == dense.rows())
+      << ShapeString() << " * " << dense.ShapeString();
   Matrix out(rows_, dense.cols());
-  for (uint32_t r = 0; r < rows_; ++r) {
-    float* or_ = out.row(r);
-    for (uint64_t e = offsets_[r]; e < offsets_[r + 1]; ++e) {
-      const float w = values_[e];
-      const float* src = dense.row(cols_idx_[e]);
-      for (uint32_t j = 0; j < dense.cols(); ++j) or_[j] += w * src[j];
+  if (rows_ == 0 || dense.cols() == 0 || nnz() == 0) return out;
+  KernelContext& ctx = KernelContext::Get();
+  ScopedSpan span(ctx.spmm_hist());
+  const size_t shards = std::min<size_t>(
+      rows_, ctx.ShardCountFor(nnz() * dense.cols()));
+  const std::vector<uint32_t> bounds =
+      NnzBalancedRowBounds(offsets_, rows_, shards);
+  ctx.RunShards(shards, [&](size_t s) {
+    // Each output row is reduced by exactly one shard in edge order, so
+    // the result is bit-identical at any thread count.
+    for (uint32_t r = bounds[s]; r < bounds[s + 1]; ++r) {
+      float* or_ = out.row(r);
+      for (uint64_t e = offsets_[r]; e < offsets_[r + 1]; ++e) {
+        const float w = values_[e];
+        const float* src = dense.row(cols_idx_[e]);
+        for (uint32_t j = 0; j < dense.cols(); ++j) or_[j] += w * src[j];
+      }
     }
-  }
+  });
   return out;
 }
 
-Matrix SparseMatrix::TransposeMultiply(const Matrix& dense) const {
-  GAL_CHECK(rows_ == dense.rows());
-  Matrix out(cols_, dense.cols());
-  for (uint32_t r = 0; r < rows_; ++r) {
-    const float* src = dense.row(r);
-    for (uint64_t e = offsets_[r]; e < offsets_[r + 1]; ++e) {
-      const float w = values_[e];
-      float* dst = out.row(cols_idx_[e]);
-      for (uint32_t j = 0; j < dense.cols(); ++j) dst[j] += w * src[j];
+const SparseMatrix& SparseMatrix::Transposed() const {
+  GAL_CHECK(tcache_ != nullptr);
+  std::call_once(tcache_->once, [this] {
+    SparseMatrix& t = tcache_->transposed;
+    t.rows_ = cols_;
+    t.cols_ = rows_;
+    t.offsets_.assign(static_cast<size_t>(cols_) + 1, 0);
+    for (uint32_t c : cols_idx_) ++t.offsets_[c + 1];
+    for (uint32_t c = 0; c < cols_; ++c) t.offsets_[c + 1] += t.offsets_[c];
+    t.cols_idx_.resize(cols_idx_.size());
+    t.values_.resize(values_.size());
+    // Counting sort preserves source-row order within each column, so a
+    // gather over row c of the transpose accumulates contributions in
+    // the same ascending-r order the serial scatter produced.
+    std::vector<uint64_t> cursor(t.offsets_.begin(), t.offsets_.end() - 1);
+    for (uint32_t r = 0; r < rows_; ++r) {
+      for (uint64_t e = offsets_[r]; e < offsets_[r + 1]; ++e) {
+        const uint64_t pos = cursor[cols_idx_[e]]++;
+        t.cols_idx_[pos] = r;
+        t.values_[pos] = values_[e];
+      }
     }
+  });
+  return tcache_->transposed;
+}
+
+Matrix SparseMatrix::TransposeMultiply(const Matrix& dense) const {
+  GAL_CHECK(rows_ == dense.rows())
+      << ShapeString() << "^T * " << dense.ShapeString();
+  if (cols_ == 0 || dense.cols() == 0 || nnz() == 0) {
+    return Matrix(cols_, dense.cols());
   }
+  // Gather over the cached transposed CSR: race-free under row sharding,
+  // unlike scattering along this matrix's own rows.
+  const SparseMatrix& t = Transposed();
+  Matrix out(t.rows_, dense.cols());
+  KernelContext& ctx = KernelContext::Get();
+  ScopedSpan span(ctx.spmm_hist());
+  const size_t shards = std::min<size_t>(
+      t.rows_, ctx.ShardCountFor(t.nnz() * dense.cols()));
+  const std::vector<uint32_t> bounds =
+      NnzBalancedRowBounds(t.offsets_, t.rows_, shards);
+  ctx.RunShards(shards, [&](size_t s) {
+    for (uint32_t r = bounds[s]; r < bounds[s + 1]; ++r) {
+      float* or_ = out.row(r);
+      for (uint64_t e = t.offsets_[r]; e < t.offsets_[r + 1]; ++e) {
+        const float w = t.values_[e];
+        const float* src = dense.row(t.cols_idx_[e]);
+        for (uint32_t j = 0; j < dense.cols(); ++j) or_[j] += w * src[j];
+      }
+    }
+  });
   return out;
 }
 

@@ -2,6 +2,8 @@
 #define GAL_TENSOR_SPARSE_H_
 
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <vector>
 
 #include "graph/graph.h"
@@ -11,11 +13,16 @@ namespace gal {
 
 /// A CSR float sparse matrix — the aggregation operator of GNN layers
 /// (Â in GCN, the sampled-block operator in mini-batch training).
+/// Immutable once built; Multiply / TransposeMultiply run on the shared
+/// KernelContext with nnz-balanced row shards, bit-deterministic at any
+/// thread count.
 class SparseMatrix {
  public:
   SparseMatrix() : rows_(0), cols_(0) {}
 
   /// Builds from triplets (row, col, value); duplicates are summed.
+  /// Degenerate shapes (0 rows / 0 cols / no triplets) are valid and
+  /// produce an empty but well-formed CSR.
   static SparseMatrix FromTriplets(
       uint32_t rows, uint32_t cols,
       std::vector<std::tuple<uint32_t, uint32_t, float>> triplets);
@@ -23,26 +30,42 @@ class SparseMatrix {
   uint32_t rows() const { return rows_; }
   uint32_t cols() const { return cols_; }
   uint64_t nnz() const { return values_.size(); }
+  std::string ShapeString() const;
 
-  /// Dense result of (*this) * dense.
+  /// Dense result of (*this) * dense. Parallel over row shards balanced
+  /// by nnz (prefix-sum over the CSR offsets), so power-law degree skew
+  /// does not serialize on the hub shard.
   Matrix Multiply(const Matrix& dense) const;
-  /// Dense result of (*this)^T * dense.
+  /// Dense result of (*this)^T * dense. Gathers over a lazily built,
+  /// cached transposed CSR instead of scattering, so the parallel path
+  /// is race-free and bit-identical to the serial scatter.
   Matrix TransposeMultiply(const Matrix& dense) const;
 
   /// Row access (column indices + values, parallel arrays).
   std::span<const uint32_t> RowIndices(uint32_t r) const {
+    GAL_DCHECK(r < rows_);
     return {cols_idx_.data() + offsets_[r], cols_idx_.data() + offsets_[r + 1]};
   }
   std::span<const float> RowValues(uint32_t r) const {
+    GAL_DCHECK(r < rows_);
     return {values_.data() + offsets_[r], values_.data() + offsets_[r + 1]};
   }
 
  private:
+  /// The transposed CSR, built on first use under a once_flag. Heap-held
+  /// (and defined in the .cc, where SparseMatrix is complete) so
+  /// SparseMatrix stays movable; copies share the cache — safe because
+  /// the matrix is immutable after FromTriplets.
+  struct TransposeCache;
+
+  const SparseMatrix& Transposed() const;
+
   uint32_t rows_;
   uint32_t cols_;
   std::vector<uint64_t> offsets_;
   std::vector<uint32_t> cols_idx_;
   std::vector<float> values_;
+  mutable std::shared_ptr<TransposeCache> tcache_;
 };
 
 /// GCN normalization choices.

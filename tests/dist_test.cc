@@ -296,6 +296,23 @@ TEST(DistGcnTest, BspMatchesAccuracyOfCentralized) {
   EXPECT_EQ(report.broadcasts_skipped, 0u);
 }
 
+TEST(DistGcnTest, ReportAttributesKernelClassTimings) {
+  NodeClassificationDataset ds = SmallDataset();
+  DistGcnConfig config;
+  config.epochs = 3;
+  DistGcnReport report = TrainDistGcn(ds, config);
+  ASSERT_EQ(report.kernel_timings.size(), 3u);
+  EXPECT_EQ(report.kernel_timings[0].name, "gemm");
+  EXPECT_EQ(report.kernel_timings[1].name, "spmm");
+  EXPECT_EQ(report.kernel_timings[2].name, "elementwise");
+  // A GCN epoch exercises all three kernel classes, so each span sink
+  // must have accumulated real wall time.
+  for (const StageTimingStat& st : report.kernel_timings) {
+    EXPECT_GT(st.total_seconds, 0.0) << st.name;
+    EXPECT_GE(st.max_seconds, st.p50_seconds) << st.name;
+  }
+}
+
 TEST(DistGcnTest, HalosCoverExactlyCrossNeighbors) {
   Graph g = Rmat(7, 5, 3);
   VertexPartition parts = HashPartition(g, 4);
