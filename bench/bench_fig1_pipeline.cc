@@ -217,11 +217,34 @@ int main() {
   }
   stage_table.Print();
 
+  // -- two-level scheduling what-if: widen the bottleneck path ---------
+  // Every Figure-1 stage writes only its own snapshot's slots, so any of
+  // them could take k executors. Replay the measured trace through the
+  // k-executor virtual clock, widening the bottleneck stage — the
+  // modeled trend is deterministic on any core count.
+  std::printf("\n-- modeled executor sweep on the bottleneck stage (%s) --\n",
+              report.stage_names[report.bottleneck_stage].c_str());
+  Table sweep({"k", "modeled wall ms", "modeled speedup",
+               "bottleneck occupancy"});
+  for (uint32_t k : {1u, 2u, 4u}) {
+    std::vector<ModeledStageSpec> what_if = report.serial_stage_traces;
+    what_if[report.bottleneck_stage].executors = k;
+    ModeledPipelineResult m = ModelPipelineSchedule(what_if);
+    sweep.AddRow({Fmt("%u", k), Fmt("%.1f", m.pipelined_seconds * 1e3),
+                  Fmt("%.2fx", m.speedup),
+                  Fmt("%.0f%%",
+                      100.0 * m.stage_occupancy[report.bottleneck_stage])});
+  }
+  sweep.Print();
+
   std::printf("\nShape check: every Figure-1 path runs end-to-end on this "
               "library; structural/pattern features are discriminative\n"
               "(paths 2 and 4 reach high accuracy), matching the survey's "
               "motivation for combining analytics with ML. The modeled\n"
               "pipeline numbers show the overlap the four-path dataflow "
-              "admits independent of this host's core count.\n");
+              "admits independent of this host's core count; widening the\n"
+              "dominant path with k executors (ByteGNN's two-level "
+              "scheduling) turns the stage-sum into roughly its per-executor\n"
+              "share until another path becomes the bottleneck.\n");
   return 0;
 }

@@ -29,11 +29,15 @@ int main() {
   std::vector<VertexId> train = ds.TrainVertices();
   const uint32_t num_batches =
       static_cast<uint32_t>(train.size() / kBatch);
-  std::printf("dataset: %s; %u batches of %u seeds, fanout {10,10}\n\n",
+  // Deep fan-out makes sampling the dominant stage — the ByteGNN
+  // motivation: the bottleneck is a per-batch-independent stage that can
+  // be widened, unlike the shared-state optimizer step.
+  const std::vector<uint32_t> kFanout = {20, 15};
+  std::printf("dataset: %s; %u batches of %u seeds, fanout {20,15}\n\n",
               ds.graph.ToString().c_str(), num_batches, kBatch);
 
   GcnConfig model_config;
-  model_config.dims = {ds.features.cols(), 32, ds.num_classes};
+  model_config.dims = {ds.features.cols(), 8, ds.num_classes};
   GcnModel model(model_config);
   Adam opt(0.01f);
   opt.Attach(model.Parameters());
@@ -47,7 +51,7 @@ int main() {
   stages.push_back({"sample", [&](uint32_t b) {
     std::vector<VertexId> seeds(train.begin() + b * kBatch,
                                 train.begin() + (b + 1) * kBatch);
-    sampled[b] = BuildMiniBatch(ds.graph, seeds, {10, 10}, 7 + b);
+    sampled[b] = BuildMiniBatch(ds.graph, seeds, kFanout, 7 + b);
   }});
   stages.push_back({"gather", [&](uint32_t b) {
     const std::vector<VertexId>& rows = sampled[b].blocks[0].input_vertices;
@@ -121,5 +125,49 @@ int main() {
               "gathering and compute their own executors. The measured\n"
               "number only matches when hardware_concurrency covers the "
               "stage count; the modeled one is core-count-independent.\n");
+
+  // -- two-level scheduling: widen the per-batch-independent stages ----
+  // sample and gather write only their own batch's slot, so they take
+  // k executors each; compute mutates the shared model/optimizer and
+  // must stay at 1. Throughput should improve monotonically 1 -> 2 on
+  // the modeled numbers everywhere, and on measured numbers wherever
+  // the host has cores to back the executors.
+  std::printf("\n-- executor sweep (k executors on sample+gather; "
+              "compute stays 1) --\n");
+  Table sweep({"k", "measured ms", "measured speedup", "modeled ms",
+               "modeled speedup", "modeled bottleneck", "occupancy"});
+  std::string first_bottleneck, last_bottleneck;
+  for (uint32_t k : {1u, 2u, 4u}) {
+    stages[0].executors = k;
+    stages[1].executors = k;
+    stages[2].executors = 1;
+    PipelineReport r = RunPipeline(stages, num_batches);
+    // Modeled side of the row: the *first* run's serial trace replayed
+    // at this k, so the modeled column is one deterministic sweep
+    // instead of three noisy re-measurements.
+    std::vector<ModeledStageSpec> what_if = report.serial_stage_traces;
+    what_if[0].executors = k;
+    what_if[1].executors = k;
+    what_if[2].executors = 1;
+    ModeledPipelineResult m = ModelPipelineSchedule(what_if);
+    if (k == 1) first_bottleneck = what_if[m.bottleneck_stage].name;
+    last_bottleneck = what_if[m.bottleneck_stage].name;
+    sweep.AddRow({Fmt("%u", k), Fmt("%.1f", r.pipelined_seconds * 1e3),
+                  Fmt("%.2fx", r.measured_speedup),
+                  Fmt("%.1f", m.pipelined_seconds * 1e3),
+                  Fmt("%.2fx", m.speedup),
+                  what_if[m.bottleneck_stage].name,
+                  Fmt("%.0f%%", 100.0 * m.stage_occupancy[m.bottleneck_stage])});
+  }
+  sweep.Print();
+  std::printf("\nShape check: widening only helps while a widenable stage is "
+              "the bottleneck. This trace starts %s-bound and ends\n"
+              "%s-bound: once the serial compute stage (shared optimizer "
+              "step) is the bottleneck, more executors cannot help —\n"
+              "the Amdahl floor. Measured numbers track the modeled sweep "
+              "only when hardware_concurrency >= total executors; the\n"
+              "CoreBudget warns and clamps in-stage kernels when it does "
+              "not.\n",
+              first_bottleneck.c_str(), last_bottleneck.c_str());
   return 0;
 }

@@ -19,8 +19,12 @@ cmake -B build-tsan -S . \
     -DCMAKE_CXX_FLAGS="-fsanitize=thread" \
     -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
 cmake --build build-tsan --target gal_tests -j "${JOBS}"
+# PipelineTest.* covers the two-level k-executor backend (bounded-queue
+# handoff, batch-ordered release); CoreBudgetTest.* the stage/kernel core
+# partitioning; the DistGcn cases drive the trainer's pipelined replay
+# end-to-end under TSan.
 ./build-tsan/tests/gal_tests \
-    --gtest_filter='PipelineTest.*:ThreadPoolTest.*:TaskEngineTest.*:KernelContextTest.*:KernelParityTest.*:TensorTest.*:MatrixTest.*:SparseTest.*'
+    --gtest_filter='PipelineTest.*:ThreadPoolTest.*:TaskEngineTest.*:KernelContextTest.*:KernelParityTest.*:TensorTest.*:MatrixTest.*:SparseTest.*:CoreBudgetTest.*:DistGcnTest.OverlapReducesSimulatedTime:DistGcnTest.ReportExposesTracesAndOverlapOccupancy:DistGcnTest.CommChannelsRelieveCommBoundOverlap'
 
 echo
 echo "check.sh: all green"

@@ -1,0 +1,53 @@
+#include "common/core_budget.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "common/logging.h"
+
+namespace gal {
+
+CoreBudget& CoreBudget::Get() {
+  static CoreBudget budget;
+  return budget;
+}
+
+CoreBudget::CoreBudget()
+    : hardware_cores_(std::max(1u, std::thread::hardware_concurrency())),
+      real_hardware_cores_(hardware_cores_) {}
+
+size_t CoreBudget::KernelShardCap() const {
+  const size_t live = live_executors_.load(std::memory_order_acquire);
+  // No lease: the kernel pool owns the machine, and an explicit
+  // thread-count override above the hardware count is the caller's call.
+  if (live == 0) return SIZE_MAX;
+  return std::max<size_t>(1, hardware_cores_ / live);
+}
+
+void CoreBudget::AcquireStageExecutors(size_t n) {
+  const size_t now =
+      live_executors_.fetch_add(n, std::memory_order_acq_rel) + n;
+  if (now > hardware_cores_ &&
+      !warned_.exchange(true, std::memory_order_relaxed)) {
+    GAL_LOG(Warning) << "CoreBudget: " << now
+                     << " stage executors leased on " << hardware_cores_
+                     << " hardware cores — stage-level parallelism alone "
+                        "oversubscribes the machine; in-stage kernels are "
+                        "clamped to 1 shard and measured overlap will be "
+                        "contention-bound (modeled numbers stay valid)";
+  }
+}
+
+void CoreBudget::ReleaseStageExecutors(size_t n) {
+  const size_t prev = live_executors_.fetch_sub(n, std::memory_order_acq_rel);
+  GAL_CHECK(prev >= n) << "CoreBudget: released " << n
+                       << " stage executors but only " << prev
+                       << " were leased";
+}
+
+void CoreBudget::OverrideHardwareCoresForTest(size_t n) {
+  hardware_cores_ = n == 0 ? real_hardware_cores_ : n;
+  warned_.store(false, std::memory_order_relaxed);
+}
+
+}  // namespace gal

@@ -1,0 +1,92 @@
+#ifndef GAL_COMMON_CORE_BUDGET_H_
+#define GAL_COMMON_CORE_BUDGET_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace gal {
+
+/// Arbitrates hardware cores between the two parallelism levels the
+/// framework runs concurrently:
+///
+///   - *stage-level*: pipeline executors (RunPipeline / TrainDistGcn),
+///     each a long-running host thread driving one stage;
+///   - *kernel-level*: the KernelContext worker pool a stage's tensor
+///     kernels fan out onto from inside the stage.
+///
+/// Without coordination, E live stage executors each launching
+/// kernel-pool fan-outs of T threads oversubscribe the machine E-fold
+/// (E * T threads on H cores) and thrash instead of overlapping. The
+/// budget's contract: while E executors are live, each kernel dispatch
+/// is granted at most max(1, H / E) shards, so stage_executors *
+/// kernel_shards <= hardware cores.
+///
+/// Ownership: the pipeline scheduler *leases* executor cores for the
+/// duration of a pipelined pass (see StageExecutorLease); the
+/// KernelContext consults `KernelShardCap()` on every dispatch. When the
+/// lease itself already exceeds the hardware (E > H), or an explicit
+/// kernel-thread override collides with a live lease, the budget warns
+/// once per process (the documented oversubscription path) and still
+/// grants the serial-safe minimum of one shard — work always proceeds,
+/// just without the pretense of parallel headroom.
+class CoreBudget {
+ public:
+  /// The process-wide budget (hardware_concurrency cores).
+  static CoreBudget& Get();
+
+  CoreBudget(const CoreBudget&) = delete;
+  CoreBudget& operator=(const CoreBudget&) = delete;
+
+  size_t hardware_cores() const { return hardware_cores_; }
+
+  /// Stage executors currently leased by pipeline schedulers.
+  size_t live_stage_executors() const {
+    return live_executors_.load(std::memory_order_relaxed);
+  }
+
+  /// Largest kernel fan-out the budget grants right now: with E >= 1
+  /// leased executors, max(1, hardware / E). With no lease there is no
+  /// cap — the kernel pool (and any explicit thread-count override)
+  /// owns the whole machine.
+  size_t KernelShardCap() const;
+
+  /// Registers `n` stage executors going live; pairs with Release.
+  /// Warns (once per process) when the lease alone oversubscribes the
+  /// hardware. Prefer the RAII StageExecutorLease.
+  void AcquireStageExecutors(size_t n);
+  void ReleaseStageExecutors(size_t n);
+
+  /// Test hook: pretend the machine has `n` cores (0 restores the real
+  /// count). Also re-arms the one-shot oversubscription warning.
+  void OverrideHardwareCoresForTest(size_t n);
+
+ private:
+  CoreBudget();
+
+  size_t hardware_cores_;
+  size_t real_hardware_cores_;
+  std::atomic<size_t> live_executors_{0};
+  std::atomic<bool> warned_{false};
+};
+
+/// RAII lease of stage-executor cores on the process budget.
+class StageExecutorLease {
+ public:
+  explicit StageExecutorLease(size_t executors) : executors_(executors) {
+    CoreBudget::Get().AcquireStageExecutors(executors_);
+  }
+  ~StageExecutorLease() {
+    CoreBudget::Get().ReleaseStageExecutors(executors_);
+  }
+
+  StageExecutorLease(const StageExecutorLease&) = delete;
+  StageExecutorLease& operator=(const StageExecutorLease&) = delete;
+
+ private:
+  size_t executors_;
+};
+
+}  // namespace gal
+
+#endif  // GAL_COMMON_CORE_BUDGET_H_

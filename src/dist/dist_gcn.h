@@ -49,6 +49,11 @@ struct DistGcnConfig {
   /// When true, communication of one epoch overlaps the next epoch's
   /// computation in the simulated-time model (pipelined systems).
   bool overlap_comm_compute = false;
+  /// Modeled parallel network channels: the comm stage of the modeled
+  /// compute->comm pipeline gets this many executors in the virtual
+  /// clock (k-executor scheduling; >1 models multi-channel/multi-NIC
+  /// overlap a la ByteGNN's two-level scheduler).
+  uint32_t comm_channels = 1;
 
   uint32_t hidden_dim = 16;
   uint32_t epochs = 40;
@@ -71,6 +76,13 @@ struct DistGcnReport {
   double comm_seconds = 0.0;          // modeled wire time
   double simulated_epoch_seconds = 0.0;  // Σ per-epoch max/sum per overlap
 
+  /// Per-epoch traces behind the modeled overlap replay, exposed so
+  /// benches can re-model alternative schedules (e.g. comm-channel
+  /// sweeps) without retraining.
+  std::vector<double> epoch_compute_trace;   // seconds, data-parallel share
+  std::vector<uint64_t> epoch_comm_bytes;    // wire volume per epoch
+  std::vector<uint64_t> epoch_comm_messages; // wire messages per epoch
+
   /// Measured per-epoch span summaries (forward / backward / optimizer
   /// step), p50/p95/max over epochs — the same stage-level
   /// observability RunPipeline reports for batch pipelines.
@@ -84,11 +96,17 @@ struct DistGcnReport {
 
   /// Modeled comm/compute overlap: the per-epoch {compute, comm} times
   /// replayed through the virtual-clock pipeline executor
-  /// (ModelPipelineSchedule), independent of this host's core count.
-  /// `overlap_bottleneck_stage` is 0 for compute, 1 for comm.
+  /// (ModelPipelineSchedule) — the comm stage is a modeled *network
+  /// stage* charged from `NetworkCostModel` per-epoch traffic, with
+  /// `config.comm_channels` executors — independent of this host's core
+  /// count. `overlap_bottleneck_stage` is 0 for compute, 1 for comm.
   double modeled_overlap_epoch_seconds = 0.0;
   double modeled_overlap_speedup = 1.0;
   uint32_t overlap_bottleneck_stage = 0;
+  /// Executor occupancy of the modeled {compute, comm} stages:
+  /// busy / (executors * makespan) — how busy each side of the overlap
+  /// pipeline stays.
+  std::vector<double> overlap_stage_occupancy;
 
   std::string Summary() const;
 };

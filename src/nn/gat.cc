@@ -123,10 +123,57 @@ Matrix GatModel::Forward(const Matrix& features) {
   return h;
 }
 
+void GatModel::EnsureInEdgeCache() {
+  if (!in_edge_offsets_.empty()) return;
+  const VertexId n = graph_->NumVertices();
+  slot_offsets_.assign(n + 1, 0);
+  std::vector<uint64_t> indeg(n, 0);
+  for (VertexId i = 0; i < n; ++i) {
+    const auto nbrs = graph_->Neighbors(i);
+    slot_offsets_[i + 1] = slot_offsets_[i] + nbrs.size() + 1;
+    ++indeg[i];  // the self slot targets i
+    for (const VertexId t : nbrs) ++indeg[t];
+  }
+  in_edge_offsets_.assign(n + 1, 0);
+  for (VertexId t = 0; t < n; ++t) {
+    in_edge_offsets_[t + 1] = in_edge_offsets_[t] + indeg[t];
+  }
+  const uint64_t total = in_edge_offsets_[n];
+  in_edge_src_.resize(total);
+  in_edge_slot_.resize(total);
+  std::vector<uint64_t> cursor(in_edge_offsets_.begin(),
+                               in_edge_offsets_.end() - 1);
+  // Ascending source order keeps every destination's in-edge list sorted
+  // by (source, slot), fixing the gather's accumulation order for any
+  // thread count.
+  for (VertexId i = 0; i < n; ++i) {
+    in_edge_src_[cursor[i]] = i;
+    in_edge_slot_[cursor[i]] = 0;
+    ++cursor[i];
+    const auto nbrs = graph_->Neighbors(i);
+    for (size_t j = 0; j < nbrs.size(); ++j) {
+      const VertexId t = nbrs[j];
+      in_edge_src_[cursor[t]] = i;
+      in_edge_slot_[cursor[t]] = static_cast<uint32_t>(j + 1);
+      ++cursor[t];
+    }
+  }
+}
+
 std::vector<Matrix> GatModel::Backward(const Matrix& grad_logits) {
   GAL_CHECK(inputs_.size() == num_layers()) << "Forward must run first";
   const VertexId n = graph_->NumVertices();
   std::vector<Matrix> grads(3 * num_layers());
+  EnsureInEdgeCache();
+
+  KernelContext& ctx = KernelContext::Get();
+  const uint64_t avg_fan =
+      1 + graph_->NumAdjacencyEntries() / std::max<uint64_t>(1, n);
+  // Per-slot softmax-backward coefficients de_ij of the current layer,
+  // in the flattened per-source layout; phase 2 reads them transposed.
+  std::vector<float> de(slot_offsets_[n]);
+  std::vector<float> rowsum_de(n);   // Σ_j de_ij, per source
+  std::vector<float> insum_de(n);    // Σ in-edges de, per destination
 
   Matrix ds = grad_logits;  // dL/d(pre-activation aggregate) of layer l
   for (uint32_t l = num_layers(); l-- > 0;) {
@@ -139,45 +186,83 @@ std::vector<Matrix> GatModel::Backward(const Matrix& grad_logits) {
     Matrix da_src(1, d);
     Matrix da_dst(1, d);
 
-    // Stays serial: the attention-path gradient scatters into dz rows of
-    // neighboring vertices, which races under vertex sharding.
-    for (VertexId i = 0; i < n; ++i) {
-      const auto nbrs = graph_->Neighbors(i);
-      const size_t fan = nbrs.size() + 1;
-      const std::vector<float>& att = alpha_[l][i];
-      const std::vector<float>& raw = e_raw_[l][i];
-      const float* dsi = ds.row(i);
-      auto target = [&](size_t j) -> VertexId {
-        return j == 0 ? i : nbrs[j - 1];
-      };
+    // The attention-path gradient scatters into dz rows of neighboring
+    // vertices, which would race under vertex sharding — so it runs as a
+    // two-phase gather instead. Phase 1 (parallel over sources) computes
+    // the per-slot coefficients de_ij = LeakyReLU'(raw) α (dα − Σ α dα)
+    // and the source-local a_src path dz_i += (Σ_j de_ij) a_src; each
+    // shard writes only its own rows.
+    ctx.ParallelFor1D(n, (2 * avg_fan + 2) * d, [&](size_t v_begin,
+                                                    size_t v_end) {
+      std::vector<float> dalpha;
+      for (VertexId i = static_cast<VertexId>(v_begin);
+           i < static_cast<VertexId>(v_end); ++i) {
+        const auto nbrs = graph_->Neighbors(i);
+        const size_t fan = nbrs.size() + 1;
+        const std::vector<float>& att = alpha_[l][i];
+        const std::vector<float>& raw = e_raw_[l][i];
+        const float* dsi = ds.row(i);
 
-      // dα_ij = ds_i · z_j; softmax backward: de = α (dα − Σ α dα).
-      std::vector<float> dalpha(fan);
-      float weighted = 0;
-      for (size_t j = 0; j < fan; ++j) {
-        dalpha[j] = Dot(dsi, z.row(target(j)), d);
-        weighted += att[j] * dalpha[j];
-      }
-      for (size_t j = 0; j < fan; ++j) {
-        const VertexId t = target(j);
-        // Value-path gradient: dz_j += α_ij ds_i.
-        float* dzt = dz.row(t);
-        for (uint32_t c = 0; c < d; ++c) dzt[c] += att[j] * dsi[c];
-        // Attention-path gradient.
-        float de = att[j] * (dalpha[j] - weighted);
-        de *= LeakyReluGrad(raw[j], leaky_slope_);
-        // raw = a_src·z_i + a_dst·z_t.
-        float* dzi = dz.row(i);
-        const float* zi = z.row(i);
-        const float* zt = z.row(t);
-        float* das = da_src.row(0);
-        float* dad = da_dst.row(0);
-        for (uint32_t c = 0; c < d; ++c) {
-          dzi[c] += de * a_src[c];
-          dzt[c] += de * a_dst[c];
-          das[c] += de * zi[c];
-          dad[c] += de * zt[c];
+        // dα_ij = ds_i · z_j; softmax backward: de = α (dα − Σ α dα).
+        dalpha.resize(fan);
+        float weighted = 0;
+        for (size_t j = 0; j < fan; ++j) {
+          dalpha[j] = Dot(dsi, z.row(j == 0 ? i : nbrs[j - 1]), d);
+          weighted += att[j] * dalpha[j];
         }
+        float* de_row = de.data() + slot_offsets_[i];
+        float rs = 0;
+        for (size_t j = 0; j < fan; ++j) {
+          float v = att[j] * (dalpha[j] - weighted);
+          v *= LeakyReluGrad(raw[j], leaky_slope_);
+          de_row[j] = v;
+          rs += v;
+        }
+        rowsum_de[i] = rs;
+        float* dzi = dz.row(i);
+        for (uint32_t c = 0; c < d; ++c) dzi[c] += rs * a_src[c];
+      }
+    });
+
+    // Phase 2 (parallel over destinations): gather the value path
+    // dz_t += α_ij ds_i and the a_dst path dz_t += de_ij a_dst over t's
+    // in-edge list. One shard owns each dz row and walks the list in its
+    // fixed (source, slot) order, so results are bit-identical at every
+    // thread count.
+    ctx.ParallelFor1D(n, (2 * avg_fan + 2) * d, [&](size_t v_begin,
+                                                    size_t v_end) {
+      for (VertexId t = static_cast<VertexId>(v_begin);
+           t < static_cast<VertexId>(v_end); ++t) {
+        float* dzt = dz.row(t);
+        float st = 0;
+        for (uint64_t e = in_edge_offsets_[t]; e < in_edge_offsets_[t + 1];
+             ++e) {
+          const VertexId i = in_edge_src_[e];
+          const uint32_t j = in_edge_slot_[e];
+          const float a = alpha_[l][i][j];
+          const float dev = de[slot_offsets_[i] + j];
+          const float* dsi = ds.row(i);
+          for (uint32_t c = 0; c < d; ++c) {
+            dzt[c] += a * dsi[c] + dev * a_dst[c];
+          }
+          st += dev;
+        }
+        insum_de[t] = st;
+      }
+    });
+
+    // Attention-vector gradients collapse to rank-1 reductions over the
+    // per-vertex de sums: da_src = Σ_i (Σ_j de_ij) z_i and
+    // da_dst = Σ_t (Σ_in de) z_t. O(n·d), serial, fixed order.
+    float* das = da_src.row(0);
+    float* dad = da_dst.row(0);
+    for (VertexId v = 0; v < n; ++v) {
+      const float* zv = z.row(v);
+      const float rs = rowsum_de[v];
+      const float is = insum_de[v];
+      for (uint32_t c = 0; c < d; ++c) {
+        das[c] += rs * zv[c];
+        dad[c] += is * zv[c];
       }
     }
 

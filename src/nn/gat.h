@@ -45,6 +45,13 @@ class GatModel {
   }
 
  private:
+  /// Builds the transposed attention-slot index (lazily, once): for each
+  /// destination vertex t, the list of (source i, slot j) pairs with
+  /// target(i, j) == t, sorted by source. The backward pass gathers over
+  /// it so each dz row is written by exactly one shard — the same
+  /// transposed-CSR trick the SpMM backward uses.
+  void EnsureInEdgeCache();
+
   const Graph* graph_;
   float leaky_slope_ = 0.2f;
   std::vector<Matrix> weights_;    // d_in x d_out
@@ -57,6 +64,13 @@ class GatModel {
   std::vector<std::vector<std::vector<float>>> alpha_;   // attention
   std::vector<std::vector<std::vector<float>>> e_raw_;   // pre-LeakyReLU
   std::vector<Matrix> relu_masks_;
+
+  // Transposed attention-slot index (see EnsureInEdgeCache). Slot (i, j)
+  // of the flattened per-source layout lives at slot_offsets_[i] + j.
+  std::vector<uint64_t> slot_offsets_;    // n + 1
+  std::vector<uint64_t> in_edge_offsets_; // n + 1, by destination
+  std::vector<VertexId> in_edge_src_;     // source vertex i
+  std::vector<uint32_t> in_edge_slot_;    // slot j within i's row
 };
 
 /// Training driver mirroring TrainNodeClassifier.

@@ -4,6 +4,8 @@
 #include <cstdlib>
 #include <thread>
 
+#include "common/logging.h"
+
 namespace gal {
 namespace {
 
@@ -30,6 +32,12 @@ size_t KernelContext::DefaultNumThreads() {
 }
 
 void KernelContext::SetNumThreads(size_t n) {
+  GAL_CHECK(in_flight_.load(std::memory_order_acquire) == 0)
+      << "KernelContext::SetNumThreads called while "
+      << in_flight_.load(std::memory_order_relaxed)
+      << " kernel dispatch(es) are in flight — resizing would join the "
+         "pool out from under running shards. Finish (or do not issue) "
+         "kernels before changing the thread count.";
   if (n == 0) n = DefaultNumThreads();
   if (n == num_threads_ && (n == 1) == (pool_ == nullptr)) return;
   pool_.reset();  // join old workers before spawning the new pool
@@ -39,8 +47,12 @@ void KernelContext::SetNumThreads(size_t n) {
 
 size_t KernelContext::ShardCountFor(uint64_t work) const {
   if (num_threads_ <= 1 || work < kSerialGrain) return 1;
+  const uint64_t by_work =
+      std::min<uint64_t>(num_threads_, work / kSerialGrain);
+  // Two-level coordination: live pipeline stage executors shrink the
+  // per-kernel fan-out so executors * shards stays within the machine.
   return static_cast<size_t>(
-      std::min<uint64_t>(num_threads_, work / kSerialGrain));
+      std::min<uint64_t>(by_work, CoreBudget::Get().KernelShardCap()));
 }
 
 void KernelContext::RunShards(size_t shards,
@@ -49,7 +61,9 @@ void KernelContext::RunShards(size_t shards,
     for (size_t s = 0; s < shards; ++s) fn(s);
     return;
   }
+  in_flight_.fetch_add(1, std::memory_order_acq_rel);
   pool_->ParallelFor(shards, fn);
+  in_flight_.fetch_sub(1, std::memory_order_acq_rel);
 }
 
 void KernelContext::ParallelFor1D(

@@ -1,12 +1,14 @@
 #ifndef GAL_TENSOR_KERNEL_CONTEXT_H_
 #define GAL_TENSOR_KERNEL_CONTEXT_H_
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <vector>
 
+#include "common/core_budget.h"
 #include "common/metrics.h"
 #include "common/threadpool.h"
 
@@ -30,9 +32,13 @@ class KernelContext {
   KernelContext(const KernelContext&) = delete;
   KernelContext& operator=(const KernelContext&) = delete;
 
-  /// Rebuilds the worker pool with `n` threads; `n == 0` restores the
-  /// default policy (env override, else hardware concurrency). Must not
-  /// be called concurrently with running kernels.
+  /// Rebuilds the worker pool with `n` threads; `n == 0` re-resolves the
+  /// default policy (env override, else hardware concurrency), so a
+  /// GAL_KERNEL_THREADS change after first use is honored by calling
+  /// SetNumThreads(0). Calling while kernels are in flight — including
+  /// from inside a kernel shard — is rejected with a fatal error rather
+  /// than silently corrupting the pool (the old pool would be joined
+  /// from one of its own workers).
   void SetNumThreads(size_t n);
   size_t num_threads() const { return num_threads_; }
 
@@ -49,7 +55,10 @@ class KernelContext {
 
   /// How many shards a job of `work` scalar operations deserves: 1 below
   /// the serial grain (parallel dispatch would cost more than it saves),
-  /// else capped by the thread count.
+  /// else capped by the thread count AND by the process CoreBudget — when
+  /// E pipeline stage executors are live, the cap shrinks to
+  /// max(1, hardware / E) so stage- and kernel-level parallelism share
+  /// the machine instead of multiplying (see common/core_budget.h).
   size_t ShardCountFor(uint64_t work) const;
 
   /// Per-kernel-class span sinks; every kernel entry point records its
@@ -70,6 +79,8 @@ class KernelContext {
 
   size_t num_threads_ = 1;
   std::unique_ptr<ThreadPool> pool_;  // null when num_threads_ == 1
+  /// Kernel dispatches currently running; guards SetNumThreads.
+  std::atomic<uint32_t> in_flight_{0};
 
   Histogram gemm_hist_;
   Histogram spmm_hist_;

@@ -1,5 +1,9 @@
 #include <atomic>
 #include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
 #include <thread>
 
 #include <gtest/gtest.h>
@@ -142,7 +146,7 @@ TEST(CacheTest, LargerCacheHigherHitRate) {
 
 // --- pipeline ----------------------------------------------------------------------
 
-TEST(PipelineTest, OverlapBeatsSerial) {
+std::vector<PipelineStage> SpinStages() {
   auto spin = [](double ms) {
     const auto end =
         std::chrono::steady_clock::now() +
@@ -150,23 +154,33 @@ TEST(PipelineTest, OverlapBeatsSerial) {
     while (std::chrono::steady_clock::now() < end) {
     }
   };
-  std::vector<PipelineStage> stages = {
-      {"sample", [&](uint32_t) { spin(2.0); }},
-      {"gather", [&](uint32_t) { spin(2.0); }},
-      {"compute", [&](uint32_t) { spin(2.0); }},
+  return {
+      {"sample", [=](uint32_t) { spin(2.0); }},
+      {"gather", [=](uint32_t) { spin(2.0); }},
+      {"compute", [=](uint32_t) { spin(2.0); }},
   };
-  PipelineReport report = RunPipeline(stages, 16);
-  // The modeled speedup assumes one executor per stage and is therefore
+}
+
+TEST(PipelineTest, ModeledOverlapIndependentOfCores) {
+  PipelineReport report = RunPipeline(SpinStages(), 16);
+  // The modeled speedup schedules on a virtual clock and is therefore
   // deterministic on any core count: 3 equal stages over 16 batches
   // give 48/(16+2) ≈ 2.67x.
   EXPECT_GT(report.modeled_speedup, 1.5);
   EXPECT_EQ(report.stage_names.size(), 3u);
   EXPECT_GT(report.hardware_concurrency, 0u);
-  // The *measured* wall-clock speedup only materializes when the host
-  // can actually run one thread per CPU-bound spin stage.
-  if (std::thread::hardware_concurrency() >= stages.size()) {
-    EXPECT_GT(report.measured_speedup, 1.5);
+}
+
+// `timing` label: the *measured* wall-clock speedup only materializes
+// when the host can run one thread per CPU-bound spin stage — skipped
+// (not failed) on smaller hosts.
+TEST(PipelineTest, OverlapBeatsSerial) {
+  if (std::thread::hardware_concurrency() < 4) {
+    GTEST_SKIP() << "needs >= 4 hardware threads, have "
+                 << std::thread::hardware_concurrency();
   }
+  PipelineReport report = RunPipeline(SpinStages(), 16);
+  EXPECT_GT(report.measured_speedup, 1.5);
 }
 
 TEST(PipelineTest, ModeledExecutorMoreStagesThanCores) {
@@ -258,6 +272,171 @@ TEST(PipelineTest, OrderingRespected) {
   };
   RunPipeline(stages, 32);
   EXPECT_FALSE(violation.load());
+}
+
+TEST(PipelineTest, ModeledSecondExecutorHalvesBottleneck) {
+  // Deterministic regression for the two-level scheduler: widening the
+  // bottleneck stage to 2 executors halves its per-executor busy time
+  // and (nearly) halves the modeled critical-path makespan.
+  const uint32_t kBatches = 8;
+  auto stages_with = [&](uint32_t bottleneck_executors) {
+    std::vector<ModeledStageSpec> stages = {
+        {"sample", std::vector<double>(kBatches, 0.1), 1},
+        {"compute", std::vector<double>(kBatches, 1.0),
+         bottleneck_executors},
+        {"emit", std::vector<double>(kBatches, 0.1), 1},
+    };
+    return stages;
+  };
+  ModeledPipelineResult one = ModelPipelineSchedule(stages_with(1));
+  ModeledPipelineResult two = ModelPipelineSchedule(stages_with(2));
+
+  // k = 1: fill (0.1) + bottleneck total (8.0) + drain (0.1).
+  EXPECT_NEAR(one.pipelined_seconds, 8.2, 1e-9);
+  // k = 2: the two executors interleave odd/even batches; the last
+  // batch leaves the widened stage at 4.2 and emits by 4.3.
+  EXPECT_NEAR(two.pipelined_seconds, 4.3, 1e-9);
+  EXPECT_GT(one.pipelined_seconds / two.pipelined_seconds, 1.9);
+
+  // The bottleneck is per-executor busy: halved by the second executor.
+  EXPECT_EQ(one.bottleneck_stage, 1u);
+  EXPECT_EQ(two.bottleneck_stage, 1u);
+  EXPECT_DOUBLE_EQ(one.bottleneck_busy_seconds, 8.0);
+  EXPECT_DOUBLE_EQ(two.bottleneck_busy_seconds, 4.0);
+  ASSERT_EQ(two.stage_executors.size(), 3u);
+  EXPECT_EQ(two.stage_executors[1], 2u);
+
+  // Accounting invariant: fill + stall + busy + drain covers every
+  // executor of every stage for the whole makespan.
+  for (size_t s = 0; s < 3; ++s) {
+    const double k = double(two.stage_executors[s]);
+    EXPECT_NEAR(two.stage_fill_seconds[s] + two.stage_stall_seconds[s] +
+                    two.stage_busy_seconds[s] + two.stage_drain_seconds[s],
+                k * two.pipelined_seconds, 1e-9)
+        << "stage " << s;
+    EXPECT_NEAR(two.stage_occupancy[s],
+                two.stage_busy_seconds[s] / (k * two.pipelined_seconds),
+                1e-12);
+  }
+}
+
+TEST(PipelineTest, ModeledNetworkStageChargesCostModel) {
+  NetworkCostModel cost;  // 10 Gb/s, 50 µs/message
+  const std::vector<uint64_t> bytes = {1250000000, 2500000000, 0};
+  const std::vector<uint64_t> messages = {1, 2, 4};
+  ModeledStageSpec comm = ModeledNetworkStage("comm", cost, bytes, messages, 2);
+  ASSERT_EQ(comm.busy.size(), 3u);
+  EXPECT_EQ(comm.executors, 2u);
+  for (size_t b = 0; b < 3; ++b) {
+    EXPECT_DOUBLE_EQ(comm.busy[b], cost.TransferSeconds(bytes[b], messages[b]));
+  }
+
+  // Modeled compute->comm overlap where comm dominates: doubling the
+  // channels (executors) halves the per-channel bottleneck.
+  std::vector<ModeledStageSpec> narrow = {
+      {"compute", {0.1, 0.1, 0.1}, 1},
+      ModeledNetworkStage("comm", cost, bytes, messages, 1),
+  };
+  std::vector<ModeledStageSpec> wide = {
+      {"compute", {0.1, 0.1, 0.1}, 1},
+      ModeledNetworkStage("comm", cost, bytes, messages, 2),
+  };
+  ModeledPipelineResult n = ModelPipelineSchedule(narrow);
+  ModeledPipelineResult w = ModelPipelineSchedule(wide);
+  EXPECT_EQ(n.bottleneck_stage, 1u);
+  EXPECT_NEAR(w.bottleneck_busy_seconds, n.bottleneck_busy_seconds / 2,
+              1e-12);
+  EXPECT_LT(w.pipelined_seconds, n.pipelined_seconds);
+}
+
+TEST(PipelineTest, KExecutorStagePreservesBatchOrder) {
+  // A widened stage finishes batches out of order (batch 0 is slow), but
+  // the batch-ordered handoff must release them downstream in ascending
+  // order regardless.
+  const uint32_t kBatches = 12;
+  std::vector<uint32_t> seen;
+  std::mutex seen_mu;
+  std::vector<PipelineStage> stages = {
+      {"produce",
+       [&](uint32_t b) {
+         std::this_thread::sleep_for(
+             std::chrono::milliseconds(b == 0 ? 30 : 1));
+       },
+       2},
+      {"consume",
+       [&](uint32_t b) {
+         std::lock_guard<std::mutex> lock(seen_mu);
+         seen.push_back(b);
+       },
+       1},
+  };
+  PipelineReport report = RunPipeline(stages, kBatches);
+  // Both passes (serial + pipelined) consume every batch in order.
+  ASSERT_EQ(seen.size(), 2 * kBatches);
+  for (uint32_t b = 0; b < kBatches; ++b) {
+    EXPECT_EQ(seen[b], b);
+    EXPECT_EQ(seen[kBatches + b], b);
+  }
+  ASSERT_EQ(report.stages.size(), 2u);
+  EXPECT_EQ(report.stages[0].executors, 2u);
+  EXPECT_EQ(report.stages[1].executors, 1u);
+  EXPECT_EQ(report.total_executors, 3u);
+}
+
+TEST(PipelineTest, OutputsBitIdenticalAcrossExecutorConfigs) {
+  // Every (stage, batch) pair executes exactly once per pass, writing
+  // its own slot — so outputs are bit-identical between the serial pass
+  // and any executor configuration.
+  const uint32_t kBatches = 16;
+  const size_t kDim = 64;
+  auto run_with = [&](uint32_t executors) {
+    std::vector<std::vector<float>> mid(kBatches), out(kBatches);
+    std::vector<PipelineStage> stages = {
+        {"transform",
+         [&](uint32_t b) {
+           std::vector<float>& row = mid[b];
+           row.assign(kDim, 0.0f);
+           for (size_t i = 0; i < kDim; ++i) {
+             row[i] = std::sin(0.1f * float(b) + 0.01f * float(i));
+           }
+         },
+         executors},
+        {"reduce",
+         [&](uint32_t b) {
+           std::vector<float>& row = out[b];
+           row.assign(kDim, 0.0f);
+           float acc = 0.0f;
+           for (size_t i = 0; i < kDim; ++i) {
+             acc += mid[b][i];
+             row[i] = acc;
+           }
+         },
+         executors},
+    };
+    RunPipeline(stages, kBatches);
+    return out;
+  };
+  const std::vector<std::vector<float>> ref = run_with(1);
+  for (uint32_t k : {2u, 4u}) {
+    const std::vector<std::vector<float>> got = run_with(k);
+    for (uint32_t b = 0; b < kBatches; ++b) {
+      ASSERT_EQ(ref[b].size(), got[b].size());
+      EXPECT_EQ(0, std::memcmp(ref[b].data(), got[b].data(),
+                               ref[b].size() * sizeof(float)))
+          << "batch " << b << " diverges at " << k << " executors";
+    }
+  }
+}
+
+TEST(PipelineTest, ResolveStageExecutorsHonorsEnvDefault) {
+  EXPECT_EQ(ResolveStageExecutors(3), 3u);  // explicit wins
+  setenv("GAL_STAGE_EXECUTORS", "4", 1);
+  EXPECT_EQ(ResolveStageExecutors(0), 4u);
+  EXPECT_EQ(ResolveStageExecutors(2), 2u);
+  setenv("GAL_STAGE_EXECUTORS", "garbage", 1);
+  EXPECT_EQ(ResolveStageExecutors(0), 1u);
+  unsetenv("GAL_STAGE_EXECUTORS");
+  EXPECT_EQ(ResolveStageExecutors(0), 1u);
 }
 
 // --- cost model -----------------------------------------------------------------------
@@ -438,6 +617,50 @@ TEST(DistGcnTest, OverlapReducesSimulatedTime) {
   DistGcnReport rs = TrainDistGcn(ds, serial);
   DistGcnReport ro = TrainDistGcn(ds, overlap);
   EXPECT_LE(ro.simulated_epoch_seconds, rs.simulated_epoch_seconds);
+}
+
+TEST(DistGcnTest, ReportExposesTracesAndOverlapOccupancy) {
+  NodeClassificationDataset ds = SmallDataset();
+  DistGcnConfig config;
+  config.epochs = 6;
+  config.overlap_comm_compute = true;
+  DistGcnReport r = TrainDistGcn(ds, config);
+  // Per-epoch traces back the modeled overlap and are re-modelable.
+  ASSERT_EQ(r.epoch_compute_trace.size(), config.epochs);
+  ASSERT_EQ(r.epoch_comm_bytes.size(), config.epochs);
+  ASSERT_EQ(r.epoch_comm_messages.size(), config.epochs);
+  // {compute, comm} occupancy of the modeled overlap pipeline.
+  ASSERT_EQ(r.overlap_stage_occupancy.size(), 2u);
+  for (double occ : r.overlap_stage_occupancy) {
+    EXPECT_GT(occ, 0.0);
+    EXPECT_LE(occ, 1.0 + 1e-12);
+  }
+  // Re-modeling from the exposed traces reproduces the report's number.
+  std::vector<ModeledStageSpec> stages = {
+      {"compute", r.epoch_compute_trace, 1},
+      ModeledNetworkStage("comm", config.network, r.epoch_comm_bytes,
+                          r.epoch_comm_messages, config.comm_channels),
+  };
+  ModeledPipelineResult m = ModelPipelineSchedule(stages);
+  EXPECT_NEAR(m.pipelined_seconds, r.modeled_overlap_epoch_seconds, 1e-9);
+}
+
+TEST(DistGcnTest, CommChannelsRelieveCommBoundOverlap) {
+  NodeClassificationDataset ds = SmallDataset();
+  DistGcnConfig slow;
+  slow.epochs = 6;
+  slow.overlap_comm_compute = true;
+  // Throttle the wire so the modeled overlap is comm-bound.
+  slow.network.bandwidth_bytes_per_sec = 1e6;
+  DistGcnConfig twochan = slow;
+  twochan.comm_channels = 2;
+  DistGcnReport a = TrainDistGcn(ds, slow);
+  DistGcnReport b = TrainDistGcn(ds, twochan);
+  EXPECT_EQ(a.overlap_bottleneck_stage, 1u);  // comm
+  // The math is unchanged — only the modeled schedule differs.
+  EXPECT_NEAR(a.final_test_accuracy, b.final_test_accuracy, 1e-12);
+  EXPECT_LT(b.modeled_overlap_epoch_seconds,
+            a.modeled_overlap_epoch_seconds);
 }
 
 }  // namespace

@@ -4,14 +4,17 @@
 // accumulation order. Also covers the degenerate shapes (empty, 1-row,
 // 1-col) and the KernelContext thread-count policy itself.
 
+#include <cstdlib>
 #include <cstring>
 #include <thread>
 
 #include <gtest/gtest.h>
 
+#include "common/core_budget.h"
 #include "common/rng.h"
 #include "common/timer.h"
 #include "graph/generators.h"
+#include "nn/gat.h"
 #include "tensor/kernel_context.h"
 #include "tensor/matrix.h"
 #include "tensor/sparse.h"
@@ -68,6 +71,89 @@ TEST(KernelContextTest, ParallelFor1DCoversRangeOnce) {
     for (size_t i = begin; i < end; ++i) ++hits[i];
   });
   for (size_t i = 0; i < hits.size(); ++i) ASSERT_EQ(hits[i], 1) << i;
+}
+
+TEST(KernelContextTest, ThreadCountChangesAfterFirstUseAreHonored) {
+  ThreadCountGuard guard;
+  KernelContext& ctx = KernelContext::Get();
+  ctx.SetNumThreads(2);
+  std::vector<int> hits(4096, 0);
+  auto bump = [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) ++hits[i];
+  };
+  ctx.ParallelFor1D(hits.size(), 1 << 10, bump);
+  // Resize after first use: the old pool is joined and the new width is
+  // what subsequent dispatches shard against.
+  ctx.SetNumThreads(5);
+  EXPECT_EQ(ctx.num_threads(), 5u);
+  EXPECT_LE(ctx.ShardCountFor(uint64_t{1} << 30), 5u);
+  ctx.ParallelFor1D(hits.size(), 1 << 10, bump);
+  for (size_t i = 0; i < hits.size(); ++i) ASSERT_EQ(hits[i], 2) << i;
+
+  // GAL_KERNEL_THREADS is re-resolved by SetNumThreads(0), also after
+  // first use.
+  setenv("GAL_KERNEL_THREADS", "3", 1);
+  ctx.SetNumThreads(0);
+  EXPECT_EQ(ctx.num_threads(), 3u);
+  unsetenv("GAL_KERNEL_THREADS");
+  ctx.SetNumThreads(0);
+  EXPECT_GE(ctx.num_threads(), 1u);
+}
+
+TEST(KernelContextDeathTest, SetNumThreadsRejectedWhileKernelInFlight) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  ThreadCountGuard guard;
+  KernelContext& ctx = KernelContext::Get();
+  ctx.SetNumThreads(2);
+  EXPECT_DEATH(
+      ctx.ParallelFor1D(size_t{1} << 20, 1 << 10,
+                        [&](size_t, size_t) { ctx.SetNumThreads(4); }),
+      "in flight");
+}
+
+// Restores the real hardware-core count when a test exits.
+struct CoreOverrideGuard {
+  ~CoreOverrideGuard() { CoreBudget::Get().OverrideHardwareCoresForTest(0); }
+};
+
+TEST(CoreBudgetTest, LeaseShrinksKernelShardCap) {
+  ThreadCountGuard guard;
+  CoreOverrideGuard core_guard;
+  CoreBudget& budget = CoreBudget::Get();
+  budget.OverrideHardwareCoresForTest(8);
+  KernelContext& ctx = KernelContext::Get();
+  ctx.SetNumThreads(8);
+  EXPECT_EQ(ctx.ShardCountFor(uint64_t{1} << 30), 8u);
+  {
+    StageExecutorLease lease(4);
+    EXPECT_EQ(budget.live_stage_executors(), 4u);
+    EXPECT_EQ(budget.KernelShardCap(), 2u);
+    EXPECT_EQ(ctx.ShardCountFor(uint64_t{1} << 30), 2u);
+  }
+  // Lease released: the kernel pool owns the machine again.
+  EXPECT_EQ(budget.live_stage_executors(), 0u);
+  EXPECT_EQ(ctx.ShardCountFor(uint64_t{1} << 30), 8u);
+  {
+    // Oversubscribed lease (the warning path): still grants the
+    // serial-safe minimum of one shard.
+    StageExecutorLease lease(16);
+    EXPECT_EQ(budget.KernelShardCap(), 1u);
+    EXPECT_EQ(ctx.ShardCountFor(uint64_t{1} << 30), 1u);
+  }
+}
+
+TEST(CoreBudgetTest, NestedLeasesCompose) {
+  CoreOverrideGuard core_guard;
+  CoreBudget& budget = CoreBudget::Get();
+  budget.OverrideHardwareCoresForTest(12);
+  StageExecutorLease a(2);
+  EXPECT_EQ(budget.KernelShardCap(), 6u);
+  {
+    StageExecutorLease b(4);
+    EXPECT_EQ(budget.live_stage_executors(), 6u);
+    EXPECT_EQ(budget.KernelShardCap(), 2u);
+  }
+  EXPECT_EQ(budget.KernelShardCap(), 6u);
 }
 
 TEST(KernelParityTest, DenseGemmAllVariants) {
@@ -237,6 +323,36 @@ TEST(KernelParityTest, DegenerateShapes) {
         SoftmaxCrossEntropy(Matrix(2, 3), {0, 1}, {0, 0});
     EXPECT_EQ(none.total, 0u);
     EXPECT_EQ(none.loss, 0.0);
+  }
+}
+
+TEST(KernelParityTest, GatBackwardAcrossThreadCounts) {
+  ThreadCountGuard guard;
+  KernelContext& ctx = KernelContext::Get();
+  // Large enough that the backward's two gather phases genuinely shard:
+  // n * per-row work is far above the serial grain at d = 32.
+  Graph g = ErdosRenyi(400, 0.05, 13);
+  GcnConfig config;
+  config.dims = {16, 32, 8};
+  config.seed = 3;
+  GatModel model(&g, config);
+  Rng rng(21);
+  Matrix x = Matrix::Xavier(400, 16, rng);
+  Matrix grad = Matrix::Xavier(400, 8, rng);
+
+  ctx.SetNumThreads(1);
+  model.Forward(x);
+  const std::vector<Matrix> ref = model.Backward(grad);
+  ASSERT_EQ(ref.size(), 6u);  // {W, a_src, a_dst} x 2 layers
+
+  for (size_t t : kParityThreadCounts) {
+    ctx.SetNumThreads(t);
+    model.Forward(x);
+    const std::vector<Matrix> got = model.Backward(grad);
+    ASSERT_EQ(got.size(), ref.size());
+    for (size_t k = 0; k < ref.size(); ++k) {
+      ExpectBitIdentical(ref[k], got[k], "GAT backward grad");
+    }
   }
 }
 
