@@ -22,9 +22,13 @@ cmake --build build-tsan --target gal_tests -j "${JOBS}"
 # PipelineTest.* covers the two-level k-executor backend (bounded-queue
 # handoff, batch-ordered release); CoreBudgetTest.* the stage/kernel core
 # partitioning; the DistGcn cases drive the trainer's pipelined replay
-# end-to-end under TSan.
+# end-to-end under TSan. WorkDequeTest.* races owner pops against
+# concurrent thieves on the Chase–Lev deque, TaskEngineTest.* covers the
+# lock-free engine (incl. the deep-spawn stress and the eventcount
+# parking lot), and MatchDeterminismTest.* drives the DFS matcher's
+# adaptive prefix splitting at 8 threads.
 ./build-tsan/tests/gal_tests \
-    --gtest_filter='PipelineTest.*:ThreadPoolTest.*:TaskEngineTest.*:KernelContextTest.*:KernelParityTest.*:TensorTest.*:MatrixTest.*:SparseTest.*:CoreBudgetTest.*:DistGcnTest.OverlapReducesSimulatedTime:DistGcnTest.ReportExposesTracesAndOverlapOccupancy:DistGcnTest.CommChannelsRelieveCommBoundOverlap'
+    --gtest_filter='PipelineTest.*:ThreadPoolTest.*:TaskEngineTest.*:WorkDequeTest.*:MatchDeterminismTest.*:KernelContextTest.*:KernelParityTest.*:TensorTest.*:MatrixTest.*:SparseTest.*:CoreBudgetTest.*:DistGcnTest.OverlapReducesSimulatedTime:DistGcnTest.ReportExposesTracesAndOverlapOccupancy:DistGcnTest.CommChannelsRelieveCommBoundOverlap'
 
 echo
 echo "check.sh: all green"

@@ -10,10 +10,12 @@ namespace gal {
 /// Arbitrates hardware cores between the two parallelism levels the
 /// framework runs concurrently:
 ///
-///   - *stage-level*: pipeline executors (RunPipeline / TrainDistGcn),
-///     each a long-running host thread driving one stage;
+///   - *stage-level*: long-running host threads — pipeline executors
+///     (RunPipeline / TrainDistGcn) driving one stage each, and the
+///     TLAG TaskEngine's work-stealing workers while a Run is live;
 ///   - *kernel-level*: the KernelContext worker pool a stage's tensor
-///     kernels fan out onto from inside the stage.
+///     kernels fan out onto from inside the stage (or from inside a
+///     task).
 ///
 /// Without coordination, E live stage executors each launching
 /// kernel-pool fan-outs of T threads oversubscribe the machine E-fold
@@ -22,8 +24,8 @@ namespace gal {
 /// is granted at most max(1, H / E) shards, so stage_executors *
 /// kernel_shards <= hardware cores.
 ///
-/// Ownership: the pipeline scheduler *leases* executor cores for the
-/// duration of a pipelined pass (see StageExecutorLease); the
+/// Ownership: the pipeline scheduler (and the task engine, for the
+/// span of a Run) *leases* executor cores (see StageExecutorLease); the
 /// KernelContext consults `KernelShardCap()` on every dispatch. When the
 /// lease itself already exceeds the hardware (E > H), or an explicit
 /// kernel-thread override collides with a live lease, the budget warns

@@ -63,9 +63,10 @@ SingleGraphFsmResult MineSingleGraph(const Graph& data,
   Timer timer;
   SingleGraphFsmResult result;
 
+  const uint32_t num_threads = ResolveTaskThreads(options.num_threads);
   const std::vector<Label> alphabet = LabelAlphabet(data);
   std::vector<Graph> frontier = FrequentEdgeSeeds(
-      data, options.min_support, options.num_threads, result.stats);
+      data, options.min_support, num_threads, result.stats);
 
   std::set<std::string> seen;
   for (const Graph& seed : frontier) {
@@ -80,7 +81,7 @@ SingleGraphFsmResult MineSingleGraph(const Graph& data,
     for (Graph& pattern : frontier) {
       MniOptions mni;
       mni.threshold = options.min_support;
-      mni.num_threads = options.num_threads;
+      mni.num_threads = num_threads;
       // Seeds were already verified frequent; re-evaluate to get a
       // support value for reporting (exact up to early termination).
       MniResult r = MniSupport(data, pattern, mni);

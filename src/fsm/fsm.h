@@ -36,7 +36,8 @@ enum class Canonicalization : uint8_t { kPermutation, kMinDfsCode };
 struct SingleGraphFsmOptions {
   uint32_t min_support = 10;   // MNI threshold
   uint32_t max_edges = 4;      // pattern growth cap
-  uint32_t num_threads = 4;
+  /// 0 = GAL_TASK_THREADS, else hardware_concurrency.
+  uint32_t num_threads = 0;
   Canonicalization canonical = Canonicalization::kPermutation;
 };
 
@@ -55,7 +56,8 @@ SingleGraphFsmResult MineSingleGraph(const Graph& data,
 struct TransactionFsmOptions {
   uint32_t min_support = 10;   // number of containing transactions
   uint32_t max_edges = 4;
-  uint32_t num_threads = 4;
+  /// 0 = GAL_TASK_THREADS, else hardware_concurrency.
+  uint32_t num_threads = 0;
   Canonicalization canonical = Canonicalization::kPermutation;
 };
 

@@ -16,6 +16,7 @@ struct SearchShared {
   uint64_t limit;
   bool collect;
   bool induced;
+  uint32_t split_depth;
   std::atomic<uint64_t> matches{0};
   std::atomic<uint64_t> search_nodes{0};
   std::mutex out_mu;
@@ -29,8 +30,15 @@ struct SearchShared {
 /// Per-thread DFS state: the partial mapping (by plan position).
 struct SearchState {
   std::vector<VertexId> mapped;
-  std::vector<VertexId> scratch;
 };
+
+/// A shippable unit of search: the mapped plan-position prefix, with the
+/// *last* vertex still unvalidated (injectivity / restrictions / induced
+/// checks run where the task runs, so split and unsplit executions visit
+/// bit-identical search trees). Roots are prefixes of length 1.
+using PrefixTask = std::vector<VertexId>;
+
+using MatchContext = TaskEngine<PrefixTask>::Context;
 
 bool RestrictionsOk(const SearchShared& shared, const SearchState& state,
                     uint32_t position, VertexId v) {
@@ -49,7 +57,31 @@ bool RestrictionsOk(const SearchShared& shared, const SearchState& state,
   return true;
 }
 
-void Backtrack(SearchShared& shared, SearchState& state, uint32_t position) {
+void Backtrack(SearchShared& shared, SearchState& state, uint32_t position,
+               MatchContext& ctx);
+
+/// The per-candidate step: counts the search node, validates v at
+/// `position`, and recurses. Runs either inline or as the first step of
+/// a stolen prefix task — identically in both cases.
+void TryVertex(SearchShared& shared, SearchState& state, uint32_t position,
+               VertexId v, MatchContext& ctx) {
+  shared.search_nodes.fetch_add(1, std::memory_order_relaxed);
+  // Injectivity.
+  for (uint32_t j = 0; j < position; ++j) {
+    if (state.mapped[j] == v) return;
+  }
+  if (!RestrictionsOk(shared, state, position, v)) return;
+  if (shared.induced) {
+    for (uint32_t j : shared.plan->backward_nonneighbors[position]) {
+      if (shared.data->HasEdge(state.mapped[j], v)) return;
+    }
+  }
+  state.mapped[position] = v;
+  Backtrack(shared, state, position + 1, ctx);
+}
+
+void Backtrack(SearchShared& shared, SearchState& state, uint32_t position,
+               MatchContext& ctx) {
   if (shared.LimitReached()) return;
   const MatchPlan& plan = *shared.plan;
   const Graph& data = *shared.data;
@@ -68,26 +100,28 @@ void Backtrack(SearchShared& shared, SearchState& state, uint32_t position) {
   const std::vector<VertexId>& cand =
       shared.candidates->candidates[plan.order[position]];
 
-  auto try_vertex = [&](VertexId v) {
-    shared.search_nodes.fetch_add(1, std::memory_order_relaxed);
-    // Injectivity.
-    for (uint32_t j = 0; j < position; ++j) {
-      if (state.mapped[j] == v) return;
+  // Adaptive prefix splitting (the STMatch/T-DFS mechanism): at shallow
+  // positions, when thieves are parked hungry, ship the extension as an
+  // engine task (prefix + unvalidated candidate) instead of recursing —
+  // a hub-rooted subtree then spreads over idle workers instead of
+  // serializing one. Never split the leaf position: the spawn would
+  // cost more than the remaining work.
+  const bool may_split = position <= shared.split_depth && position + 1 < k;
+  auto extend = [&](VertexId v) {
+    if (may_split && ctx.StealPressure()) {
+      PrefixTask child(state.mapped.begin(),
+                       state.mapped.begin() + position);
+      child.push_back(v);
+      ctx.Spawn(std::move(child));
+      return;
     }
-    if (!RestrictionsOk(shared, state, position, v)) return;
-    if (shared.induced) {
-      for (uint32_t j : plan.backward_nonneighbors[position]) {
-        if (data.HasEdge(state.mapped[j], v)) return;
-      }
-    }
-    state.mapped[position] = v;
-    Backtrack(shared, state, position + 1);
+    TryVertex(shared, state, position, v, ctx);
   };
 
   if (backward.empty()) {
     for (VertexId v : cand) {
       if (shared.LimitReached()) return;
-      try_vertex(v);
+      extend(v);
     }
     return;
   }
@@ -105,7 +139,7 @@ void Backtrack(SearchShared& shared, SearchState& state, uint32_t position) {
         break;
       }
     }
-    if (joins) try_vertex(v);
+    if (joins) extend(v);
   }
 }
 
@@ -130,22 +164,26 @@ MatchResult SubgraphMatch(const Graph& data, const Graph& query,
   shared.limit = options.limit;
   shared.collect = collect;
   shared.induced = options.induced;
+  shared.split_depth = options.split_depth;
 
-  // Root tasks: one per candidate of the first ordered query vertex.
-  std::vector<VertexId> roots = candidates.candidates[result.plan.order[0]];
+  // Root tasks: one per candidate of the first ordered query vertex,
+  // each a length-1 unvalidated prefix.
+  std::vector<PrefixTask> roots;
+  roots.reserve(candidates.candidates[result.plan.order[0]].size());
+  for (VertexId v : candidates.candidates[result.plan.order[0]]) {
+    roots.push_back({v});
+  }
 
-  TaskEngine<VertexId> engine(options.engine);
+  TaskEngine<PrefixTask> engine(options.engine);
   const uint32_t k = query.NumVertices();
   TaskEngineStats task_stats = engine.Run(
-      std::move(roots),
-      [&shared, k](VertexId& root, TaskEngine<VertexId>::Context&) {
+      std::move(roots), [&shared, k](PrefixTask& prefix, MatchContext& ctx) {
         if (shared.LimitReached()) return;
         SearchState state;
         state.mapped.assign(k, kInvalidVertex);
-        shared.search_nodes.fetch_add(1, std::memory_order_relaxed);
-        if (!RestrictionsOk(shared, state, 0, root)) return;
-        state.mapped[0] = root;
-        Backtrack(shared, state, 1);
+        const uint32_t position = static_cast<uint32_t>(prefix.size()) - 1;
+        for (uint32_t j = 0; j < position; ++j) state.mapped[j] = prefix[j];
+        TryVertex(shared, state, position, prefix[position], ctx);
       });
 
   result.stats.matches = shared.matches.load();

@@ -30,6 +30,14 @@ struct MatchOptions {
   bool induced = false;
   /// Stop after this many results (0 = unlimited).
   uint64_t limit = 0;
+  /// Adaptive task splitting: while filling plan positions <=
+  /// split_depth and other workers are parked hungry
+  /// (Context::StealPressure), candidate extensions are spawned as
+  /// engine tasks instead of recursed — the STMatch/T-DFS mechanism
+  /// that stops a hub-rooted search tree from serializing one core.
+  /// 0 restores per-root-only scheduling. Match counts and collected
+  /// match *sets* are identical at any thread count or split depth.
+  uint32_t split_depth = 2;
   TaskEngineConfig engine;
 };
 

@@ -6,14 +6,18 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
-#include <deque>
+#include <cstdlib>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/core_budget.h"
 #include "common/logging.h"
+#include "common/metrics.h"
 #include "common/timer.h"
+#include "tlag/work_deque.h"
 
 namespace gal {
 
@@ -24,20 +28,33 @@ struct TaskEngineStats {
   uint64_t tasks_executed = 0;
   uint64_t tasks_spawned = 0;
   uint64_t steals = 0;
+  /// Full victim-scan rounds that found nothing stealable.
   uint64_t failed_steal_attempts = 0;
+  /// Times a worker gave up stealing and parked on the eventcount.
+  uint64_t parks = 0;
   double wall_seconds = 0.0;
   /// Per-thread seconds spent executing tasks (vs idling/stealing).
   std::vector<double> busy_seconds;
+  /// Seconds from first failed local pop to a successful steal, one
+  /// sample per steal (how long work takes to migrate).
+  StageTimingStat steal_latency;
+  /// Seconds spent blocked in the parking lot, one sample per park.
+  StageTimingStat park_time;
+  /// Sampled deque depths (victim depth at each steal + periodic owner
+  /// samples at spawn); unit is tasks, not seconds.
+  StageTimingStat queue_depth;
 
   double TotalBusySeconds() const {
     double s = 0.0;
     for (double b : busy_seconds) s += b;
     return s;
   }
-  /// 1.0 = perfect balance; wall * threads / busy.
+  /// busy / (wall * threads); 1.0 = perfect balance. An empty or
+  /// unmeasurably short run reports 0 (there was no parallel work to be
+  /// efficient at), not a vacuous 1.0.
   double ParallelEfficiency() const {
     const double busy = TotalBusySeconds();
-    if (busy == 0.0 || wall_seconds == 0.0) return 1.0;
+    if (busy == 0.0 || wall_seconds == 0.0 || busy_seconds.empty()) return 0.0;
     return busy / (wall_seconds * static_cast<double>(busy_seconds.size()));
   }
 };
@@ -54,7 +71,8 @@ enum class InitialDistribution : uint8_t {
 };
 
 struct TaskEngineConfig {
-  uint32_t num_threads = 4;
+  /// 0 = resolve from GAL_TASK_THREADS, else hardware_concurrency.
+  uint32_t num_threads = 0;
   /// When false, each thread only runs the initial tasks assigned to it
   /// (the static-partition baseline for the work-stealing ablation;
   /// spawned subtasks stay with their spawner).
@@ -62,12 +80,37 @@ struct TaskEngineConfig {
   InitialDistribution distribution = InitialDistribution::kRoundRobin;
 };
 
+/// Worker-thread count for a TaskEngineConfig: an explicit request wins,
+/// else the GAL_TASK_THREADS environment variable, else all hardware
+/// threads.
+inline uint32_t ResolveTaskThreads(uint32_t requested) {
+  if (requested != 0) return requested;
+  if (const char* env = std::getenv("GAL_TASK_THREADS")) {
+    const int v = std::atoi(env);
+    if (v > 0) return static_cast<uint32_t>(v);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
 /// A think-like-a-task scheduler in the T-thinker mold: tasks are
-/// independent units of subgraph search; each worker owns a deque (LIFO
-/// for itself — the DFS order that keeps memory bounded — FIFO for
-/// thieves, which steal the *largest/oldest* subproblems). User code
-/// runs inside Process and may spawn subtasks, which is exactly the
-/// "task splitting" mechanism G-thinker/STMatch use for load balancing.
+/// independent units of subgraph search; each worker owns a lock-free
+/// Chase–Lev deque (LIFO for itself — the DFS order that keeps memory
+/// bounded — FIFO for thieves, which steal the *largest/oldest*
+/// subproblems). User code runs inside Process and may spawn subtasks,
+/// which is exactly the "task splitting" mechanism G-thinker/STMatch use
+/// for load balancing.
+///
+/// Idle policy: a worker whose deque is empty makes one randomized
+/// victim-scan round; on failure it parks on an eventcount (epoch
+/// counter + condvar) instead of sleep-scanning queues. Spawns wake one
+/// parked thief; the worker that retires the last outstanding task wakes
+/// everyone. The parked count doubles as the cheap StealPressure signal
+/// that task-splitting call sites poll.
+///
+/// While running, the engine holds a CoreBudget::StageExecutorLease for
+/// its workers, so tensor-kernel dispatches issued from inside tasks
+/// shrink their shard fan-out instead of oversubscribing the machine.
 template <typename T>
 class TaskEngine {
  public:
@@ -79,15 +122,17 @@ class TaskEngine {
    public:
     /// Queues a subtask (visible to thieves). Prefer spawning the larger
     /// half of a split so stealing moves real work.
-    void Spawn(T task) {
-      engine_->Push(thread_id_, std::move(task));
-      engine_->spawned_.fetch_add(1, std::memory_order_relaxed);
-    }
+    void Spawn(T task) { engine_->Spawn(thread_id_, std::move(task)); }
     uint32_t thread_id() const { return thread_id_; }
-    /// Rough signal that other workers are hungry; tasks can use it to
-    /// decide whether splitting is worthwhile.
+    /// True when at least one worker is parked hungry — the signal that
+    /// splitting off a subtask will hand work to an idle core. One
+    /// relaxed load; cheap enough for inner search loops.
     bool StealPressure() const {
-      return engine_->idle_threads_.load(std::memory_order_relaxed) > 0;
+      return engine_->parked_.load(std::memory_order_relaxed) > 0;
+    }
+    /// How many workers are parked right now (0..num_threads-1).
+    uint32_t ParkedWorkers() const {
+      return engine_->parked_.load(std::memory_order_relaxed);
     }
 
    private:
@@ -99,160 +144,225 @@ class TaskEngine {
   };
 
   explicit TaskEngine(TaskEngineConfig config) : config_(config) {
+    config_.num_threads = ResolveTaskThreads(config_.num_threads);
     GAL_CHECK(config_.num_threads >= 1);
-    queues_ = std::vector<Queue>(config_.num_threads);
+    workers_.reserve(config_.num_threads);
+    for (uint32_t t = 0; t < config_.num_threads; ++t) {
+      workers_.push_back(std::make_unique<Worker>(t));
+    }
   }
 
-  /// Runs all `initial_tasks` (distributed round-robin) plus everything
+  /// Runs all `initial_tasks` (distributed per config) plus everything
   /// they spawn; returns when no task remains anywhere.
   TaskEngineStats Run(std::vector<T> initial_tasks, const ProcessFn& process) {
     stats_ = TaskEngineStats{};
     stats_.busy_seconds.assign(config_.num_threads, 0.0);
+    steal_latency_hist_.Reset();
+    park_time_hist_.Reset();
+    queue_depth_hist_.Reset();
+    const uint32_t n = config_.num_threads;
     if (config_.distribution == InitialDistribution::kRoundRobin) {
       for (size_t i = 0; i < initial_tasks.size(); ++i) {
-        queues_[i % config_.num_threads].deque.push_back(
-            std::move(initial_tasks[i]));
+        workers_[i % n]->deque.Push(new T(std::move(initial_tasks[i])));
       }
     } else {
-      const size_t block =
-          (initial_tasks.size() + config_.num_threads - 1) /
-          config_.num_threads;
+      const size_t block = (initial_tasks.size() + n - 1) / n;
       for (size_t i = 0; i < initial_tasks.size(); ++i) {
-        queues_[std::min<size_t>(i / std::max<size_t>(block, 1),
-                                 config_.num_threads - 1)]
-            .deque.push_back(std::move(initial_tasks[i]));
+        workers_[std::min<size_t>(i / std::max<size_t>(block, 1), n - 1)]
+            ->deque.Push(new T(std::move(initial_tasks[i])));
       }
     }
-    outstanding_.store(initial_tasks.size());
-    idle_threads_.store(0);
-    spawned_.store(0);
+    outstanding_.store(initial_tasks.size(), std::memory_order_relaxed);
+    parked_.store(0, std::memory_order_relaxed);
+    spawned_.store(0, std::memory_order_relaxed);
+
+    // Workers count against the core budget for the duration: kernel
+    // dispatches from inside tasks see a shrunken shard cap.
+    StageExecutorLease lease(n);
 
     Timer wall;
     std::vector<std::thread> threads;
-    threads.reserve(config_.num_threads);
-    for (uint32_t t = 0; t < config_.num_threads; ++t) {
+    threads.reserve(n);
+    for (uint32_t t = 0; t < n; ++t) {
       threads.emplace_back([this, t, &process] { WorkerLoop(t, process); });
     }
     for (std::thread& th : threads) th.join();
     stats_.wall_seconds = wall.ElapsedSeconds();
-    stats_.tasks_spawned = spawned_.load();
+    stats_.tasks_spawned = spawned_.load(std::memory_order_relaxed);
+    stats_.steal_latency =
+        StageTimingStat::FromHistogram("steal_latency", steal_latency_hist_);
+    stats_.park_time =
+        StageTimingStat::FromHistogram("park_time", park_time_hist_);
+    stats_.queue_depth =
+        StageTimingStat::FromHistogram("queue_depth", queue_depth_hist_);
     return stats_;
   }
 
  private:
-  struct Queue {
-    std::mutex mu;
-    std::deque<T> deque;
+  /// Per-worker state, cache-line separated so thieves hammering one
+  /// victim's top_ do not false-share with neighbours.
+  struct alignas(64) Worker {
+    explicit Worker(uint32_t id) : rng(0x9E3779B97F4A7C15ull ^ (id + 1)) {}
+    WorkStealingDeque<T> deque;
+    uint64_t rng;          // xorshift state for victim selection
+    uint64_t spawns = 0;   // owner-side spawn counter (depth sampling)
   };
 
-  void Push(uint32_t thread_id, T task) {
-    Queue& q = queues_[thread_id];
-    {
-      std::lock_guard<std::mutex> lock(q.mu);
-      q.deque.push_back(std::move(task));
-    }
+  void Spawn(uint32_t thread_id, T task) {
+    // The spawning task is still outstanding, so the counter cannot hit
+    // zero while we are here; increment before publishing regardless so
+    // the count is never under the truth.
     outstanding_.fetch_add(1, std::memory_order_relaxed);
+    spawned_.fetch_add(1, std::memory_order_relaxed);
+    Worker& w = *workers_[thread_id];
+    w.deque.Push(new T(std::move(task)));
+    if ((++w.spawns & 255) == 0) {
+      queue_depth_hist_.Observe(static_cast<double>(w.deque.ApproxSize()));
+    }
+    WakeOneThief();
   }
 
-  bool PopLocal(uint32_t thread_id, T& out) {
-    Queue& q = queues_[thread_id];
-    std::lock_guard<std::mutex> lock(q.mu);
-    if (q.deque.empty()) return false;
-    out = std::move(q.deque.back());  // LIFO: DFS order, bounded memory
-    q.deque.pop_back();
-    return true;
+  /// One randomized victim-scan round. Returns a task or nullptr.
+  T* TrySteal(uint32_t thief, uint64_t& steals, uint64_t& failed_steals) {
+    const uint32_t n = config_.num_threads;
+    Worker& self = *workers_[thief];
+    // xorshift64*: cheap, per-worker, deterministic seeding.
+    self.rng ^= self.rng >> 12;
+    self.rng ^= self.rng << 25;
+    self.rng ^= self.rng >> 27;
+    const uint32_t start = static_cast<uint32_t>(
+        (self.rng * 0x2545F4914F6CDD1Dull) >> 33);
+    for (uint32_t i = 0; i < n; ++i) {
+      const uint32_t victim = (start + i) % n;
+      if (victim == thief) continue;
+      T* task = workers_[victim]->deque.Steal();
+      if (task != nullptr) {
+        ++steals;
+        queue_depth_hist_.Observe(
+            static_cast<double>(workers_[victim]->deque.ApproxSize()));
+        return task;
+      }
+    }
+    ++failed_steals;
+    return nullptr;
   }
 
-  bool Steal(uint32_t thief, T& out) {
-    for (uint32_t probe = 1; probe < config_.num_threads; ++probe) {
-      Queue& q = queues_[(thief + probe) % config_.num_threads];
-      std::lock_guard<std::mutex> lock(q.mu);
-      if (q.deque.empty()) continue;
-      out = std::move(q.deque.front());  // FIFO end: biggest subproblems
-      q.deque.pop_front();
-      return true;
+  bool AnyDequeNonEmpty() const {
+    for (const auto& w : workers_) {
+      if (w->deque.ApproxSize() > 0) return true;
     }
     return false;
   }
 
+  /// Eventcount park: announce hunger, re-check for work (the Dekker
+  /// handshake against Spawn's parked-count probe; see work_deque.h on
+  /// why the emptiness scan uses seq_cst loads), then sleep until the
+  /// epoch moves. The bounded wait is a belt-and-braces backstop; with
+  /// the handshake correct it essentially never expires with work ready.
+  void Park(uint64_t& parks) {
+    parked_.fetch_add(1, std::memory_order_seq_cst);
+    const uint64_t epoch = epoch_.load(std::memory_order_acquire);
+    if (outstanding_.load(std::memory_order_acquire) != 0 &&
+        !AnyDequeNonEmpty()) {
+      ++parks;
+      Timer park_timer;
+      {
+        std::unique_lock<std::mutex> lock(park_mu_);
+        if (epoch_.load(std::memory_order_relaxed) == epoch &&
+            outstanding_.load(std::memory_order_acquire) != 0) {
+          park_cv_.wait_for(lock, std::chrono::milliseconds(1));
+        }
+      }
+      park_time_hist_.Observe(park_timer.ElapsedSeconds());
+    }
+    parked_.fetch_sub(1, std::memory_order_relaxed);
+  }
+
+  void WakeOneThief() {
+    if (parked_.load(std::memory_order_seq_cst) == 0) return;
+    {
+      std::lock_guard<std::mutex> lock(park_mu_);
+      epoch_.fetch_add(1, std::memory_order_relaxed);
+    }
+    park_cv_.notify_one();
+  }
+
+  void WakeAllDone() {
+    {
+      std::lock_guard<std::mutex> lock(park_mu_);
+      epoch_.fetch_add(1, std::memory_order_relaxed);
+    }
+    park_cv_.notify_all();
+  }
+
   void WorkerLoop(uint32_t thread_id, const ProcessFn& process) {
+    Worker& self = *workers_[thread_id];
     uint64_t executed = 0;
     uint64_t steals = 0;
     uint64_t failed_steals = 0;
+    uint64_t parks = 0;
     double busy = 0.0;
-    T task;
+    const bool stealing = config_.work_stealing && config_.num_threads > 1;
+    Timer hunt_timer;  // time since this worker last had work
+    bool hunting = false;
     for (;;) {
-      bool have = PopLocal(thread_id, task);
-      if (!have && config_.work_stealing) {
-        have = Steal(thread_id, task);
-        if (have) {
-          ++steals;
-        } else {
-          ++failed_steals;
+      T* task = self.deque.Pop();
+      if (task == nullptr && stealing) {
+        if (!hunting) {
+          hunting = true;
+          hunt_timer.Reset();
+        }
+        task = TrySteal(thread_id, steals, failed_steals);
+        if (task != nullptr) {
+          steal_latency_hist_.Observe(hunt_timer.ElapsedSeconds());
         }
       }
-      if (have) {
+      if (task != nullptr) {
+        hunting = false;
         Timer t;
         Context ctx(this, thread_id);
-        process(task, ctx);
+        process(*task, ctx);
+        delete task;
         busy += t.ElapsedSeconds();
         ++executed;
-        outstanding_.fetch_sub(1, std::memory_order_acq_rel);
+        if (outstanding_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+          WakeAllDone();
+        }
         continue;
       }
-      // Nothing local, nothing stolen: spin-wait until either all work
-      // is done or new tasks appear.
-      idle_threads_.fetch_add(1, std::memory_order_relaxed);
-      for (;;) {
-        if (outstanding_.load(std::memory_order_acquire) == 0) {
-          idle_threads_.fetch_sub(1, std::memory_order_relaxed);
-          goto done;
-        }
-        // Without stealing, a thread with an empty queue can only wait
-        // for its own spawned tasks — which cannot appear — unless
-        // global work drains; but with stealing disabled the static
-        // baseline simply exits when its queue stays empty.
-        if (!config_.work_stealing) {
-          bool empty;
-          {
-            std::lock_guard<std::mutex> lock(queues_[thread_id].mu);
-            empty = queues_[thread_id].deque.empty();
-          }
-          if (empty) {
-            idle_threads_.fetch_sub(1, std::memory_order_relaxed);
-            goto done;
-          }
-        }
-        bool any_nonempty = false;
-        for (Queue& q : queues_) {
-          std::lock_guard<std::mutex> lock(q.mu);
-          if (!q.deque.empty()) {
-            any_nonempty = true;
-            break;
-          }
-        }
-        if (any_nonempty) {
-          idle_threads_.fetch_sub(1, std::memory_order_relaxed);
-          break;
-        }
-        // Back off so idle scanners do not hammer the queue locks that
-        // busy workers need.
-        std::this_thread::sleep_for(std::chrono::microseconds(50));
+      if (!stealing) {
+        // Spawned tasks stay with their spawner, so an empty own deque
+        // means this worker is finished (the static baseline; also the
+        // single-thread exit path).
+        break;
       }
+      if (outstanding_.load(std::memory_order_acquire) == 0) break;
+      Park(parks);
+      if (outstanding_.load(std::memory_order_acquire) == 0) break;
     }
-  done:
     std::lock_guard<std::mutex> lock(stats_mu_);
     stats_.tasks_executed += executed;
     stats_.steals += steals;
     stats_.failed_steal_attempts += failed_steals;
+    stats_.parks += parks;
     stats_.busy_seconds[thread_id] = busy;
   }
 
   TaskEngineConfig config_;
-  std::vector<Queue> queues_;
+  std::vector<std::unique_ptr<Worker>> workers_;
   std::atomic<uint64_t> outstanding_{0};
   std::atomic<uint64_t> spawned_{0};
-  std::atomic<uint32_t> idle_threads_{0};
+  /// Workers currently parked on the eventcount — the StealPressure
+  /// signal.
+  std::atomic<uint32_t> parked_{0};
+  /// Eventcount epoch: bumped under park_mu_ by every wake so a parker
+  /// that observed a stale epoch never sleeps through its wakeup.
+  std::atomic<uint64_t> epoch_{0};
+  std::mutex park_mu_;
+  std::condition_variable park_cv_;
+  Histogram steal_latency_hist_;
+  Histogram park_time_hist_;
+  Histogram queue_depth_hist_;
   std::mutex stats_mu_;
   TaskEngineStats stats_;
 };

@@ -1,0 +1,152 @@
+#ifndef GAL_TLAG_WORK_DEQUE_H_
+#define GAL_TLAG_WORK_DEQUE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace gal {
+
+/// A Chase–Lev work-stealing deque over heap-allocated task pointers:
+/// the owner pushes and pops the *bottom* without locks (the LIFO order
+/// that keeps DFS state bounded), thieves CAS-claim the *top* (the FIFO
+/// end, where the oldest — and in a DFS search tree, biggest —
+/// subproblems sit). Single owner, any number of thieves.
+///
+/// Memory-order scheme (the Lê et al. PPoPP'13 algorithm with the
+/// standalone fences strengthened into seq_cst accesses on top_/bottom_
+/// so ThreadSanitizer, which does not model fences, sees every
+/// synchronization edge):
+///
+///   - The owner publishes a task by a release store to the buffer cell
+///     followed by a seq_cst store to bottom_; a thief acquires the cell
+///     after its seq_cst load of bottom_ observes the push, so the plain
+///     task payload behind the pointer is ordered by the cell's own
+///     release/acquire pair — no fence needed for TSan to see it.
+///   - Pop decrements bottom_ with a seq_cst store before its seq_cst
+///     load of top_; Steal loads top_ then bottom_ seq_cst. The seq_cst
+///     total order makes the classic "both see the race" argument go
+///     through: when only one task remains, owner and thief agree on who
+///     wins via the seq_cst CAS on top_.
+///   - top_ only ever grows (int64_t), so there is no ABA.
+///
+/// Growth: the owner swaps in a doubled buffer when full. Thieves may
+/// still be reading the old buffer, so retired buffers are kept alive
+/// until the deque is destroyed (cells are never overwritten in a
+/// retired buffer, and a stale read is validated by the CAS on top_).
+template <typename T>
+class WorkStealingDeque {
+ public:
+  explicit WorkStealingDeque(size_t initial_capacity = 64) {
+    size_t cap = 1;
+    while (cap < initial_capacity) cap <<= 1;
+    buffers_.push_back(std::make_unique<Buffer>(cap));
+    buffer_.store(buffers_.back().get(), std::memory_order_relaxed);
+  }
+
+  ~WorkStealingDeque() {
+    // Drain anything left (abnormal exit paths); tasks are owned here.
+    T* t;
+    while ((t = Pop()) != nullptr) delete t;
+  }
+
+  WorkStealingDeque(const WorkStealingDeque&) = delete;
+  WorkStealingDeque& operator=(const WorkStealingDeque&) = delete;
+
+  /// Owner only: pushes a task onto the bottom. Takes ownership.
+  void Push(T* task) {
+    const int64_t b = bottom_.load(std::memory_order_relaxed);
+    const int64_t t = top_.load(std::memory_order_acquire);
+    Buffer* buf = buffer_.load(std::memory_order_relaxed);
+    if (b - t >= static_cast<int64_t>(buf->capacity)) {
+      buf = Grow(buf, t, b);
+    }
+    buf->cells[b & buf->mask].store(task, std::memory_order_release);
+    bottom_.store(b + 1, std::memory_order_seq_cst);
+  }
+
+  /// Owner only: pops the most recently pushed task (LIFO). Returns
+  /// nullptr when empty. Caller takes ownership.
+  T* Pop() {
+    const int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+    Buffer* buf = buffer_.load(std::memory_order_relaxed);
+    bottom_.store(b, std::memory_order_seq_cst);
+    int64_t t = top_.load(std::memory_order_seq_cst);
+    if (t > b) {
+      // Empty: restore bottom.
+      bottom_.store(b + 1, std::memory_order_seq_cst);
+      return nullptr;
+    }
+    T* task = buf->cells[b & buf->mask].load(std::memory_order_acquire);
+    if (t == b) {
+      // Last element: race thieves for it via the CAS on top.
+      if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                        std::memory_order_seq_cst)) {
+        task = nullptr;  // a thief won
+      }
+      bottom_.store(b + 1, std::memory_order_seq_cst);
+    }
+    return task;
+  }
+
+  /// Any thread: steals the oldest task (FIFO). Returns nullptr when
+  /// empty or when another thief (or the owner) won the race — callers
+  /// treat that as "try another victim". Caller takes ownership.
+  T* Steal() {
+    int64_t t = top_.load(std::memory_order_seq_cst);
+    const int64_t b = bottom_.load(std::memory_order_seq_cst);
+    if (t >= b) return nullptr;
+    Buffer* buf = buffer_.load(std::memory_order_acquire);
+    T* task = buf->cells[t & buf->mask].load(std::memory_order_acquire);
+    if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                      std::memory_order_seq_cst)) {
+      return nullptr;  // lost the race; the winner owns the task
+    }
+    return task;
+  }
+
+  /// Approximate occupancy, safe from any thread. Seq_cst loads so a
+  /// parker's emptiness re-check after announcing itself cannot miss a
+  /// push that preceded the spawner's parked-count probe (the Dekker
+  /// handshake in the task engine's parking lot).
+  size_t ApproxSize() const {
+    const int64_t b = bottom_.load(std::memory_order_seq_cst);
+    const int64_t t = top_.load(std::memory_order_seq_cst);
+    return b > t ? static_cast<size_t>(b - t) : 0;
+  }
+
+ private:
+  struct Buffer {
+    explicit Buffer(size_t cap)
+        : capacity(cap), mask(cap - 1), cells(new std::atomic<T*>[cap]) {}
+    const size_t capacity;
+    const size_t mask;
+    std::unique_ptr<std::atomic<T*>[]> cells;
+  };
+
+  /// Owner only: doubles the buffer, copying live cells [t, b).
+  Buffer* Grow(Buffer* old, int64_t t, int64_t b) {
+    buffers_.push_back(std::make_unique<Buffer>(old->capacity * 2));
+    Buffer* bigger = buffers_.back().get();
+    for (int64_t i = t; i < b; ++i) {
+      bigger->cells[i & bigger->mask].store(
+          old->cells[i & old->mask].load(std::memory_order_relaxed),
+          std::memory_order_relaxed);
+    }
+    buffer_.store(bigger, std::memory_order_release);
+    return bigger;
+  }
+
+  std::atomic<int64_t> top_{0};
+  std::atomic<int64_t> bottom_{0};
+  std::atomic<Buffer*> buffer_{nullptr};
+  /// All buffers ever allocated; retired ones stay alive for straggling
+  /// thieves (owner-only mutation, only during Push).
+  std::vector<std::unique_ptr<Buffer>> buffers_;
+};
+
+}  // namespace gal
+
+#endif  // GAL_TLAG_WORK_DEQUE_H_

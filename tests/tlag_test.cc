@@ -1,10 +1,15 @@
 #include <algorithm>
 #include <atomic>
+#include <cstdlib>
+#include <memory>
 #include <mutex>
 #include <set>
+#include <thread>
+#include <utility>
 
 #include <gtest/gtest.h>
 
+#include "common/timer.h"
 #include "graph/generators.h"
 #include "tlag/algos/cliques.h"
 #include "tlag/algos/quasi_clique.h"
@@ -12,9 +17,93 @@
 #include "tlag/algos/triangles.h"
 #include "tlag/bfs_engine.h"
 #include "tlag/task_engine.h"
+#include "tlag/work_deque.h"
 
 namespace gal {
 namespace {
+
+// --- WorkStealingDeque -------------------------------------------------------
+
+TEST(WorkDequeTest, OwnerLifoThiefFifo) {
+  WorkStealingDeque<int> dq;
+  dq.Push(new int(1));
+  dq.Push(new int(2));
+  dq.Push(new int(3));
+  EXPECT_EQ(dq.ApproxSize(), 3u);
+  std::unique_ptr<int> stolen(dq.Steal());
+  ASSERT_NE(stolen, nullptr);
+  EXPECT_EQ(*stolen, 1);  // thieves take the oldest (biggest subproblem)
+  std::unique_ptr<int> popped(dq.Pop());
+  ASSERT_NE(popped, nullptr);
+  EXPECT_EQ(*popped, 3);  // owner pops the newest (DFS order)
+  popped.reset(dq.Pop());
+  ASSERT_NE(popped, nullptr);
+  EXPECT_EQ(*popped, 2);
+  EXPECT_EQ(dq.Pop(), nullptr);
+  EXPECT_EQ(dq.Steal(), nullptr);
+  EXPECT_EQ(dq.ApproxSize(), 0u);
+}
+
+TEST(WorkDequeTest, GrowthPreservesAllTasks) {
+  WorkStealingDeque<int> dq(4);  // forces several buffer doublings
+  int64_t pushed = 0;
+  int64_t seen = 0;
+  int consumed = 0;
+  for (int i = 1; i <= 1000; ++i) {
+    dq.Push(new int(i));
+    pushed += i;
+    if ((i % 3) == 0) {  // interleave owner pops with growth
+      std::unique_ptr<int> t(dq.Pop());
+      ASSERT_NE(t, nullptr);
+      seen += *t;
+      ++consumed;
+    }
+  }
+  for (;;) {  // drain from both ends
+    std::unique_ptr<int> t(consumed % 2 == 0 ? dq.Pop() : dq.Steal());
+    if (t == nullptr) break;
+    seen += *t;
+    ++consumed;
+  }
+  EXPECT_EQ(consumed, 1000);
+  EXPECT_EQ(seen, pushed);
+}
+
+TEST(WorkDequeTest, ConcurrentStealsDeliverEachTaskExactlyOnce) {
+  WorkStealingDeque<uint64_t> dq(8);
+  constexpr uint64_t kTasks = 20000;
+  std::atomic<uint64_t> consumed{0};
+  std::atomic<uint64_t> sum{0};
+  std::atomic<bool> owner_done{false};
+  auto consume = [&](uint64_t* t) {
+    sum.fetch_add(*t, std::memory_order_relaxed);
+    consumed.fetch_add(1, std::memory_order_relaxed);
+    delete t;
+  };
+  std::vector<std::thread> thieves;
+  for (int i = 0; i < 3; ++i) {
+    thieves.emplace_back([&] {
+      while (!owner_done.load(std::memory_order_acquire) ||
+             dq.ApproxSize() > 0) {
+        uint64_t* t = dq.Steal();
+        if (t != nullptr) consume(t);
+      }
+    });
+  }
+  for (uint64_t i = 1; i <= kTasks; ++i) {
+    dq.Push(new uint64_t(i));
+    if ((i & 7) == 0) {  // owner pops race thief CASes on the last element
+      uint64_t* t = dq.Pop();
+      if (t != nullptr) consume(t);
+    }
+  }
+  uint64_t* t;
+  while ((t = dq.Pop()) != nullptr) consume(t);
+  owner_done.store(true, std::memory_order_release);
+  for (std::thread& th : thieves) th.join();
+  EXPECT_EQ(consumed.load(), kTasks);
+  EXPECT_EQ(sum.load(), kTasks * (kTasks + 1) / 2);
+}
 
 // --- TaskEngine --------------------------------------------------------------
 
@@ -84,6 +173,98 @@ TEST(TaskEngineTest, NoStealingStaysStatic) {
       [&count](int&, TaskEngine<int>::Context&) { count++; });
   EXPECT_EQ(count.load(), 8);
   EXPECT_EQ(stats.steals, 0u);
+}
+
+TEST(TaskEngineTest, DeepRecursiveSpawnStressAtEightThreads) {
+  // A complete binary spawn tree (bulk churn on every deque) followed by
+  // a long spawn chain (one task alive at a time, so workers park and
+  // wake constantly — the termination detector's worst case).
+  TaskEngine<std::pair<int, int>> engine(TaskEngineConfig{.num_threads = 8});
+  std::atomic<uint64_t> count{0};
+  using Ctx = TaskEngine<std::pair<int, int>>::Context;
+  TaskEngineStats tree = engine.Run(
+      {{14, 0}}, [&count](std::pair<int, int>& t, Ctx& ctx) {
+        count.fetch_add(1, std::memory_order_relaxed);
+        if (t.first > 0) {
+          ctx.Spawn({t.first - 1, 0});
+          ctx.Spawn({t.first - 1, 0});
+        }
+      });
+  EXPECT_EQ(count.load(), (1u << 15) - 1);  // 2^15 - 1 nodes
+  EXPECT_EQ(tree.tasks_executed, (1u << 15) - 1);
+  EXPECT_EQ(tree.tasks_spawned, (1u << 15) - 2);
+
+  count.store(0);
+  TaskEngineStats chain = engine.Run(
+      {{0, 4000}}, [&count](std::pair<int, int>& t, Ctx& ctx) {
+        count.fetch_add(1, std::memory_order_relaxed);
+        if (t.second > 0) ctx.Spawn({0, t.second - 1});
+      });
+  EXPECT_EQ(count.load(), 4001u);
+  EXPECT_EQ(chain.tasks_executed, 4001u);
+}
+
+TEST(TaskEngineTest, ParkedThievesRaiseStealPressure) {
+  // One giant task, three empty workers: the thieves must park and the
+  // busy worker must observe the pressure signal (the gate adaptive
+  // splitting polls).
+  TaskEngine<int> engine(TaskEngineConfig{.num_threads = 4});
+  std::atomic<bool> saw_pressure{false};
+  engine.Run({0}, [&saw_pressure](int&, TaskEngine<int>::Context& ctx) {
+    Timer t;
+    while (t.ElapsedSeconds() < 2.0) {
+      if (ctx.StealPressure()) {
+        saw_pressure.store(true);
+        EXPECT_GE(ctx.ParkedWorkers(), 1u);
+        break;
+      }
+    }
+  });
+  EXPECT_TRUE(saw_pressure.load());
+}
+
+TEST(TaskEngineTest, ParallelEfficiencyZeroOnEmptyRun) {
+  TaskEngineStats fresh;
+  EXPECT_EQ(fresh.ParallelEfficiency(), 0.0);  // no run: nothing perfect
+  TaskEngine<int> engine(TaskEngineConfig{.num_threads = 2});
+  TaskEngineStats stats =
+      engine.Run({}, [](int&, TaskEngine<int>::Context&) {});
+  EXPECT_EQ(stats.tasks_executed, 0u);
+  EXPECT_EQ(stats.ParallelEfficiency(), 0.0);
+}
+
+TEST(TaskEngineTest, ThreadCountResolvesFromEnvAndHardware) {
+  EXPECT_EQ(ResolveTaskThreads(5), 5u);  // explicit request wins
+  ASSERT_EQ(setenv("GAL_TASK_THREADS", "3", 1), 0);
+  EXPECT_EQ(ResolveTaskThreads(0), 3u);
+  TaskEngine<int> engine(TaskEngineConfig{});  // num_threads = 0 -> env
+  std::atomic<int> count{0};
+  TaskEngineStats stats = engine.Run(
+      {1, 2, 3}, [&count](int&, TaskEngine<int>::Context&) { count++; });
+  EXPECT_EQ(count.load(), 3);
+  EXPECT_EQ(stats.busy_seconds.size(), 3u);
+  ASSERT_EQ(unsetenv("GAL_TASK_THREADS"), 0);
+  EXPECT_GE(ResolveTaskThreads(0), 1u);  // hardware fallback
+}
+
+TEST(TaskEngineTest, StatsSurfaceStealAndParkSpans) {
+  TaskEngine<int> engine(TaskEngineConfig{.num_threads = 4});
+  TaskEngineStats stats = engine.Run(
+      {12}, [](int& n, TaskEngine<int>::Context& ctx) {
+        if (n > 0) {
+          ctx.Spawn(n - 1);
+          ctx.Spawn(n - 1);
+        }
+      });
+  EXPECT_EQ(stats.steal_latency.name, "steal_latency");
+  EXPECT_EQ(stats.park_time.name, "park_time");
+  EXPECT_EQ(stats.queue_depth.name, "queue_depth");
+  if (stats.steals > 0) {
+    EXPECT_GT(stats.steal_latency.max_seconds, 0.0);
+  }
+  if (stats.parks > 0) {
+    EXPECT_GT(stats.park_time.max_seconds, 0.0);
+  }
 }
 
 // --- BFS extension engine ------------------------------------------------------
