@@ -7,9 +7,9 @@
 // vs off, then the per-system matrix reprinted with the measured gain.
 
 #include "bench_util.h"
+#include "cluster/network.h"
 #include "dist/cost_model.h"
 #include "dist/dist_gcn.h"
-#include "dist/network.h"
 #include "gnn/dataset.h"
 #include "gnn/sage.h"
 #include "gnn/sampler.h"

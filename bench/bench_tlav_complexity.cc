@@ -12,6 +12,7 @@
 #include <cmath>
 
 #include "bench_util.h"
+#include "cluster/cluster.h"
 #include "graph/generators.h"
 #include "tlav/algos/wcc.h"
 #include "tlav/algos/wcc_sv.h"
@@ -21,36 +22,52 @@ int main() {
   using namespace gal::bench;
   Banner("C2", "TLAV O((|V|+|E|) log |V|) envelope via hash-min WCC");
 
+  // Every run shares one 8-worker ClusterRuntime; the modeled-time
+  // columns read its VirtualClock (max-worker compute + cost-model comm
+  // per superstep), so rows are on one comparable axis.
+  ClusterRuntime runtime(ClusterOptions{8, {}});
+  TlavConfig config;
+  config.num_workers = 8;
+  config.cluster = &runtime;
+
   std::printf("\n-- low-diameter graphs (R-MAT): supersteps ~ O(log |V|) --\n");
   Table good({"|V|", "|E|", "supersteps", "log2|V|", "activations",
-              "activations/(|V|+|E|)"});
+              "activations/(|V|+|E|)", "modeled ms", "ms/round"});
   for (uint32_t scale : {10u, 12u, 14u, 16u}) {
     Graph g = Rmat(scale, 8, 7);
-    WccResult r = Wcc(g, TlavConfig{.num_workers = 8});
+    WccResult r = Wcc(g, config);
     const double ve = static_cast<double>(g.NumVertices()) + g.NumEdges();
     good.AddRow({Human(g.NumVertices()), Human(g.NumEdges()),
                  Fmt("%u", r.stats.supersteps), Fmt("%.1f", scale * 1.0),
                  Human(r.stats.vertex_activations),
-                 Fmt("%.2f", r.stats.vertex_activations / ve)});
+                 Fmt("%.2f", r.stats.vertex_activations / ve),
+                 Fmt("%.2f", r.stats.modeled_seconds * 1e3),
+                 Fmt("%.3f", r.stats.modeled_seconds * 1e3 /
+                                 std::max(1u, r.stats.supersteps))});
   }
   good.Print();
 
   std::printf("\n-- high-diameter graphs (path): hash-min = Theta(|V|) "
               "supersteps; the fixes the survey cites --\n");
   Table bad({"|V|", "hash-min steps", "steps/|V|", "SV pointer-jump rounds",
-             "Blogel block steps (32 blocks)"});
+             "Blogel block steps (32 blocks)", "modeled ms"});
   for (VertexId n : {256u, 512u, 1024u, 2048u}) {
     Graph g = Path(n);
-    WccResult r = Wcc(g, TlavConfig{.num_workers = 8});
+    WccResult r = Wcc(g, config);
     SvWccResult sv = SvWcc(g);
     BlockWccResult blk = BlockWcc(g, 32);
     GAL_CHECK(sv.num_components == r.num_components);
     GAL_CHECK(blk.num_components == r.num_components);
     bad.AddRow({Human(n), Fmt("%u", r.stats.supersteps),
                 Fmt("%.2f", static_cast<double>(r.stats.supersteps) / n),
-                Fmt("%u", sv.rounds), Fmt("%u", blk.block_supersteps)});
+                Fmt("%u", sv.rounds), Fmt("%u", blk.block_supersteps),
+                Fmt("%.2f", r.stats.modeled_seconds * 1e3)});
   }
   bad.Print();
+  std::printf("\nshared cluster clock across all runs: %zu rounds, "
+              "%.2f modeled s; wire total %.2f MB\n",
+              runtime.clock().rounds(), runtime.clock().seconds(),
+              runtime.ledger().TotalBytes() / 1e6);
   std::printf("\nShape check: on R-MAT, supersteps stay near log2|V| and "
               "total activations stay a small multiple of |V|+|E|.\n"
               "On paths, hash-min scales linearly with |V| — outside the "

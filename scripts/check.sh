@@ -26,9 +26,13 @@ cmake --build build-tsan --target gal_tests -j "${JOBS}"
 # concurrent thieves on the Chase–Lev deque, TaskEngineTest.* covers the
 # lock-free engine (incl. the deep-spawn stress and the eventcount
 # parking lot), and MatchDeterminismTest.* drives the DFS matcher's
-# adaptive prefix splitting at 8 threads.
+# adaptive prefix splitting at 8 threads. The cluster suites cover the
+# simulated-cluster substrate: TrafficLedgerTest.ConcurrentChargesAreExact
+# hammers the sharded ledger counters from 8 threads (the data race the
+# old SimulatedNetwork had), and ClusterExchangeTest.* runs the TLAV
+# engines at GAL_TASK_THREADS=8 over the exchange channel.
 ./build-tsan/tests/gal_tests \
-    --gtest_filter='PipelineTest.*:ThreadPoolTest.*:TaskEngineTest.*:WorkDequeTest.*:MatchDeterminismTest.*:KernelContextTest.*:KernelParityTest.*:TensorTest.*:MatrixTest.*:SparseTest.*:CoreBudgetTest.*:DistGcnTest.OverlapReducesSimulatedTime:DistGcnTest.ReportExposesTracesAndOverlapOccupancy:DistGcnTest.CommChannelsRelieveCommBoundOverlap'
+    --gtest_filter='PipelineTest.*:ThreadPoolTest.*:TaskEngineTest.*:WorkDequeTest.*:MatchDeterminismTest.*:KernelContextTest.*:KernelParityTest.*:TensorTest.*:MatrixTest.*:SparseTest.*:CoreBudgetTest.*:TrafficLedgerTest.*:VirtualClockTest.*:ClusterRuntimeTest.*:ExchangeChannelTest.*:ClusterExchangeTest.*:DistGcnTest.OverlapReducesSimulatedTime:DistGcnTest.ReportExposesTracesAndOverlapOccupancy:DistGcnTest.CommChannelsRelieveCommBoundOverlap'
 
 echo
 echo "check.sh: all green"

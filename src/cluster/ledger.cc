@@ -1,0 +1,129 @@
+#include "cluster/ledger.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace gal {
+
+TrafficLedger::TrafficLedger(uint32_t num_workers)
+    : num_workers_(num_workers) {
+  GAL_CHECK(num_workers_ >= 1);
+  shards_.reserve(num_workers_);
+  for (uint32_t w = 0; w < num_workers_; ++w) {
+    shards_.push_back(std::make_unique<Shard>(num_workers_));
+  }
+}
+
+void TrafficLedger::Charge(uint32_t src, uint32_t dst, uint64_t bytes,
+                           uint64_t messages) {
+  GAL_DCHECK(src < num_workers_ && dst < num_workers_);
+  Shard& shard = *shards_[src];
+  if (src == dst) {
+    shard.local_bytes.fetch_add(bytes, std::memory_order_relaxed);
+    shard.local_messages.fetch_add(messages, std::memory_order_relaxed);
+    return;
+  }
+  shard.pair_bytes[dst].fetch_add(bytes, std::memory_order_relaxed);
+  shard.pair_messages[dst].fetch_add(messages, std::memory_order_relaxed);
+}
+
+void TrafficLedger::ChargeBroadcast(uint32_t src, uint64_t bytes) {
+  for (uint32_t dst = 0; dst < num_workers_; ++dst) {
+    if (dst != src) Charge(src, dst, bytes);
+  }
+}
+
+uint64_t TrafficLedger::TotalBytes() const {
+  uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    for (const auto& c : shard->pair_bytes) {
+      total += c.load(std::memory_order_relaxed);
+    }
+  }
+  return total;
+}
+
+uint64_t TrafficLedger::TotalMessages() const {
+  uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    for (const auto& c : shard->pair_messages) {
+      total += c.load(std::memory_order_relaxed);
+    }
+  }
+  return total;
+}
+
+uint64_t TrafficLedger::PairBytes(uint32_t src, uint32_t dst) const {
+  GAL_DCHECK(src < num_workers_ && dst < num_workers_);
+  if (src == dst) return 0;
+  return shards_[src]->pair_bytes[dst].load(std::memory_order_relaxed);
+}
+
+uint64_t TrafficLedger::PairMessages(uint32_t src, uint32_t dst) const {
+  GAL_DCHECK(src < num_workers_ && dst < num_workers_);
+  if (src == dst) return 0;
+  return shards_[src]->pair_messages[dst].load(std::memory_order_relaxed);
+}
+
+uint64_t TrafficLedger::TotalLocalBytes() const {
+  uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard->local_bytes.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+uint64_t TrafficLedger::TotalLocalMessages() const {
+  uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard->local_messages.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+WorkerTraffic TrafficLedger::Worker(uint32_t w) const {
+  GAL_DCHECK(w < num_workers_);
+  WorkerTraffic t;
+  const Shard& own = *shards_[w];
+  for (uint32_t dst = 0; dst < num_workers_; ++dst) {
+    t.sent_bytes += own.pair_bytes[dst].load(std::memory_order_relaxed);
+    t.sent_messages += own.pair_messages[dst].load(std::memory_order_relaxed);
+  }
+  for (uint32_t src = 0; src < num_workers_; ++src) {
+    t.recv_bytes += shards_[src]->pair_bytes[w].load(std::memory_order_relaxed);
+    t.recv_messages +=
+        shards_[src]->pair_messages[w].load(std::memory_order_relaxed);
+  }
+  t.local_bytes = own.local_bytes.load(std::memory_order_relaxed);
+  return t;
+}
+
+double TrafficLedger::SentBytesImbalance() const {
+  uint64_t total = 0;
+  uint64_t max_sent = 0;
+  for (uint32_t w = 0; w < num_workers_; ++w) {
+    const WorkerTraffic t = Worker(w);
+    total += t.sent_bytes;
+    max_sent = std::max(max_sent, t.sent_bytes);
+  }
+  if (total == 0) return 0.0;
+  const double mean = static_cast<double>(total) / num_workers_;
+  return static_cast<double>(max_sent) / mean;
+}
+
+TrafficSnapshot TrafficLedger::Snapshot() const {
+  return {TotalBytes(), TotalMessages(), TotalLocalBytes(),
+          TotalLocalMessages()};
+}
+
+void TrafficLedger::Reset() {
+  for (auto& shard : shards_) {
+    for (auto& c : shard->pair_bytes) c.store(0, std::memory_order_relaxed);
+    for (auto& c : shard->pair_messages) c.store(0, std::memory_order_relaxed);
+    shard->local_bytes.store(0, std::memory_order_relaxed);
+    shard->local_messages.store(0, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace gal

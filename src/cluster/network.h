@@ -1,0 +1,31 @@
+#ifndef GAL_CLUSTER_NETWORK_H_
+#define GAL_CLUSTER_NETWORK_H_
+
+#include <cstdint>
+
+namespace gal {
+
+/// Cost model of the simulated interconnect. Defaults approximate a
+/// 10 Gb/s datacenter network; the NVLink preset models DGCL's
+/// high-bandwidth GPU fabric.
+struct NetworkCostModel {
+  double bandwidth_bytes_per_sec = 1.25e9;  // 10 Gb/s
+  double latency_sec = 50e-6;               // per message
+
+  static NetworkCostModel Ethernet10G() { return {}; }
+  static NetworkCostModel Nvlink() {
+    // ~300 GB/s aggregate; ~2 µs effective per-message latency (the
+    // link itself is sub-microsecond, but driver/launch overhead
+    // dominates what a transfer actually pays).
+    return {3.0e11, 2e-6};
+  }
+
+  double TransferSeconds(uint64_t bytes, uint64_t messages = 1) const {
+    return latency_sec * static_cast<double>(messages) +
+           static_cast<double>(bytes) / bandwidth_bytes_per_sec;
+  }
+};
+
+}  // namespace gal
+
+#endif  // GAL_CLUSTER_NETWORK_H_

@@ -120,8 +120,11 @@ void SplitAdjacency(const Graph& g, const VertexPartition& parts,
   *remote = SparseMatrix::FromTriplets(n, n, std::move(remote_t));
 }
 
-/// Per-(layer, direction) stale store + codec state.
-struct ExchangeChannel {
+/// Per-(layer, direction) stale store + codec state. (Not to be confused
+/// with the cluster ExchangeChannel<M>, which moves typed BSP messages —
+/// this is the *staleness* side of a halo exchange: the receiver-view
+/// copy a sync policy may decline to refresh.)
+struct StaleChannel {
   Matrix stale;              // last transmitted version (receiver view)
   bool initialized = false;
   std::unique_ptr<ErrorCompensatedCodec> codec;  // when EC is on
@@ -134,8 +137,23 @@ DistGcnReport TrainDistGcn(const NodeClassificationDataset& dataset,
   DistGcnReport report;
   const Graph& g = dataset.graph;
 
-  VertexPartition parts = MakePartition(g, config.partition,
-                                        config.num_workers,
+  // The simulated-cluster substrate: a caller-shared runtime puts this
+  // job's traffic on the same ledger/clock as TLAV and TLAG jobs; the
+  // private fallback keeps standalone runs self-contained.
+  std::unique_ptr<ClusterRuntime> owned_cluster;
+  ClusterRuntime* cluster = config.cluster;
+  if (cluster == nullptr) {
+    owned_cluster = std::make_unique<ClusterRuntime>(
+        ClusterOptions{config.num_workers, config.network});
+    cluster = owned_cluster.get();
+  }
+  const uint32_t num_workers = cluster->num_workers();
+  const NetworkCostModel cost = cluster->cost_model();
+  TrafficLedger& ledger = cluster->ledger();
+  const TrafficSnapshot run_start = ledger.Snapshot();
+  const size_t clock_start = cluster->clock().rounds();
+
+  VertexPartition parts = MakePartition(g, config.partition, num_workers,
                                         dataset.TrainVertices());
   report.edge_cut = EvaluatePartition(g, parts).edge_cut;
   const std::vector<std::vector<VertexId>> halos = ComputeHalos(g, parts);
@@ -145,6 +163,7 @@ DistGcnReport TrainDistGcn(const NodeClassificationDataset& dataset,
   SparseMatrix adj_local;
   SparseMatrix adj_remote;
   SplitAdjacency(g, parts, AdjNorm::kSymmetric, &adj_local, &adj_remote);
+  cluster->InstallPartition(parts);
 
   GcnConfig model_config;
   model_config.dims = {dataset.features.cols(), config.hidden_dim,
@@ -154,10 +173,9 @@ DistGcnReport TrainDistGcn(const NodeClassificationDataset& dataset,
   Adam opt(config.lr);
   opt.Attach(model.Parameters());
 
-  SimulatedNetwork network(config.num_workers, config.network);
   const uint32_t num_layers = model.num_layers();
-  std::vector<ExchangeChannel> forward_channels(num_layers);
-  std::vector<ExchangeChannel> backward_channels(num_layers);
+  std::vector<StaleChannel> forward_channels(num_layers);
+  std::vector<StaleChannel> backward_channels(num_layers);
   if (config.error_compensation) {
     for (uint32_t l = 0; l < num_layers; ++l) {
       forward_channels[l].codec =
@@ -168,8 +186,6 @@ DistGcnReport TrainDistGcn(const NodeClassificationDataset& dataset,
   }
 
   uint32_t epoch = 0;
-  uint64_t prev_bytes = 0;
-  uint64_t prev_msgs = 0;
 
   // Charges one cluster-wide halo exchange of `mat` to the ledger.
   auto charge_exchange = [&](uint32_t cols) {
@@ -179,17 +195,19 @@ DistGcnReport TrainDistGcn(const NodeClassificationDataset& dataset,
         config.quantization, static_cast<uint32_t>(halo_rows_per_exchange),
         cols);
     // Spread across worker pairs for the ledger (volume is what
-    // matters for the benches; per-pair split is uniform).
-    for (uint32_t w = 0; w < config.num_workers; ++w) {
-      network.Record(w, (w + 1) % config.num_workers,
-                     bytes / std::max(1u, config.num_workers));
+    // matters for the benches; per-pair split is uniform). At W=1 the
+    // ring charge is src==dst, which the ledger books as local — the
+    // single-worker run stays communication-free on the wire.
+    for (uint32_t w = 0; w < num_workers; ++w) {
+      ledger.Charge(w, (w + 1) % num_workers,
+                    bytes / std::max(1u, num_workers));
     }
     report.halo_rows_exchanged += halo_rows_per_exchange;
     ++report.broadcasts_sent;
   };
 
   // Policy: should this (epoch, channel) refresh its stale copy?
-  auto should_refresh = [&](const ExchangeChannel& ch,
+  auto should_refresh = [&](const StaleChannel& ch,
                             const Matrix& fresh) -> bool {
     if (!ch.initialized) return true;
     switch (config.sync) {
@@ -210,7 +228,7 @@ DistGcnReport TrainDistGcn(const NodeClassificationDataset& dataset,
     return true;
   };
 
-  auto exchange = [&](ExchangeChannel& ch, const Matrix& fresh) -> Matrix* {
+  auto exchange = [&](StaleChannel& ch, const Matrix& fresh) -> Matrix* {
     if (should_refresh(ch, fresh)) {
       Matrix received = ch.codec
                             ? ch.codec->Transmit(fresh)
@@ -226,7 +244,7 @@ DistGcnReport TrainDistGcn(const NodeClassificationDataset& dataset,
 
   AggregateFn aggregate = [&](const Matrix& h, uint32_t layer,
                               bool backward) -> Matrix {
-    ExchangeChannel& ch =
+    StaleChannel& ch =
         backward ? backward_channels[layer] : forward_channels[layer];
     if (!backward && layer == 0 && config.p3_feature_split) {
       // P3 hybrid parallelism: features are dimension-partitioned, so no
@@ -237,10 +255,10 @@ DistGcnReport TrainDistGcn(const NodeClassificationDataset& dataset,
       const uint64_t partial_bytes = static_cast<uint64_t>(g.NumVertices()) *
                                      config.hidden_dim * sizeof(float);
       // Ring all-reduce: 2 (W-1)/W of the payload per worker.
-      for (uint32_t w = 0; w < config.num_workers; ++w) {
-        network.Record(w, (w + 1) % config.num_workers,
-                       2 * partial_bytes * (config.num_workers - 1) /
-                           std::max(1u, config.num_workers));
+      for (uint32_t w = 0; w < num_workers; ++w) {
+        ledger.Charge(w, (w + 1) % num_workers,
+                      2 * partial_bytes * (num_workers - 1) /
+                          std::max(1u, num_workers));
       }
       ++report.broadcasts_sent;
       Matrix out = adj_local.Multiply(h);
@@ -266,11 +284,12 @@ DistGcnReport TrainDistGcn(const NodeClassificationDataset& dataset,
   // report.kernel_timings covers exactly this run.
   KernelContext& kernel_ctx = KernelContext::Get();
   kernel_ctx.ResetKernelStats();
-  // Per-epoch {compute, comm-traffic} traces, replayed through the
-  // modeled pipeline executor (compute stage + cost-model-charged
-  // network stage) after the loop; kept on the report for benches.
-
-  Timer total_timer;
+  // Each epoch is one VirtualClock round: the data-parallel compute
+  // share plus the ledger's cross-worker traffic delta. The clock's
+  // recorded rounds are replayed through the modeled pipeline executor
+  // (ModelClusterOverlap) after the loop and also kept on the report as
+  // traces for benches.
+  TrafficSnapshot prev = run_start;
   for (epoch = 0; epoch < config.epochs; ++epoch) {
     Timer compute_timer;
     Matrix logits = [&] {
@@ -289,7 +308,7 @@ DistGcnReport TrainDistGcn(const NodeClassificationDataset& dataset,
     }
     // Data-parallel compute: each worker handles ~1/W of the rows.
     const double epoch_compute =
-        compute_timer.ElapsedSeconds() / std::max(1u, config.num_workers);
+        compute_timer.ElapsedSeconds() / std::max(1u, num_workers);
 
     SoftmaxXentResult test =
         SoftmaxCrossEntropy(logits, dataset.labels, dataset.test_mask);
@@ -297,21 +316,15 @@ DistGcnReport TrainDistGcn(const NodeClassificationDataset& dataset,
     report.epoch_test_accuracy.push_back(
         test.total ? static_cast<double>(test.correct) / test.total : 0.0);
 
-    const uint64_t epoch_bytes = network.total_bytes() - prev_bytes;
-    const uint64_t epoch_msgs = network.total_messages() - prev_msgs;
-    prev_bytes = network.total_bytes();
-    prev_msgs = network.total_messages();
-    const double epoch_comm =
-        config.network.TransferSeconds(epoch_bytes, std::max<uint64_t>(
-                                                        epoch_msgs, 1));
-    report.compute_seconds += epoch_compute;
-    report.comm_seconds += epoch_comm;
-    report.simulated_epoch_seconds += config.overlap_comm_compute
-                                          ? std::max(epoch_compute, epoch_comm)
-                                          : epoch_compute + epoch_comm;
-    report.epoch_compute_trace.push_back(epoch_compute);
-    report.epoch_comm_bytes.push_back(epoch_bytes);
-    report.epoch_comm_messages.push_back(std::max<uint64_t>(epoch_msgs, 1));
+    const TrafficSnapshot snap = ledger.Snapshot();
+    const uint64_t epoch_bytes = snap.cross_bytes - prev.cross_bytes;
+    const uint64_t epoch_msgs = snap.cross_messages - prev.cross_messages;
+    prev = snap;
+    // One BSP round on the shared clock. Messages floor at 1 so an
+    // epoch always pays at least one latency envelope, matching the
+    // pre-cluster accounting.
+    cluster->clock().AdvanceRound(epoch_compute, epoch_bytes,
+                                  std::max<uint64_t>(epoch_msgs, 1));
   }
 
   report.stage_timings = {
@@ -320,21 +333,32 @@ DistGcnReport TrainDistGcn(const NodeClassificationDataset& dataset,
       StageTimingStat::FromHistogram("step", step_hist),
   };
   report.kernel_timings = kernel_ctx.KernelStats();
-  if (!report.epoch_compute_trace.empty()) {
-    // Epochs flow through a 2-stage compute -> comm pipeline; the comm
-    // stage is a modeled network stage charged NetworkCostModel time
-    // for each epoch's recorded traffic, on `comm_channels` modeled
+
+  // Everything timing-related below derives from the clock's recorded
+  // rounds — the report's traces, totals, and overlap numbers all read
+  // one trace, and a caller-shared clock attributes only this job's
+  // rounds (from `clock_start`).
+  const std::vector<ClusterRound> rounds =
+      cluster->clock().RoundsSince(clock_start);
+  for (const ClusterRound& r : rounds) {
+    report.compute_seconds += r.compute_seconds;
+    report.comm_seconds += r.comm_seconds;
+    report.epoch_compute_trace.push_back(r.compute_seconds);
+    report.epoch_comm_bytes.push_back(r.comm_bytes);
+    report.epoch_comm_messages.push_back(r.comm_messages);
+  }
+  if (!rounds.empty()) {
+    // Epochs flow through the 2-stage compute -> comm modeled pipeline;
+    // the comm stage is a modeled network stage charged NetworkCostModel
+    // time for each round's recorded traffic, on `comm_channels` modeled
     // executors. The modeled makespan is what a pipelined system
     // (P3/Dorylus-style overlap) would pay, regardless of this host's
     // core count.
-    std::vector<ModeledStageSpec> overlap_stages(2);
-    overlap_stages[0].name = "compute";
-    overlap_stages[0].busy = report.epoch_compute_trace;
-    overlap_stages[0].executors = 1;
-    overlap_stages[1] = ModeledNetworkStage(
-        "comm", config.network, report.epoch_comm_bytes,
-        report.epoch_comm_messages, std::max(1u, config.comm_channels));
-    ModeledPipelineResult overlap = ModelPipelineSchedule(overlap_stages);
+    ModeledPipelineResult overlap =
+        ModelClusterOverlap(rounds, cost, std::max(1u, config.comm_channels));
+    report.simulated_epoch_seconds = config.overlap_comm_compute
+                                         ? overlap.pipelined_seconds
+                                         : overlap.serial_seconds;
     report.modeled_overlap_epoch_seconds = overlap.pipelined_seconds;
     report.modeled_overlap_speedup = overlap.speedup;
     report.overlap_bottleneck_stage =
@@ -347,7 +371,7 @@ DistGcnReport TrainDistGcn(const NodeClassificationDataset& dataset,
       SoftmaxCrossEntropy(logits, dataset.labels, dataset.test_mask);
   report.final_test_accuracy =
       test.total ? static_cast<double>(test.correct) / test.total : 0.0;
-  report.comm_bytes = network.total_bytes();
+  report.comm_bytes = ledger.Snapshot().cross_bytes - run_start.cross_bytes;
   return report;
 }
 

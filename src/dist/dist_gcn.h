@@ -5,8 +5,8 @@
 #include <string>
 #include <vector>
 
+#include "cluster/cluster.h"
 #include "common/metrics.h"
-#include "dist/network.h"
 #include "dist/quantization.h"
 #include "gnn/dataset.h"
 #include "partition/partition.h"
@@ -59,6 +59,13 @@ struct DistGcnConfig {
   uint32_t epochs = 40;
   float lr = 0.05f;
   uint64_t seed = 1;
+
+  /// Shared simulated-cluster substrate. When set, the trainer adopts
+  /// its worker count and cost model (overriding `num_workers` and
+  /// `network`), charges halo/all-reduce traffic to its ledger, advances
+  /// its VirtualClock one round per epoch, and installs the job's
+  /// partition on it. When null the trainer owns a private runtime.
+  ClusterRuntime* cluster = nullptr;
 };
 
 struct DistGcnReport {
@@ -74,7 +81,11 @@ struct DistGcnReport {
 
   double compute_seconds = 0.0;       // measured math time
   double comm_seconds = 0.0;          // modeled wire time
-  double simulated_epoch_seconds = 0.0;  // Σ per-epoch max/sum per overlap
+  /// Modeled seconds of the whole run, from the cluster VirtualClock's
+  /// per-epoch rounds replayed through ModelPipelineSchedule: the
+  /// barriered serial total without overlap, the pipelined makespan
+  /// with overlap_comm_compute.
+  double simulated_epoch_seconds = 0.0;
 
   /// Per-epoch traces behind the modeled overlap replay, exposed so
   /// benches can re-model alternative schedules (e.g. comm-channel

@@ -43,6 +43,27 @@ ModeledStageSpec ModeledNetworkStage(const std::string& name,
   return spec;
 }
 
+ModeledPipelineResult ModelClusterOverlap(
+    const std::vector<ClusterRound>& rounds, const NetworkCostModel& cost,
+    uint32_t comm_channels) {
+  std::vector<ModeledStageSpec> stages(2);
+  stages[0].name = "compute";
+  stages[0].executors = 1;
+  stages[0].busy.reserve(rounds.size());
+  std::vector<uint64_t> bytes;
+  std::vector<uint64_t> messages;
+  bytes.reserve(rounds.size());
+  messages.reserve(rounds.size());
+  for (const ClusterRound& r : rounds) {
+    stages[0].busy.push_back(r.compute_seconds);
+    bytes.push_back(r.comm_bytes);
+    messages.push_back(r.comm_messages);
+  }
+  stages[1] = ModeledNetworkStage("comm", cost, bytes, messages,
+                                  std::max(1u, comm_channels));
+  return ModelPipelineSchedule(stages);
+}
+
 ModeledPipelineResult ModelPipelineSchedule(
     const std::vector<std::vector<double>>& busy) {
   std::vector<ModeledStageSpec> stages(busy.size());

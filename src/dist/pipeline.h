@@ -7,7 +7,8 @@
 #include <string>
 #include <vector>
 
-#include "dist/network.h"
+#include "cluster/network.h"
+#include "cluster/virtual_clock.h"
 
 namespace gal {
 
@@ -63,7 +64,7 @@ ModeledStageSpec ModeledNetworkStage(const std::string& name,
 /// classic one-executor-per-stage pipeline. This is the *modeled*
 /// pipeline — deterministic and independent of how many cores the host
 /// happens to have, matching how the survey's systems (and the rest of
-/// src/dist, e.g. SimulatedNetwork::SerializedSeconds) report overlap
+/// the simulated cluster, e.g. VirtualClock) report overlap
 /// analytically.
 struct ModeledPipelineResult {
   double serial_seconds = 0.0;     // Σ over stages and batches
@@ -102,6 +103,18 @@ ModeledPipelineResult ModelPipelineSchedule(
 /// counts (use ModeledNetworkStage for cost-model-charged comm stages).
 ModeledPipelineResult ModelPipelineSchedule(
     const std::vector<ModeledStageSpec>& stages);
+
+/// Replays VirtualClock rounds as the 2-stage {compute, comm} modeled
+/// pipeline: stage 0 is each round's max-worker compute time on one
+/// executor, stage 1 a ModeledNetworkStage charged each round's recorded
+/// traffic on `comm_channels` executors. serial_seconds is the
+/// barriered BSP total (what the clock itself accumulated);
+/// pipelined_seconds is what a system overlapping round r's
+/// communication with round r+1's compute would pay. This is how
+/// TrainDistGcn derives its comm_channels overlap from the clock.
+ModeledPipelineResult ModelClusterOverlap(
+    const std::vector<ClusterRound>& rounds, const NetworkCostModel& cost,
+    uint32_t comm_channels = 1);
 
 /// Per-stage observability of one RunPipeline call.
 struct PipelineStageStats {

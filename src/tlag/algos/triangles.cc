@@ -4,7 +4,9 @@
 #include <atomic>
 #include <vector>
 
+#include "cluster/cluster.h"
 #include "common/timer.h"
+#include "partition/partition.h"
 
 namespace gal {
 namespace {
@@ -71,15 +73,40 @@ TriangleCountResult TaskTriangleCount(const Graph& g,
   std::atomic<uint64_t> triangles{0};
   std::atomic<uint64_t> ops{0};
 
+  // Simulated-cluster attribution: make sure the runtime has a placement
+  // for this graph (hash by default, or whatever a caller pre-installed),
+  // then snapshot the ledger so the job's traffic is a clean delta.
+  ClusterRuntime* cluster = config.cluster;
+  const VertexPartition* parts = nullptr;
+  TrafficSnapshot before;
+  size_t clock_mark = 0;
+  if (cluster != nullptr) {
+    if (!cluster->has_partition() ||
+        cluster->partition().assignment.size() != g.NumVertices()) {
+      cluster->InstallPartition(HashPartition(g, cluster->num_workers()));
+    }
+    parts = &cluster->partition();
+    before = cluster->ledger().Snapshot();
+    clock_mark = cluster->clock().rounds();
+  }
+
   std::vector<VertexId> tasks(g.NumVertices());
   for (VertexId v = 0; v < g.NumVertices(); ++v) tasks[v] = v;
 
   TaskEngine<VertexId> engine(config);
   result.task_stats = engine.Run(
-      std::move(tasks), [&](VertexId& v, TaskEngine<VertexId>::Context&) {
+      std::move(tasks), [&](VertexId& v, TaskEngine<VertexId>::Context& ctx) {
         uint64_t local_tri = 0;
         uint64_t local_ops = 0;
+        if (parts != nullptr) {
+          ctx.TouchPartition(parts->assignment[v],
+                             oriented[v].size() * sizeof(VertexId));
+        }
         for (VertexId u : oriented[v]) {
+          if (parts != nullptr) {
+            ctx.TouchPartition(parts->assignment[u],
+                               oriented[u].size() * sizeof(VertexId));
+          }
           local_tri += IntersectCount(oriented[v], oriented[u], local_ops);
         }
         triangles.fetch_add(local_tri, std::memory_order_relaxed);
@@ -88,6 +115,25 @@ TriangleCountResult TaskTriangleCount(const Graph& g,
   result.triangles = triangles.load();
   result.intersection_ops = ops.load();
   result.wall_seconds = timer.ElapsedSeconds();
+
+  if (cluster != nullptr) {
+    // Fold host-thread busy time onto simulated workers (thread t ran
+    // worker t mod W) and close the job as one BSP round on the shared
+    // clock.
+    std::vector<double> worker_compute(cluster->num_workers(), 0.0);
+    for (size_t t = 0; t < result.task_stats.busy_seconds.size(); ++t) {
+      worker_compute[t % cluster->num_workers()] +=
+          result.task_stats.busy_seconds[t];
+    }
+    const TrafficSnapshot after = cluster->ledger().Snapshot();
+    const uint64_t cross_bytes = after.cross_bytes - before.cross_bytes;
+    const uint64_t cross_msgs = after.cross_messages - before.cross_messages;
+    cluster->clock().AdvanceRound(worker_compute, cross_bytes, cross_msgs);
+    result.migrated_bytes = cross_bytes;
+    result.data_touched_bytes =
+        cross_bytes + (after.local_bytes - before.local_bytes);
+    result.modeled_seconds = cluster->clock().SecondsSince(clock_mark);
+  }
   return result;
 }
 

@@ -19,6 +19,16 @@ struct TriangleCountResult {
   uint64_t intersection_ops = 0;
   double wall_seconds = 0.0;
   TaskEngineStats task_stats;  // zeroed for the serial variant
+
+  /// Simulated-cluster attribution, populated only when
+  /// TaskEngineConfig::cluster is set: every oriented adjacency row a
+  /// task intersects is charged to the row's home partition on the
+  /// runtime's ledger. `migrated_bytes` is the subset homed off the
+  /// executing worker — what a real cluster would move; the job also
+  /// closes one VirtualClock round (max worker busy + transfer time).
+  uint64_t data_touched_bytes = 0;
+  uint64_t migrated_bytes = 0;
+  double modeled_seconds = 0.0;
 };
 
 /// Single-threaded external-memory-style pass (Chu & Cheng's serial

@@ -13,6 +13,7 @@
 #include <thread>
 #include <vector>
 
+#include "cluster/cluster.h"
 #include "common/core_budget.h"
 #include "common/logging.h"
 #include "common/metrics.h"
@@ -78,20 +79,18 @@ struct TaskEngineConfig {
   /// spawned subtasks stay with their spawner).
   bool work_stealing = true;
   InitialDistribution distribution = InitialDistribution::kRoundRobin;
+  /// Optional simulated-cluster substrate. When set, tasks may attribute
+  /// the partition homes of the data they read via
+  /// Context::TouchPartition, charging the runtime's TrafficLedger —
+  /// putting think-like-a-graph mining on the same traffic axis as the
+  /// TLAV and dist-GNN engines. Non-owning; the engine never mutates the
+  /// runtime beyond ledger charges.
+  ClusterRuntime* cluster = nullptr;
 };
 
-/// Worker-thread count for a TaskEngineConfig: an explicit request wins,
-/// else the GAL_TASK_THREADS environment variable, else all hardware
-/// threads.
-inline uint32_t ResolveTaskThreads(uint32_t requested) {
-  if (requested != 0) return requested;
-  if (const char* env = std::getenv("GAL_TASK_THREADS")) {
-    const int v = std::atoi(env);
-    if (v > 0) return static_cast<uint32_t>(v);
-  }
-  const unsigned hw = std::thread::hardware_concurrency();
-  return hw == 0 ? 1 : hw;
-}
+// ResolveTaskThreads — the explicit > GAL_TASK_THREADS > hardware
+// resolution every engine uses for host threads — lives in
+// cluster/cluster.h (included above) next to ResolveClusterWorkers.
 
 /// A think-like-a-task scheduler in the T-thinker mold: tasks are
 /// independent units of subgraph search; each worker owns a lock-free
@@ -133,6 +132,25 @@ class TaskEngine {
     /// How many workers are parked right now (0..num_threads-1).
     uint32_t ParkedWorkers() const {
       return engine_->parked_.load(std::memory_order_relaxed);
+    }
+    /// Simulated-cluster attribution: this task read `bytes` of data
+    /// whose home partition is `home_worker`. Host thread t executes on
+    /// simulated worker t mod W; a read from the executing worker's own
+    /// partition books as local on the runtime's ledger, a read of rows
+    /// homed elsewhere is charged as cross-worker traffic — the data
+    /// movement a steal (or a cross-partition probe) would really cost.
+    /// No-op when the engine has no cluster configured.
+    void TouchPartition(uint32_t home_worker, uint64_t bytes) {
+      ClusterRuntime* cluster = engine_->config_.cluster;
+      if (cluster == nullptr) return;
+      cluster->ledger().Charge(home_worker,
+                               thread_id_ % cluster->num_workers(), bytes);
+    }
+    /// The simulated worker this task executes on (thread id mod cluster
+    /// width), or 0 without a cluster.
+    uint32_t executing_worker() const {
+      ClusterRuntime* cluster = engine_->config_.cluster;
+      return cluster == nullptr ? 0 : thread_id_ % cluster->num_workers();
     }
 
    private:

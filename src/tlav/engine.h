@@ -10,9 +10,10 @@
 #include <mutex>
 #include <span>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
+#include "cluster/cluster.h"
+#include "cluster/exchange.h"
 #include "common/logging.h"
 #include "common/metrics.h"
 #include "common/threadpool.h"
@@ -29,7 +30,9 @@ enum class AggregateOp : uint8_t { kSum, kMin, kMax };
 /// workers make communication observable: a message is "cross-worker"
 /// when source and destination vertices live on different parts of the
 /// configured partition, which is exactly the traffic a real Pregel
-/// deployment puts on the network.
+/// deployment puts on the network. The cross-worker fields are a view
+/// over the ClusterRuntime's TrafficLedger (this run's delta), so TLAV
+/// traffic lands on the same axis as dist-GNN and TLAG traffic.
 struct TlavStats {
   uint32_t supersteps = 0;
   uint64_t total_messages = 0;        // logical deliveries
@@ -43,6 +46,11 @@ struct TlavStats {
   uint64_t vertex_activations = 0;
   uint64_t edge_scans = 0;
   double wall_seconds = 0.0;
+  /// Modeled cluster seconds of this run from the runtime's
+  /// VirtualClock: Σ over supersteps of max-worker compute +
+  /// cost-model comm (includes recomputed supersteps after an injected
+  /// failure — recovery costs modeled time too).
+  double modeled_seconds = 0.0;
   // Fault-tolerance accounting (LWCP-style checkpointing).
   uint32_t checkpoints_taken = 0;
   uint64_t checkpoint_bytes = 0;
@@ -140,12 +148,22 @@ struct TlavConfig {
   /// checkpoint, recomputing from there (UINT32_MAX = never). Requires
   /// checkpoint_every > 0. The failure fires once.
   uint32_t fail_at_superstep = UINT32_MAX;
+  /// Shared simulated-cluster substrate. When set, the engine adopts its
+  /// worker count, charges cross-worker traffic to its ledger, advances
+  /// its VirtualClock one round per superstep, and installs the job's
+  /// partition on it. When null the engine owns a private runtime with
+  /// `num_workers` workers.
+  ClusterRuntime* cluster = nullptr;
 };
 
 /// A Pregel-style Bulk Synchronous Parallel engine over a simulated
-/// cluster of `num_workers` workers (threads). Vertices are placed by an
-/// explicit VertexPartition so partitioning strategies can be compared
-/// under identical programs.
+/// cluster of `num_workers` workers. Vertices are placed by an explicit
+/// VertexPartition so partitioning strategies can be compared under
+/// identical programs. Messages route through the runtime's
+/// ExchangeChannel, whose deterministic (src-worker, seq) delivery order
+/// keeps results and stats bit-identical at any host thread count
+/// (GAL_TASK_THREADS caps the host threads that execute the simulated
+/// workers; it never changes the math).
 template <typename V, typename M>
 class TlavEngine {
  public:
@@ -153,11 +171,20 @@ class TlavEngine {
   /// for the Pregel default.
   TlavEngine(const Graph* graph, TlavConfig config, VertexPartition partition)
       : graph_(graph),
-        config_(config),
+        config_(AdoptClusterWidth(config)),
+        owned_cluster_(config.cluster == nullptr
+                           ? std::make_unique<ClusterRuntime>(ClusterOptions{
+                                 config_.num_workers, NetworkCostModel{}})
+                           : nullptr),
+        cluster_(config.cluster != nullptr ? config.cluster
+                                           : owned_cluster_.get()),
         partition_(std::move(partition)),
-        pool_(config.num_workers) {
+        pool_(std::min(config_.num_workers, ResolveTaskThreads(0))),
+        channel_(std::make_unique<ExchangeChannel<M>>(
+            cluster_, config_.message_overhead_bytes)) {
     GAL_CHECK(partition_.assignment.size() == graph_->NumVertices());
     GAL_CHECK(partition_.num_parts == config_.num_workers);
+    cluster_->InstallPartition(partition_);
     const VertexId n = graph_->NumVertices();
     values_.resize(n);
     halted_.assign(n, 0);
@@ -167,12 +194,15 @@ class TlavEngine {
     for (VertexId v = 0; v < n; ++v) {
       worker_vertices_[partition_.assignment[v]].push_back(v);
     }
-    outboxes_.resize(config_.num_workers);
+    worker_counters_.resize(config_.num_workers);
   }
 
   /// Convenience: hash partition.
   TlavEngine(const Graph* graph, TlavConfig config)
-      : TlavEngine(graph, config, HashPartition(*graph, config.num_workers)) {}
+      : TlavEngine(graph, config,
+                   HashPartition(*graph, config.cluster != nullptr
+                                             ? config.cluster->num_workers()
+                                             : config.num_workers)) {}
 
   /// Sets every vertex value before the run.
   void InitValues(const std::function<V(VertexId)>& init) {
@@ -192,9 +222,18 @@ class TlavEngine {
   std::vector<V>& mutable_values() { return values_; }
   const Graph& graph() const { return *graph_; }
   const TlavStats& stats() const { return stats_; }
+  ClusterRuntime& cluster() { return *cluster_; }
 
  private:
   friend class VertexHandle<V, M>;
+
+  /// A config.cluster runtime dictates the simulated width.
+  static TlavConfig AdoptClusterWidth(TlavConfig config) {
+    if (config.cluster != nullptr) {
+      config.num_workers = config.cluster->num_workers();
+    }
+    return config;
+  }
 
   struct Aggregator {
     AggregateOp op;
@@ -210,93 +249,59 @@ class TlavEngine {
     }
   };
 
-  struct Outgoing {
-    VertexId dst;
-    M message;
-  };
-
-  /// Per-source-worker buffers, one lane per destination worker; no
-  /// locking needed because a worker only appends to its own buffers.
-  /// With a combiner, messages fold into one slot per destination vertex
-  /// (Pregel's sender-side combining).
-  struct Outbox {
-    std::vector<std::vector<Outgoing>> lanes;                   // [dst_worker]
-    /// Combined slot: folded message + whether any non-mirrored send
-    /// touched it (mirrored sends ride the per-worker mirror message,
-    /// so they do not add per-vertex wire cost).
-    struct CombinedSlot {
-      M message;
-      uint8_t non_mirrored = 0;
-    };
-    std::vector<std::unordered_map<VertexId, CombinedSlot>> combined;
-    /// Wire-message count per destination worker this superstep:
-    /// normal sends cost one each; a mirror broadcast costs one per
-    /// remote worker regardless of how many neighbors it covers.
-    std::vector<uint64_t> wire;                                 // [dst_worker]
-    std::vector<uint64_t> logical;                              // [dst_worker]
-    uint64_t mirrored = 0;
+  /// Per-worker counters a worker updates without synchronization,
+  /// cache-line separated.
+  struct alignas(64) WorkerCounters {
     uint64_t edge_scans = 0;
   };
 
   void Send(uint32_t src_worker, VertexId dst, const M& message,
-            VertexProgram<V, M>* program, bool mirrored = false) {
-    Outbox& box = outboxes_[src_worker];
-    const uint32_t dst_worker = partition_.assignment[dst];
-    ++box.logical[dst_worker];
-    if (program->has_combiner()) {
-      auto [it, inserted] = box.combined[dst_worker].emplace(
-          dst, typename Outbox::CombinedSlot{message, 0});
-      if (!inserted) {
-        it->second.message = program->Combine(it->second.message, message);
-      }
-      if (!mirrored) it->second.non_mirrored = 1;
-      return;
-    }
-    if (!mirrored) ++box.wire[dst_worker];
-    box.lanes[dst_worker].push_back({dst, message});
+            bool mirrored = false) {
+    channel_->Send(src_worker, partition_.assignment[dst], dst, message,
+                   mirrored);
   }
 
   /// SendToAllNeighbors with Pregel+ mirroring for eligible hubs: one
   /// wire message per remote worker that hosts any neighbor.
-  void Broadcast(uint32_t src_worker, VertexId src, const M& message,
-                 VertexProgram<V, M>* program) {
+  void Broadcast(uint32_t src_worker, VertexId src, const M& message) {
     const auto nbrs = graph_->Neighbors(src);
     const bool mirror = config_.mirror_degree_threshold > 0 &&
                         nbrs.size() >= config_.mirror_degree_threshold;
     if (!mirror) {
-      for (VertexId u : nbrs) Send(src_worker, u, message, program);
+      for (VertexId u : nbrs) Send(src_worker, u, message);
       return;
     }
-    Outbox& box = outboxes_[src_worker];
     std::vector<uint8_t> worker_touched(config_.num_workers, 0);
     for (VertexId u : nbrs) {
       const uint32_t w = partition_.assignment[u];
       if (!worker_touched[w]) {
         worker_touched[w] = 1;
-        ++box.wire[w];  // the single mirror message to that worker
+        channel_->AddMirrorWire(src_worker, w);  // the single mirror message
       } else {
-        ++box.mirrored;
+        channel_->NoteMirroredDelivery(src_worker);
       }
-      Send(src_worker, u, message, program, /*mirrored=*/true);
+      Send(src_worker, u, message, /*mirrored=*/true);
     }
   }
 
   const Graph* graph_;
   TlavConfig config_;
+  std::unique_ptr<ClusterRuntime> owned_cluster_;
+  ClusterRuntime* cluster_;
   VertexPartition partition_;
   ThreadPool pool_;
+  std::unique_ptr<ExchangeChannel<M>> channel_;
 
   std::vector<V> values_;
   std::vector<uint8_t> halted_;
   std::vector<std::vector<M>> inbox_;       // messages for this superstep
   std::vector<std::vector<M>> next_inbox_;  // being filled for next one
   std::vector<std::vector<VertexId>> worker_vertices_;
-  std::vector<Outbox> outboxes_;
+  std::vector<WorkerCounters> worker_counters_;
   std::map<std::string, Aggregator> aggregators_;
   std::mutex aggregator_mu_;
   uint32_t superstep_ = 0;
   TlavStats stats_;
-  VertexProgram<V, M>* running_program_ = nullptr;
 
   /// A consistent cut taken at the superstep barrier.
   struct Checkpoint {
@@ -323,7 +328,8 @@ VertexId VertexHandle<V, M>::num_vertices() const {
 
 template <typename V, typename M>
 std::span<const VertexId> VertexHandle<V, M>::Neighbors() const {
-  engine_->outboxes_[worker_].edge_scans += engine_->graph_->Degree(id_);
+  engine_->worker_counters_[worker_].edge_scans +=
+      engine_->graph_->Degree(id_);
   return engine_->graph_->Neighbors(id_);
 }
 
@@ -334,13 +340,14 @@ uint32_t VertexHandle<V, M>::Degree() const {
 
 template <typename V, typename M>
 void VertexHandle<V, M>::SendTo(VertexId target, const M& message) {
-  engine_->Send(worker_, target, message, engine_->running_program_);
+  engine_->Send(worker_, target, message);
 }
 
 template <typename V, typename M>
 void VertexHandle<V, M>::SendToAllNeighbors(const M& message) {
-  engine_->outboxes_[worker_].edge_scans += engine_->graph_->Degree(id_);
-  engine_->Broadcast(worker_, id_, message, engine_->running_program_);
+  engine_->worker_counters_[worker_].edge_scans +=
+      engine_->graph_->Degree(id_);
+  engine_->Broadcast(worker_, id_, message);
 }
 
 template <typename V, typename M>
@@ -366,21 +373,27 @@ template <typename V, typename M>
 TlavStats TlavEngine<V, M>::Run(VertexProgram<V, M>& program) {
   Timer timer;
   stats_ = TlavStats{};
-  running_program_ = &program;
   const uint32_t workers = config_.num_workers;
-  for (Outbox& box : outboxes_) {
-    box.lanes.assign(workers, {});
-    box.combined.assign(workers, {});
-    box.wire.assign(workers, 0);
-    box.logical.assign(workers, 0);
-    box.mirrored = 0;
+  const bool combining = program.has_combiner();
+  typename ExchangeChannel<M>::Combiner combiner;
+  if (combining) {
+    combiner = [&program](const M& a, const M& b) {
+      return program.Combine(a, b);
+    };
   }
+  channel_->Begin(std::move(combiner));
+  const TrafficSnapshot ledger_start = cluster_->ledger().Snapshot();
+  const size_t clock_start = cluster_->clock().rounds();
+  std::vector<double> compute_seconds(workers, 0.0);
 
   uint64_t pending_messages = 0;
   for (superstep_ = 0; superstep_ < config_.max_supersteps; ++superstep_) {
-    // Compute phase: each worker processes its own vertices.
+    // Compute phase: each simulated worker processes its own vertices
+    // (host threads pick up whole workers, so outbox lanes stay
+    // single-writer).
     std::atomic<uint64_t> active_count{0};
     pool_.ParallelFor(workers, [&](size_t w) {
+      Timer worker_timer;
       uint64_t active = 0;
       for (VertexId v : worker_vertices_[w]) {
         const bool has_messages = !inbox_[v].empty();
@@ -393,53 +406,31 @@ TlavStats TlavEngine<V, M>::Run(VertexProgram<V, M>& program) {
         ++active;
       }
       active_count.fetch_add(active);
+      compute_seconds[w] = worker_timer.ElapsedSeconds();
     });
 
-    // Message delivery phase (the BSP barrier): route every outbox lane
-    // to its destination worker's inboxes, applying receiver-side
-    // combining when the program has a combiner.
-    uint64_t step_messages = 0;
-    uint64_t step_cross = 0;
-    for (uint32_t src = 0; src < workers; ++src) {
-      stats_.mirrored_deliveries += outboxes_[src].mirrored;
-      outboxes_[src].mirrored = 0;
-      for (uint32_t dst = 0; dst < workers; ++dst) {
-        // Wire cost: one per mirror broadcast (already in wire[]) plus,
-        // with a combiner, one per combined slot that a non-mirrored
-        // send touched; without one, every non-mirrored send.
-        uint64_t wire = outboxes_[src].wire[dst];
-        if (program.has_combiner()) {
-          for (const auto& [v, slot] : outboxes_[src].combined[dst]) {
-            wire += slot.non_mirrored;
-          }
-        }
-        step_messages += outboxes_[src].logical[dst];
-        if (src != dst) step_cross += wire;
-        outboxes_[src].wire[dst] = 0;
-        outboxes_[src].logical[dst] = 0;
-      }
-    }
-    pool_.ParallelFor(workers, [&](size_t dst) {
-      for (uint32_t src = 0; src < workers; ++src) {
-        std::vector<Outgoing>& lane = outboxes_[src].lanes[dst];
-        for (Outgoing& o : lane) {
-          next_inbox_[o.dst].push_back(std::move(o.message));
-        }
-        lane.clear();
-        auto& combined = outboxes_[src].combined[dst];
-        for (auto& [v, slot] : combined) {
-          // Receiver-side combining collapses the per-source slots.
+    // Message delivery phase (the BSP barrier): the exchange channel
+    // charges the step's wire traffic to the cluster ledger and routes
+    // every lane to its destination worker's inboxes, with
+    // receiver-side combining when the program has a combiner.
+    const auto totals = channel_->Flush(
+        &pool_, [&](uint32_t /*dst_worker*/, VertexId v, M&& m) {
           std::vector<M>& box = next_inbox_[v];
-          if (!box.empty()) {
-            box[0] = program.Combine(box[0], slot.message);
+          if (combining && !box.empty()) {
+            // Receiver-side combining collapses the per-source slots.
+            box[0] = program.Combine(box[0], m);
           } else {
-            box.push_back(std::move(slot.message));
+            box.push_back(std::move(m));
           }
-        }
-        combined.clear();
-      }
-    });
+        });
+    const uint64_t step_messages = totals.logical_messages;
+    stats_.mirrored_deliveries += totals.mirrored;
     std::swap(inbox_, next_inbox_);
+
+    // The modeled cluster round: slowest worker + this step's wire time.
+    cluster_->clock().AdvanceRound(
+        std::span<const double>(compute_seconds), totals.cross_bytes,
+        totals.cross_messages);
 
     // Aggregator barrier.
     for (auto& [name, agg] : aggregators_) {
@@ -450,13 +441,10 @@ TlavStats TlavEngine<V, M>::Run(VertexProgram<V, M>& program) {
     // Stats.
     stats_.vertex_activations += active_count.load();
     stats_.total_messages += step_messages;
-    stats_.cross_worker_messages += step_cross;
     stats_.total_message_bytes += step_messages * sizeof(M);
-    stats_.cross_worker_bytes +=
-        step_cross * (sizeof(M) + config_.message_overhead_bytes);
-    for (Outbox& box : outboxes_) {
-      stats_.edge_scans += box.edge_scans;
-      box.edge_scans = 0;
+    for (WorkerCounters& counters : worker_counters_) {
+      stats_.edge_scans += counters.edge_scans;
+      counters.edge_scans = 0;
     }
     stats_.per_step.push_back({active_count.load(), step_messages});
 
@@ -486,10 +474,7 @@ TlavStats TlavEngine<V, M>::Run(VertexProgram<V, M>& program) {
       inbox_ = checkpoint_.inbox;
       aggregators_ = checkpoint_.aggregators;
       for (auto& box : next_inbox_) box.clear();
-      for (Outbox& box : outboxes_) {
-        for (auto& lane : box.lanes) lane.clear();
-        for (auto& lane : box.combined) lane.clear();
-      }
+      channel_->Clear();
       stats_.per_step.resize(checkpoint_.per_step_size);
       superstep_ = checkpoint_.superstep;
       continue;  // re-execute from the superstep after the checkpoint
@@ -521,7 +506,13 @@ TlavStats TlavEngine<V, M>::Run(VertexProgram<V, M>& program) {
   }
   stats_.supersteps = static_cast<uint32_t>(stats_.per_step.size());
   stats_.wall_seconds = timer.ElapsedSeconds();
-  running_program_ = nullptr;
+  // Cross-worker traffic is read back from the ledger: TlavStats is a
+  // view over this run's ledger delta.
+  const TrafficSnapshot ledger_end = cluster_->ledger().Snapshot();
+  stats_.cross_worker_messages =
+      ledger_end.cross_messages - ledger_start.cross_messages;
+  stats_.cross_worker_bytes = ledger_end.cross_bytes - ledger_start.cross_bytes;
+  stats_.modeled_seconds = cluster_->clock().SecondsSince(clock_start);
   return stats_;
 }
 

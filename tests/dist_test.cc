@@ -11,7 +11,6 @@
 #include "dist/cache.h"
 #include "dist/cost_model.h"
 #include "dist/dist_gcn.h"
-#include "dist/network.h"
 #include "dist/pipeline.h"
 #include "dist/quantization.h"
 #include "gnn/dataset.h"
@@ -20,26 +19,9 @@
 namespace gal {
 namespace {
 
-// --- network ledger ------------------------------------------------------------
-
-TEST(NetworkTest, RecordsCrossWorkerOnly) {
-  SimulatedNetwork net(3);
-  net.Record(0, 1, 100);
-  net.Record(1, 1, 999);  // local: free
-  net.Record(2, 0, 50);
-  EXPECT_EQ(net.total_bytes(), 150u);
-  EXPECT_EQ(net.total_messages(), 2u);
-  EXPECT_EQ(net.PairBytes(0, 1), 100u);
-  EXPECT_EQ(net.PairBytes(1, 0), 0u);
-}
-
-TEST(NetworkTest, BroadcastHitsEveryPeer) {
-  SimulatedNetwork net(4);
-  net.RecordBroadcast(1, 10);
-  EXPECT_EQ(net.total_bytes(), 30u);
-  EXPECT_EQ(net.PairBytes(1, 0), 10u);
-  EXPECT_EQ(net.PairBytes(1, 1), 0u);
-}
+// --- network cost model --------------------------------------------------------
+// (The traffic-ledger tests live in cluster_test.cc with the rest of the
+// simulated-cluster substrate.)
 
 TEST(NetworkTest, NvlinkFasterThanEthernet) {
   const uint64_t bytes = 100 * 1024 * 1024;
