@@ -1,10 +1,11 @@
 // Experiment: the unified simulated-cluster substrate (src/cluster/).
-// One ClusterRuntime runs three different distributed engines in
-// sequence — TLAV PageRank, TLAG task-based triangle counting, and a
-// dist-GNN training run — so their communication volumes come from the
-// *same* TrafficLedger and their modeled times from the *same*
-// VirtualClock: one comparable axis across the survey's three workload
-// families. Width resolves from GAL_CLUSTER_WORKERS (default 4).
+// One ClusterRuntime runs several distributed engines in sequence —
+// TLAV PageRank, TLAG task-based triangle counting, BFS both push-only
+// and direction-optimizing (src/frontier/), and a dist-GNN training run
+// — so their communication volumes come from the *same* TrafficLedger
+// and their modeled times from the *same* VirtualClock: one comparable
+// axis across the survey's workload families. Width resolves from
+// GAL_CLUSTER_WORKERS (default 4).
 
 #include <cstdio>
 
@@ -15,6 +16,7 @@
 #include "gnn/dataset.h"
 #include "tlag/algos/triangles.h"
 #include "tlav/algos/pagerank.h"
+#include "tlav/algos/traversal.h"
 
 int main() {
   using namespace gal;
@@ -67,7 +69,22 @@ int main() {
   const TriangleCountResult tri = TaskTriangleCount(g, tri_config);
   add_row("TLAG triangles", m, tri.wall_seconds);
 
-  // 3. Dist-GNN: halo exchanges + optimizer epochs on the same ledger.
+  // 3. BFS twice on the same runtime — push-only vs direction-optimizing
+  // (src/frontier/) — so the ledger shows the comm-volume flip directly.
+  TraversalOptions bfs_push;
+  bfs_push.engine.cluster = &runtime;
+  bfs_push.direction.mode = DirectionMode::kPushOnly;
+  m = mark();
+  const BfsResult bfs_a = TlavBfs(g, 0, bfs_push);
+  add_row("BFS push-only", m, bfs_a.stats.wall_seconds);
+  TraversalOptions bfs_opt;
+  bfs_opt.engine.cluster = &runtime;
+  bfs_opt.direction.mode = DirectionMode::kAuto;
+  m = mark();
+  const BfsResult bfs_b = TlavBfs(g, 0, bfs_opt);
+  add_row("BFS dir-opt", m, bfs_b.stats.wall_seconds);
+
+  // 4. Dist-GNN: halo exchanges + optimizer epochs on the same ledger.
   m = mark();
   DistGcnConfig gcn;
   gcn.cluster = &runtime;
@@ -77,8 +94,11 @@ int main() {
   add_row("dist-GCN (10 epochs)", m, gcn_timer.ElapsedSeconds());
 
   table.Print();
-  std::printf("dist-GCN accuracy: %.3f, triangles: %s\n",
-              gnn.final_test_accuracy, Human(tri.triangles).c_str());
+  GAL_CHECK(bfs_a.distance == bfs_b.distance);
+  std::printf("dist-GCN accuracy: %.3f, triangles: %s; BFS dir-opt: "
+              "%u/%u supersteps pulled, identical distances\n",
+              gnn.final_test_accuracy, Human(tri.triangles).c_str(),
+              bfs_b.stats.pull_supersteps, bfs_b.stats.supersteps);
 
   const TrafficSnapshot total = runtime.ledger().Snapshot();
   std::printf(

@@ -30,9 +30,13 @@ cmake --build build-tsan --target gal_tests -j "${JOBS}"
 # simulated-cluster substrate: TrafficLedgerTest.ConcurrentChargesAreExact
 # hammers the sharded ledger counters from 8 threads (the data race the
 # old SimulatedNetwork had), and ClusterExchangeTest.* runs the TLAV
-# engines at GAL_TASK_THREADS=8 over the exchange channel.
+# engines at GAL_TASK_THREADS=8 over the exchange channel. The frontier
+# suites run the direction-optimizing traversals (push scatter, pull
+# gather over the shared bitmap, per-worker counters) across worker
+# counts under TSan — the parity sweep is where a racy frontier merge
+# would show up.
 ./build-tsan/tests/gal_tests \
-    --gtest_filter='PipelineTest.*:ThreadPoolTest.*:TaskEngineTest.*:WorkDequeTest.*:MatchDeterminismTest.*:KernelContextTest.*:KernelParityTest.*:TensorTest.*:MatrixTest.*:SparseTest.*:CoreBudgetTest.*:TrafficLedgerTest.*:VirtualClockTest.*:ClusterRuntimeTest.*:ExchangeChannelTest.*:ClusterExchangeTest.*:DistGcnTest.OverlapReducesSimulatedTime:DistGcnTest.ReportExposesTracesAndOverlapOccupancy:DistGcnTest.CommChannelsRelieveCommBoundOverlap'
+    --gtest_filter='PipelineTest.*:ThreadPoolTest.*:TaskEngineTest.*:WorkDequeTest.*:MatchDeterminismTest.*:KernelContextTest.*:KernelParityTest.*:TensorTest.*:MatrixTest.*:SparseTest.*:CoreBudgetTest.*:TrafficLedgerTest.*:VirtualClockTest.*:ClusterRuntimeTest.*:ExchangeChannelTest.*:ClusterExchangeTest.*:FrontierBitmapTest.*:SlidingQueueTest.*:VertexFrontierTest.*:Workers/FrontierParityTest.*:FrontierTraversalTest.*:DistGcnTest.OverlapReducesSimulatedTime:DistGcnTest.ReportExposesTracesAndOverlapOccupancy:DistGcnTest.CommChannelsRelieveCommBoundOverlap'
 
 echo
 echo "check.sh: all green"

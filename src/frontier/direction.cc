@@ -1,0 +1,60 @@
+#include "frontier/direction.h"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace gal {
+
+DirectionConfig DirectionConfig::FromEnv() {
+  DirectionConfig config;
+  if (const char* env = std::getenv("GAL_FRONTIER_MODE")) {
+    if (std::strcmp(env, "push") == 0) config.mode = DirectionMode::kPushOnly;
+    else if (std::strcmp(env, "pull") == 0) config.mode = DirectionMode::kPullOnly;
+    else if (std::strcmp(env, "auto") == 0) config.mode = DirectionMode::kAuto;
+    // Unrecognized values keep the auto default.
+  }
+  if (const char* env = std::getenv("GAL_FRONTIER_ALPHA")) {
+    const double v = std::atof(env);
+    if (v > 0.0) config.alpha = v;
+  }
+  if (const char* env = std::getenv("GAL_FRONTIER_BETA")) {
+    const double v = std::atof(env);
+    if (v > 0.0) config.beta = v;
+  }
+  return config;
+}
+
+Direction DirectionController::Next(uint64_t frontier_edges,
+                                    uint64_t frontier_vertices,
+                                    uint64_t unexplored_edges) {
+  switch (config_.mode) {
+    case DirectionMode::kPushOnly:
+      current_ = Direction::kPush;
+      return current_;
+    case DirectionMode::kPullOnly:
+      current_ = Direction::kPull;
+      return current_;
+    case DirectionMode::kAuto:
+      break;
+  }
+  if (current_ == Direction::kPush) {
+    // Scatter would check more edges than 1/alpha of what is left to
+    // claim: gathering over in-edges with early exit is cheaper.
+    if (static_cast<double>(frontier_edges) >
+        static_cast<double>(unexplored_edges) / config_.alpha) {
+      current_ = Direction::kPull;
+      ++switches_;
+    }
+  } else {
+    // The frontier thinned out: scanning every candidate's in-edges
+    // costs more than scattering the few remaining frontier vertices.
+    if (static_cast<double>(frontier_vertices) <
+        static_cast<double>(num_vertices_) / config_.beta) {
+      current_ = Direction::kPush;
+      ++switches_;
+    }
+  }
+  return current_;
+}
+
+}  // namespace gal

@@ -1,0 +1,26 @@
+#include "frontier/frontier.h"
+
+namespace gal {
+
+void FrontierBitmap::AppendSetBits(std::vector<VertexId>& out) const {
+  for (size_t wi = 0; wi < words_.size(); ++wi) {
+    uint64_t w = words_[wi];
+    while (w != 0) {
+      const int bit = std::countr_zero(w);
+      out.push_back(static_cast<VertexId>(wi * 64 + static_cast<size_t>(bit)));
+      w &= w - 1;
+    }
+  }
+}
+
+void VertexFrontier::AssignFromBitmap(const FrontierBitmap& bits,
+                                      const Graph& g) {
+  verts_.clear();
+  edges_ = 0;
+  bits.AppendSetBits(verts_);
+  for (VertexId v : verts_) edges_ += g.Degree(v);
+  bitmap_ = bits;
+  bitmap_valid_ = true;
+}
+
+}  // namespace gal

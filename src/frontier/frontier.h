@@ -1,0 +1,184 @@
+#ifndef GAL_FRONTIER_FRONTIER_H_
+#define GAL_FRONTIER_FRONTIER_H_
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace gal {
+
+/// Dense frontier representation: one bit per vertex. The pull ("bottom
+/// up") direction of a direction-optimizing traversal tests membership
+/// per inspected in-edge, so membership must be O(1) — a sorted sparse
+/// queue would pay a binary search per probe.
+class FrontierBitmap {
+ public:
+  FrontierBitmap() = default;
+  explicit FrontierBitmap(size_t num_bits)
+      : num_bits_(num_bits), words_((num_bits + 63) / 64, 0) {}
+
+  size_t num_bits() const { return num_bits_; }
+
+  void Set(size_t i) { words_[i >> 6] |= uint64_t{1} << (i & 63); }
+  void Clear(size_t i) { words_[i >> 6] &= ~(uint64_t{1} << (i & 63)); }
+  bool Test(size_t i) const {
+    return (words_[i >> 6] >> (i & 63)) & 1;
+  }
+
+  /// Zeroes every bit (word-wise; O(|V|/64)).
+  void Reset() { std::fill(words_.begin(), words_.end(), 0); }
+
+  /// Population count over all words.
+  size_t Count() const {
+    size_t n = 0;
+    for (uint64_t w : words_) n += static_cast<size_t>(std::popcount(w));
+    return n;
+  }
+
+  bool Empty() const {
+    for (uint64_t w : words_) {
+      if (w != 0) return false;
+    }
+    return true;
+  }
+
+  void Swap(FrontierBitmap& other) {
+    std::swap(num_bits_, other.num_bits_);
+    words_.swap(other.words_);
+  }
+
+  /// Appends every set bit index, ascending, to `out` — the dense→sparse
+  /// conversion of the hybrid frontier.
+  void AppendSetBits(std::vector<VertexId>& out) const;
+
+ private:
+  size_t num_bits_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+/// Sparse frontier representation: one growing buffer with a sliding
+/// window marking the current level (the classic sliding-queue idiom of
+/// direction-optimizing BFS runtimes). Pushes append after the window;
+/// Slide() retires the consumed window and exposes what was pushed as
+/// the next one. Access is index-based so producers may push while the
+/// current window is being consumed (a reallocation never invalidates a
+/// window index, only outstanding references).
+template <typename T>
+class SlidingQueue {
+ public:
+  SlidingQueue() = default;
+
+  void Reserve(size_t n) { buf_.reserve(n); }
+
+  /// Appends to the *next* window.
+  void Push(T v) { buf_.push_back(std::move(v)); }
+
+  /// Number of elements in the current window.
+  size_t WindowSize() const { return window_end_ - window_begin_; }
+  bool WindowEmpty() const { return window_end_ == window_begin_; }
+
+  /// Element i of the current window. The reference is invalidated by
+  /// Push (reallocation); re-index after mutating the queue.
+  const T& At(size_t i) const { return buf_[window_begin_ + i]; }
+  T& At(size_t i) { return buf_[window_begin_ + i]; }
+
+  /// Elements pushed since the last Slide (the next window so far).
+  size_t PendingSize() const { return buf_.size() - window_end_; }
+
+  /// Retires the current window and makes everything pushed since the
+  /// last Slide the new one. Consumed elements are erased so the buffer
+  /// footprint tracks the live levels, not the whole traversal history.
+  void Slide() {
+    buf_.erase(buf_.begin(), buf_.begin() + static_cast<ptrdiff_t>(window_end_));
+    window_begin_ = 0;
+    window_end_ = buf_.size();
+  }
+
+  void Clear() {
+    buf_.clear();
+    window_begin_ = window_end_ = 0;
+  }
+
+  /// Contiguous view of the current window. Invalidated by Push.
+  std::span<const T> Window() const {
+    return {buf_.data() + window_begin_, buf_.data() + window_end_};
+  }
+
+ private:
+  std::vector<T> buf_;
+  size_t window_begin_ = 0;
+  size_t window_end_ = 0;
+};
+
+/// The hybrid vertex frontier: a sparse id queue that can materialize a
+/// dense bitmap of the same set on demand. Traversal engines build the
+/// next frontier sparsely (push order), then ask for whichever
+/// representation the chosen direction needs; the two views always
+/// describe the same vertex set.
+class VertexFrontier {
+ public:
+  explicit VertexFrontier(VertexId num_vertices)
+      : bitmap_(num_vertices), bitmap_valid_(true) {}
+
+  VertexId num_vertices() const {
+    return static_cast<VertexId>(bitmap_.num_bits());
+  }
+
+  /// Adds v to the frontier and accumulates its out-degree into the
+  /// scout count used by the direction heuristic. Duplicates are the
+  /// caller's responsibility (engines dedup with a per-step bitmap).
+  void Add(VertexId v, uint32_t degree) {
+    verts_.push_back(v);
+    edges_ += degree;
+    bitmap_valid_ = false;
+  }
+
+  /// Replaces the contents with the set bits of `bits` (ascending).
+  void AssignFromBitmap(const FrontierBitmap& bits, const Graph& g);
+
+  std::span<const VertexId> Vertices() const { return verts_; }
+  uint64_t VertexCount() const { return verts_.size(); }
+  /// Σ out-degree of the frontier — Beamer's m_f scout count.
+  uint64_t EdgeCount() const { return edges_; }
+  bool Empty() const { return verts_.empty(); }
+
+  /// Dense view; built lazily from the sparse queue on first use after a
+  /// mutation. The conversion is exact: Test(v) iff v was Added.
+  const FrontierBitmap& Bitmap() {
+    if (!bitmap_valid_) {
+      bitmap_.Reset();
+      for (VertexId v : verts_) bitmap_.Set(v);
+      bitmap_valid_ = true;
+    }
+    return bitmap_;
+  }
+
+  void Clear() {
+    verts_.clear();
+    edges_ = 0;
+    bitmap_.Reset();
+    bitmap_valid_ = true;
+  }
+
+  void Swap(VertexFrontier& other) {
+    verts_.swap(other.verts_);
+    std::swap(edges_, other.edges_);
+    bitmap_.Swap(other.bitmap_);
+    std::swap(bitmap_valid_, other.bitmap_valid_);
+  }
+
+ private:
+  std::vector<VertexId> verts_;
+  uint64_t edges_ = 0;
+  FrontierBitmap bitmap_;
+  bool bitmap_valid_ = false;
+};
+
+}  // namespace gal
+
+#endif  // GAL_FRONTIER_FRONTIER_H_

@@ -1,0 +1,521 @@
+#include "frontier/traversal.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/threadpool.h"
+#include "common/timer.h"
+#include "partition/partition.h"
+
+namespace gal {
+namespace {
+
+/// Per-worker counters a worker updates without synchronization.
+struct alignas(64) StepCounters {
+  uint64_t edges = 0;
+  uint64_t messages = 0;
+  uint64_t active = 0;
+};
+
+/// The simulated-cluster scaffolding every frontier traversal shares:
+/// worker count and partition resolution, per-worker vertex buckets,
+/// exchange lanes, and the ledger/clock bookkeeping of one step.
+class FrontierRuntime {
+ public:
+  FrontierRuntime(const Graph& g, const FrontierEngineOptions& options)
+      : owned_(options.cluster == nullptr
+                   ? std::make_unique<ClusterRuntime>(ClusterOptions{
+                         ResolveClusterWorkers(options.num_workers),
+                         NetworkCostModel{}})
+                   : nullptr),
+        cluster_(options.cluster != nullptr ? options.cluster : owned_.get()),
+        workers_(cluster_->num_workers()),
+        partition_(HashPartition(g, workers_)),
+        pool_(std::min(workers_, ResolveTaskThreads(0))),
+        owned_vertices_(workers_),
+        counters_(workers_),
+        wire_msgs_(workers_, std::vector<uint64_t>(workers_, 0)),
+        compute_seconds_(workers_, 0.0) {
+    cluster_->InstallPartition(partition_);
+    for (VertexId v = 0; v < g.NumVertices(); ++v) {
+      owned_vertices_[partition_.assignment[v]].push_back(v);
+    }
+  }
+
+  uint32_t workers() const { return workers_; }
+  ClusterRuntime& cluster() { return *cluster_; }
+  uint32_t OwnerOf(VertexId v) const { return partition_.assignment[v]; }
+  const std::vector<VertexId>& OwnedVertices(uint32_t w) const {
+    return owned_vertices_[w];
+  }
+
+  /// Runs fn(w) on every simulated worker (host threads are an
+  /// execution detail) and accumulates per-worker wall time for the
+  /// virtual clock.
+  void ForEachWorker(const std::function<void(uint32_t)>& fn) {
+    pool_.ParallelFor(workers_, [&](size_t w) {
+      Timer t;
+      fn(static_cast<uint32_t>(w));
+      compute_seconds_[w] += t.ElapsedSeconds();
+    });
+  }
+
+  StepCounters& counters(uint32_t w) { return counters_[w]; }
+  /// Counts one wire message from src to dst (no-op when src == dst —
+  /// local handoffs are free on the wire).
+  void CountWire(uint32_t src, uint32_t dst) {
+    if (src != dst) ++wire_msgs_[src][dst];
+  }
+
+  void BeginStep() {
+    for (StepCounters& c : counters_) c = StepCounters{};
+    for (auto& row : wire_msgs_) std::fill(row.begin(), row.end(), 0);
+    std::fill(compute_seconds_.begin(), compute_seconds_.end(), 0.0);
+    extra_wire_bytes_ = 0;
+    extra_wire_msgs_ = 0;
+  }
+
+  /// Charges an all-to-all broadcast of `bytes_per_pair` from every
+  /// worker to every other — the frontier-bitmap shipment that lets a
+  /// pull step test membership locally instead of messaging per edge.
+  void ChargeBroadcast(uint64_t bytes_per_pair) {
+    TrafficLedger& ledger = cluster_->ledger();
+    for (uint32_t src = 0; src < workers_; ++src) {
+      for (uint32_t dst = 0; dst < workers_; ++dst) {
+        if (src == dst) continue;
+        ledger.Charge(src, dst, bytes_per_pair, 1);
+        extra_wire_bytes_ += bytes_per_pair;
+        ++extra_wire_msgs_;
+      }
+    }
+  }
+
+  /// The step barrier: charges the step's wire traffic to the ledger,
+  /// advances the virtual clock one round, and folds the counters into
+  /// `stats` as one FrontierStep.
+  void EndStep(Direction dir, uint64_t frontier_vertices,
+               uint64_t frontier_edges, uint64_t wire_message_bytes,
+               FrontierTraversalStats& stats) {
+    FrontierStep step;
+    step.direction = dir;
+    step.frontier_vertices = frontier_vertices;
+    step.frontier_edges = frontier_edges;
+    for (const StepCounters& c : counters_) {
+      step.edges_scanned += c.edges;
+      step.messages += c.messages;
+      step.active_vertices += c.active;
+    }
+    TrafficLedger& ledger = cluster_->ledger();
+    for (uint32_t src = 0; src < workers_; ++src) {
+      for (uint32_t dst = 0; dst < workers_; ++dst) {
+        const uint64_t msgs = wire_msgs_[src][dst];
+        if (msgs == 0) continue;
+        ledger.Charge(src, dst, msgs * wire_message_bytes, msgs);
+        step.wire_messages += msgs;
+        step.wire_bytes += msgs * wire_message_bytes;
+      }
+    }
+    step.wire_messages += extra_wire_msgs_;
+    step.wire_bytes += extra_wire_bytes_;
+    cluster_->clock().AdvanceRound(
+        std::span<const double>(compute_seconds_), step.wire_bytes,
+        step.wire_messages);
+    ++stats.steps;
+    if (dir == Direction::kPush) ++stats.push_steps;
+    else ++stats.pull_steps;
+    stats.edges_scanned += step.edges_scanned;
+    stats.messages += step.messages;
+    stats.vertex_activations += step.active_vertices;
+    stats.per_step.push_back(step);
+  }
+
+  /// Finalizes run-wide stats from the ledger/clock deltas.
+  void Finish(const TrafficSnapshot& ledger_start, size_t clock_start,
+              double wall_seconds, uint32_t switches,
+              FrontierTraversalStats& stats) {
+    const TrafficSnapshot end = cluster_->ledger().Snapshot();
+    stats.wire_messages = end.cross_messages - ledger_start.cross_messages;
+    stats.wire_bytes = end.cross_bytes - ledger_start.cross_bytes;
+    stats.modeled_seconds = cluster_->clock().SecondsSince(clock_start);
+    stats.wall_seconds = wall_seconds;
+    stats.direction_switches = switches;
+  }
+
+ private:
+  std::unique_ptr<ClusterRuntime> owned_;
+  ClusterRuntime* cluster_;
+  uint32_t workers_;
+  VertexPartition partition_;
+  ThreadPool pool_;
+  std::vector<std::vector<VertexId>> owned_vertices_;
+  std::vector<StepCounters> counters_;
+  std::vector<std::vector<uint64_t>> wire_msgs_;  // [src][dst], per step
+  uint64_t extra_wire_bytes_ = 0;  // broadcast traffic, per step
+  uint64_t extra_wire_msgs_ = 0;
+  std::vector<double> compute_seconds_;
+};
+
+/// Per-(src worker, dst worker) exchange lanes of one step, reused
+/// across steps. Only the owning src worker appends to its row.
+template <typename Entry>
+class Lanes {
+ public:
+  explicit Lanes(uint32_t workers)
+      : lanes_(workers, std::vector<std::vector<Entry>>(workers)) {}
+
+  void Push(uint32_t src, uint32_t dst, Entry e) {
+    lanes_[src][dst].push_back(std::move(e));
+  }
+  /// Visits dst's inbound lanes in ascending src order (the
+  /// deterministic delivery order) and clears them.
+  void Drain(uint32_t dst, const std::function<void(const Entry&)>& fn) {
+    for (auto& row : lanes_) {
+      for (const Entry& e : row[dst]) fn(e);
+      row[dst].clear();
+    }
+  }
+
+ private:
+  std::vector<std::vector<std::vector<Entry>>> lanes_;  // [src][dst]
+};
+
+/// Splits the frontier into per-owner buckets for a push step.
+void BucketByOwner(const FrontierRuntime& rt,
+                   std::span<const VertexId> frontier,
+                   std::vector<std::vector<VertexId>>& buckets) {
+  for (auto& b : buckets) b.clear();
+  for (VertexId v : frontier) buckets[rt.OwnerOf(v)].push_back(v);
+}
+
+}  // namespace
+
+FrontierBfsResult FrontierBfs(const Graph& g, VertexId source,
+                              const FrontierEngineOptions& options) {
+  FrontierBfsResult result;
+  const VertexId n = g.NumVertices();
+  if (source >= n) {
+    result.status = Status::InvalidArgument(
+        "BFS source " + std::to_string(source) + " out of range for |V|=" +
+        std::to_string(n));
+    return result;
+  }
+  Timer timer;
+  FrontierRuntime rt(g, options);
+  const uint32_t W = rt.workers();
+  const TrafficSnapshot ledger_start = rt.cluster().ledger().Snapshot();
+  const size_t clock_start = rt.cluster().clock().rounds();
+  const uint64_t wire_bytes_per_msg =
+      sizeof(VertexId) + options.message_overhead_bytes;
+
+  std::vector<uint32_t>& dist = result.distance;
+  dist.assign(n, kFrontierUnreachable);
+  dist[source] = 0;
+
+  VertexFrontier frontier(n), next(n);
+  frontier.Add(source, g.Degree(source));
+  uint64_t unexplored_edges = g.NumAdjacencyEntries() - g.Degree(source);
+  DirectionController controller(options.direction, n);
+  const Graph* reversed = nullptr;  // in-neighbor view, built at first pull
+
+  Lanes<VertexId> lanes(W);
+  std::vector<std::vector<VertexId>> buckets(W);
+  std::vector<std::vector<VertexId>> next_lane(W);
+
+  uint32_t level = 0;
+  while (!frontier.Empty() && level < options.max_steps) {
+    ++level;
+    const Direction dir = controller.Next(
+        frontier.EdgeCount(), frontier.VertexCount(), unexplored_edges);
+    rt.BeginStep();
+
+    if (dir == Direction::kPush) {
+      BucketByOwner(rt, frontier.Vertices(), buckets);
+      // Scatter: frontier vertices send their id to every still
+      // unvisited out-neighbor's owner.
+      rt.ForEachWorker([&](uint32_t w) {
+        StepCounters& c = rt.counters(w);
+        for (VertexId v : buckets[w]) {
+          ++c.active;
+          for (VertexId u : g.Neighbors(v)) {
+            ++c.edges;
+            if (dist[u] != kFrontierUnreachable) continue;
+            ++c.messages;
+            const uint32_t dst = rt.OwnerOf(u);
+            rt.CountWire(w, dst);
+            lanes.Push(w, dst, u);
+          }
+        }
+      });
+      // Deliver: each owner claims its newly reached vertices in the
+      // deterministic lane order.
+      rt.ForEachWorker([&](uint32_t d) {
+        lanes.Drain(d, [&](const VertexId& u) {
+          if (dist[u] == kFrontierUnreachable) {
+            dist[u] = level;
+            next_lane[d].push_back(u);
+          }
+        });
+      });
+    } else {
+      if (reversed == nullptr) reversed = &g.ReversedView();
+      const FrontierBitmap& bits = frontier.Bitmap();
+      // A pull step's only wire traffic is the frontier bitmap: each
+      // worker ships its |V|/W-vertex slice to every other worker once,
+      // and all membership probes after that are local. This is the
+      // comm-volume flip: a dense frontier costs O(|V|/8) bytes instead
+      // of one message per unclaimed in-edge.
+      rt.ChargeBroadcast((n + W - 1) / W / 8 + 1 +
+                         options.message_overhead_bytes);
+      // Gather: every unvisited vertex probes its in-neighbors and
+      // claims the level at the first frontier hit.
+      rt.ForEachWorker([&](uint32_t d) {
+        StepCounters& c = rt.counters(d);
+        for (VertexId v : rt.OwnedVertices(d)) {
+          if (dist[v] != kFrontierUnreachable) continue;
+          ++c.active;
+          for (VertexId u : reversed->Neighbors(v)) {
+            ++c.edges;
+            ++c.messages;
+            if (bits.Test(u)) {
+              dist[v] = level;
+              next_lane[d].push_back(v);
+              break;
+            }
+          }
+        }
+      });
+    }
+
+    // Merge the next frontier in worker order — deterministic at any
+    // host thread count.
+    next.Clear();
+    for (uint32_t w = 0; w < W; ++w) {
+      for (VertexId v : next_lane[w]) next.Add(v, g.Degree(v));
+      next_lane[w].clear();
+    }
+    unexplored_edges -= next.EdgeCount();
+    rt.EndStep(dir, frontier.VertexCount(), frontier.EdgeCount(),
+               wire_bytes_per_msg, result.stats);
+    frontier.Swap(next);
+  }
+
+  rt.Finish(ledger_start, clock_start, timer.ElapsedSeconds(),
+            controller.switches(), result.stats);
+  return result;
+}
+
+FrontierWccResult FrontierWcc(const Graph& g,
+                              const FrontierEngineOptions& options) {
+  FrontierWccResult result;
+  // Weak components: propagate over out ∪ in neighbors. For undirected
+  // graphs this is the graph itself; for directed ones the lazily
+  // cached symmetrized view.
+  const Graph& ug = g.UndirectedView();
+  const VertexId n = ug.NumVertices();
+  Timer timer;
+  FrontierRuntime rt(ug, options);
+  const uint32_t W = rt.workers();
+  const TrafficSnapshot ledger_start = rt.cluster().ledger().Snapshot();
+  const size_t clock_start = rt.cluster().clock().rounds();
+  const uint64_t wire_bytes_per_msg =
+      sizeof(VertexId) + options.message_overhead_bytes;
+
+  std::vector<VertexId>& label = result.component;
+  label.resize(n);
+  std::iota(label.begin(), label.end(), 0);
+  std::vector<VertexId> next_label = label;
+
+  VertexFrontier frontier(n), next(n);
+  for (VertexId v = 0; v < n; ++v) frontier.Add(v, ug.Degree(v));
+  // Labels keep improving anywhere, so Beamer's "unexplored" mass is the
+  // whole edge set: pull once the frontier covers > 1/alpha of it.
+  const uint64_t total_edges = ug.NumAdjacencyEntries();
+  DirectionController controller(options.direction, n);
+
+  struct LabelMsg {
+    VertexId dst;
+    VertexId label;
+  };
+  Lanes<LabelMsg> lanes(W);
+  std::vector<std::vector<VertexId>> buckets(W);
+  std::vector<std::vector<VertexId>> next_lane(W);
+
+  uint32_t steps = 0;
+  while (!frontier.Empty() && steps < options.max_steps) {
+    ++steps;
+    const Direction dir = controller.Next(
+        frontier.EdgeCount(), frontier.VertexCount(), total_edges);
+    rt.BeginStep();
+
+    if (dir == Direction::kPush) {
+      BucketByOwner(rt, frontier.Vertices(), buckets);
+      rt.ForEachWorker([&](uint32_t w) {
+        StepCounters& c = rt.counters(w);
+        for (VertexId v : buckets[w]) {
+          ++c.active;
+          const VertexId lv = label[v];
+          for (VertexId u : ug.Neighbors(v)) {
+            ++c.edges;
+            if (lv >= label[u]) continue;  // cannot improve u
+            ++c.messages;
+            const uint32_t dst = rt.OwnerOf(u);
+            rt.CountWire(w, dst);
+            lanes.Push(w, dst, {u, lv});
+          }
+        }
+      });
+      rt.ForEachWorker([&](uint32_t d) {
+        lanes.Drain(d, [&](const LabelMsg& m) {
+          if (m.label < next_label[m.dst]) {
+            // First improvement enrolls the vertex in the next frontier.
+            if (next_label[m.dst] == label[m.dst]) {
+              next_lane[d].push_back(m.dst);
+            }
+            next_label[m.dst] = m.label;
+          }
+        });
+      });
+    } else {
+      const FrontierBitmap& bits = frontier.Bitmap();
+      // Gather: every vertex takes the minimum label over its frontier
+      // neighbors. No early exit exists for a min-gather, but the scan
+      // is sequential over the local CSR and pays wire cost only for
+      // cross-partition probes.
+      rt.ForEachWorker([&](uint32_t d) {
+        StepCounters& c = rt.counters(d);
+        for (VertexId v : rt.OwnedVertices(d)) {
+          ++c.active;
+          VertexId best = label[v];
+          for (VertexId u : ug.Neighbors(v)) {
+            ++c.edges;
+            if (!bits.Test(u)) continue;
+            ++c.messages;
+            rt.CountWire(d, rt.OwnerOf(u));
+            best = std::min(best, label[u]);
+          }
+          if (best < label[v]) {
+            next_label[v] = best;
+            next_lane[d].push_back(v);
+          }
+        }
+      });
+    }
+
+    next.Clear();
+    for (uint32_t w = 0; w < W; ++w) {
+      for (VertexId v : next_lane[w]) {
+        label[v] = next_label[v];
+        next.Add(v, ug.Degree(v));
+      }
+      next_lane[w].clear();
+    }
+    rt.EndStep(dir, frontier.VertexCount(), frontier.EdgeCount(),
+               wire_bytes_per_msg, result.stats);
+    frontier.Swap(next);
+  }
+
+  std::vector<uint8_t> seen(n, 0);
+  uint32_t components = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    if (!seen[label[v]]) {
+      seen[label[v]] = 1;
+      ++components;
+    }
+  }
+  result.num_components = components;
+  rt.Finish(ledger_start, clock_start, timer.ElapsedSeconds(),
+            controller.switches(), result.stats);
+  return result;
+}
+
+FrontierSsspResult FrontierSssp(const Graph& g, VertexId source,
+                                EdgeWeightFn weight,
+                                const FrontierEngineOptions& options) {
+  FrontierSsspResult result;
+  const VertexId n = g.NumVertices();
+  if (source >= n) {
+    result.status = Status::InvalidArgument(
+        "SSSP source " + std::to_string(source) + " out of range for |V|=" +
+        std::to_string(n));
+    return result;
+  }
+  constexpr uint64_t kInf = std::numeric_limits<uint64_t>::max();
+  Timer timer;
+  FrontierRuntime rt(g, options);
+  const uint32_t W = rt.workers();
+  const TrafficSnapshot ledger_start = rt.cluster().ledger().Snapshot();
+  const size_t clock_start = rt.cluster().clock().rounds();
+  const uint64_t wire_bytes_per_msg =
+      sizeof(uint64_t) + options.message_overhead_bytes;
+
+  std::vector<uint64_t>& dist = result.distance;
+  dist.assign(n, kInf);
+  dist[source] = 0;
+
+  // Weighted relaxation has no pull early-exit, so every step scatters;
+  // the frontier substrate still carries the active set (sparse queue,
+  // bitmap dedup of re-improved vertices).
+  VertexFrontier frontier(n), next(n);
+  frontier.Add(source, g.Degree(source));
+  FrontierBitmap in_next(n);
+
+  struct DistMsg {
+    VertexId dst;
+    uint64_t dist;
+  };
+  Lanes<DistMsg> lanes(W);
+  std::vector<std::vector<VertexId>> buckets(W);
+  std::vector<std::vector<VertexId>> next_lane(W);
+
+  uint32_t steps = 0;
+  while (!frontier.Empty() && steps < options.max_steps) {
+    ++steps;
+    rt.BeginStep();
+    BucketByOwner(rt, frontier.Vertices(), buckets);
+    rt.ForEachWorker([&](uint32_t w) {
+      StepCounters& c = rt.counters(w);
+      for (VertexId v : buckets[w]) {
+        ++c.active;
+        const uint64_t dv = dist[v];
+        for (VertexId u : g.Neighbors(v)) {
+          ++c.edges;
+          const uint64_t cand = dv + weight(v, u);
+          if (cand >= dist[u]) continue;  // stale reads only skip work
+          ++c.messages;
+          const uint32_t dst = rt.OwnerOf(u);
+          rt.CountWire(w, dst);
+          lanes.Push(w, dst, {u, cand});
+        }
+      }
+    });
+    rt.ForEachWorker([&](uint32_t d) {
+      lanes.Drain(d, [&](const DistMsg& m) {
+        if (m.dist < dist[m.dst]) {
+          dist[m.dst] = m.dist;
+          if (!in_next.Test(m.dst)) {
+            in_next.Set(m.dst);
+            next_lane[d].push_back(m.dst);
+          }
+        }
+      });
+    });
+
+    next.Clear();
+    for (uint32_t w = 0; w < W; ++w) {
+      for (VertexId v : next_lane[w]) {
+        in_next.Clear(v);
+        next.Add(v, g.Degree(v));
+      }
+      next_lane[w].clear();
+    }
+    rt.EndStep(Direction::kPush, frontier.VertexCount(),
+               frontier.EdgeCount(), wire_bytes_per_msg, result.stats);
+    frontier.Swap(next);
+  }
+
+  rt.Finish(ledger_start, clock_start, timer.ElapsedSeconds(), 0,
+            result.stats);
+  return result;
+}
+
+}  // namespace gal

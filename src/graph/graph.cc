@@ -97,6 +97,29 @@ Graph Graph::Reversed() const {
   return out;
 }
 
+const Graph& Graph::ReversedView() const {
+  if (!directed_) return *this;
+  std::lock_guard<std::mutex> lock(views_->mu);
+  if (!views_->reversed) {
+    views_->reversed = std::make_shared<const Graph>(Reversed());
+  }
+  return *views_->reversed;
+}
+
+const Graph& Graph::UndirectedView() const {
+  if (!directed_) return *this;
+  std::lock_guard<std::mutex> lock(views_->mu);
+  if (!views_->undirected) {
+    GraphOptions options;  // directed=false symmetrizes and dedups
+    Result<Graph> sym = FromEdges(num_vertices_, CollectEdges(), options);
+    GAL_CHECK(sym.ok()) << sym.status();
+    Graph out = std::move(sym.value());
+    out.labels_ = labels_;
+    views_->undirected = std::make_shared<const Graph>(std::move(out));
+  }
+  return *views_->undirected;
+}
+
 Result<Graph> Graph::InducedSubgraph(std::span<const VertexId> vertices) const {
   std::unordered_map<VertexId, VertexId> index;
   index.reserve(vertices.size());

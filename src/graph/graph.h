@@ -2,6 +2,8 @@
 #define GAL_GRAPH_GRAPH_H_
 
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <span>
 #include <string>
 #include <utility>
@@ -108,6 +110,19 @@ class Graph {
   /// this is a copy. Labels are preserved.
   Graph Reversed() const;
 
+  /// In-neighbor view, built lazily on first use and cached (shared by
+  /// copies of this graph — views are immutable). For undirected graphs
+  /// returns *this. The cache is what lets direction-optimizing pull
+  /// steps gather over in-edges without paying a rebuild per run.
+  /// Thread-safe.
+  const Graph& ReversedView() const;
+
+  /// Symmetrized view: u and v are neighbors iff u->v or v->u exists —
+  /// the adjacency weak-connectivity algorithms propagate over. Returns
+  /// *this for undirected graphs; lazily built and cached otherwise.
+  /// Thread-safe.
+  const Graph& UndirectedView() const;
+
   /// Subgraph induced by `vertices` (need not be sorted; duplicates are
   /// an error). Vertex i of the result corresponds to vertices[i].
   /// Labels are carried over.
@@ -127,12 +142,21 @@ class Graph {
   std::string ToString() const;
 
  private:
+  /// Lazily built derived views, shared across copies of the graph (the
+  /// views are immutable, so sharing is safe and keeps copies cheap).
+  struct ViewCache {
+    std::mutex mu;
+    std::shared_ptr<const Graph> reversed;
+    std::shared_ptr<const Graph> undirected;
+  };
+
   VertexId num_vertices_ = 0;
   EdgeId num_edges_ = 0;
   bool directed_ = false;
   std::vector<EdgeId> offsets_;    // size num_vertices_ + 1
   std::vector<VertexId> targets_;  // sorted per-vertex
   std::vector<Label> labels_;      // empty or size num_vertices_
+  std::shared_ptr<ViewCache> views_ = std::make_shared<ViewCache>();
 };
 
 }  // namespace gal

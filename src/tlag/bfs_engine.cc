@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "frontier/frontier.h"
+
 namespace gal {
 namespace {
 
@@ -18,43 +20,43 @@ BfsEngineStats BfsExtensionEngine::Run(const std::vector<VertexId>& roots,
                                        const ExtendFn& extend,
                                        const OutputFn& output) {
   BfsEngineStats stats;
-  std::vector<Embedding> frontier;
-  frontier.reserve(roots.size());
-  for (VertexId r : roots) frontier.push_back({r});
-  stats.embeddings_generated += frontier.size();
+  // The level loop rides the shared frontier substrate's sliding queue:
+  // the current window is the level being consumed, pushes land in the
+  // next window, and Slide() retires consumed embeddings so the buffer
+  // tracks the two live levels, not the whole run.
+  SlidingQueue<Embedding> levels;
+  levels.Reserve(roots.size());
+  for (VertexId r : roots) levels.Push({r});
+  levels.Slide();
+  stats.embeddings_generated += levels.WindowSize();
 
-  auto footprint = [&](const std::vector<Embedding>& level,
-                       size_t embedding_size) {
-    return static_cast<uint64_t>(level.size()) *
-           EmbeddingBytes(embedding_size);
-  };
-
-  uint64_t current_bytes = footprint(frontier, 1);
-  stats.peak_materialized = frontier.size();
+  uint64_t current_bytes = levels.WindowSize() * EmbeddingBytes(1);
+  stats.peak_materialized = levels.WindowSize();
   stats.peak_bytes = current_bytes;
 
   std::vector<VertexId> candidates;
   for (uint32_t size = 1; size < target_size; ++size) {
-    std::vector<Embedding> next;
-    uint64_t next_bytes = 0;
+    uint64_t next_bytes = 0;  // resident (in-budget) bytes only
+    const size_t level_count = levels.WindowSize();
     // Chunked expansion: only chunk_size source embeddings are consumed
     // before their extensions are appended, mirroring G2-AIMD's
     // adaptive chunking (keeps the *working set* bounded even though
     // the output level itself may still explode).
-    for (size_t begin = 0; begin < frontier.size();
+    for (size_t begin = 0; begin < level_count;
          begin += config_.chunk_size) {
       const size_t end =
-          std::min(frontier.size(), begin + config_.chunk_size);
+          std::min(level_count, begin + config_.chunk_size);
       for (size_t i = begin; i < end; ++i) {
-        const Embedding& e = frontier[i];
         candidates.clear();
-        extend(e, candidates);
+        extend(levels.At(i), candidates);
         for (VertexId c : candidates) {
           // Materialization accounting happens *before* policy checks so
-          // every policy sees the same demand curve.
-          const uint64_t bytes = EmbeddingBytes(e.size() + 1);
+          // every policy sees the same demand curve. Re-index the source
+          // embedding per candidate: Push may reallocate the queue.
+          const uint64_t bytes = EmbeddingBytes(levels.At(i).size() + 1);
           const uint64_t live = current_bytes + next_bytes + bytes;
           ++stats.embeddings_generated;
+          bool resident = true;
           if (config_.memory_budget_bytes != 0 &&
               live > config_.memory_budget_bytes) {
             switch (config_.policy) {
@@ -62,36 +64,40 @@ BfsEngineStats BfsExtensionEngine::Run(const std::vector<VertexId>& roots,
                 stats.budget_exceeded = true;
                 return stats;
               case MemoryPolicy::kSpill:
+                // Spilled copies still join the next level, but they
+                // live in host memory: their bytes are overflow, not
+                // residency (charging both double-counted the spill and
+                // let peak_bytes sail past the budget).
                 stats.spilled_bytes += bytes;
-                break;  // spilled copies still join the next level
+                resident = false;
+                break;
               case MemoryPolicy::kHybridDfs: {
-                Embedding extended = e;
+                Embedding extended = levels.At(i);
                 extended.push_back(c);
                 DfsComplete(extended, target_size, extend, output, stats);
                 continue;  // finished depth-first; not materialized
               }
             }
           }
-          Embedding extended = e;
+          Embedding extended = levels.At(i);
           extended.push_back(c);
-          next_bytes += bytes;
           if (extended.size() == target_size) {
-            output(extended);
             // Output embeddings are handed over, not retained.
-            next_bytes -= bytes;
+            output(extended);
           } else {
-            next.push_back(std::move(extended));
+            if (resident) next_bytes += bytes;
+            levels.Push(std::move(extended));
           }
         }
       }
     }
     stats.peak_materialized =
         std::max(stats.peak_materialized,
-                 static_cast<uint64_t>(frontier.size() + next.size()));
+                 static_cast<uint64_t>(level_count + levels.PendingSize()));
     stats.peak_bytes = std::max(stats.peak_bytes, current_bytes + next_bytes);
-    frontier = std::move(next);
+    levels.Slide();
     current_bytes = next_bytes;
-    if (frontier.empty()) break;
+    if (levels.WindowEmpty()) break;
   }
   return stats;
 }

@@ -35,7 +35,10 @@ struct BfsEngineConfig {
 struct BfsEngineStats {
   uint64_t embeddings_generated = 0;   // across all levels
   uint64_t peak_materialized = 0;      // embeddings held at once
-  uint64_t peak_bytes = 0;             // their memory footprint
+  /// Peak *resident* footprint. Spilled embeddings live in host memory
+  /// and count toward spilled_bytes instead, so under kSpill this stays
+  /// within the budget (plus the root level if that alone exceeds it).
+  uint64_t peak_bytes = 0;
   uint64_t spilled_bytes = 0;          // overflow beyond the budget
   uint64_t dfs_fallback_embeddings = 0;  // finished depth-first (hybrid)
   bool budget_exceeded = false;        // kStrict abort flag

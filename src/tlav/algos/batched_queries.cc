@@ -70,8 +70,14 @@ BatchedBfsResult SequentialBfsQueries(const Graph& g,
                                       const TlavConfig& config) {
   BatchedBfsResult result;
   result.queries = static_cast<uint32_t>(sources.size());
+  // Force push-only so this stays the one-query-per-run message-engine
+  // baseline the batched (Quegel-style) engine is measured against;
+  // direction-optimizing runs would change the per-query message counts.
+  TraversalOptions per_query;
+  per_query.engine = config;
+  per_query.direction.mode = DirectionMode::kPushOnly;
   for (VertexId s : sources) {
-    BfsResult one = TlavBfs(g, s, config);
+    BfsResult one = TlavBfs(g, s, per_query);
     result.distances.push_back(std::move(one.distance));
     result.stats.supersteps += one.stats.supersteps;
     result.stats.total_messages += one.stats.total_messages;

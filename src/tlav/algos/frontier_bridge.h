@@ -1,0 +1,65 @@
+#ifndef GAL_TLAV_ALGOS_FRONTIER_BRIDGE_H_
+#define GAL_TLAV_ALGOS_FRONTIER_BRIDGE_H_
+
+#include <cstdint>
+
+#include "frontier/traversal.h"
+#include "tlav/engine.h"
+
+namespace gal {
+namespace internal {
+
+/// Whether a traversal configured with `engine` + `direction` routes
+/// through the frontier substrate. Forced push keeps the original
+/// message engine (the Quegel-style baseline batched queries compare
+/// against), as do engine features the substrate does not model:
+/// Pregel+ mirroring, LWCP checkpointing, and fault injection.
+inline bool UseFrontierPath(const TlavConfig& engine,
+                            const DirectionConfig& direction) {
+  return direction.mode != DirectionMode::kPushOnly &&
+         engine.mirror_degree_threshold == 0 && engine.checkpoint_every == 0 &&
+         engine.fail_at_superstep == UINT32_MAX;
+}
+
+inline FrontierEngineOptions ToFrontierOptions(const TlavConfig& engine,
+                                               const DirectionConfig& direction) {
+  FrontierEngineOptions options;
+  options.direction = direction;
+  options.cluster = engine.cluster;
+  options.num_workers = engine.num_workers;
+  options.message_overhead_bytes = engine.message_overhead_bytes;
+  options.max_steps = engine.max_supersteps;
+  return options;
+}
+
+/// Folds frontier-substrate run totals into the TlavStats shape so both
+/// engines report on one axis. `payload_bytes` is sizeof the logical
+/// message the equivalent vertex program would send (wire bytes add
+/// message_overhead_bytes on top, exactly like the message engine).
+inline TlavStats BridgeStats(const FrontierTraversalStats& fs,
+                             uint64_t payload_bytes,
+                             uint32_t message_overhead_bytes) {
+  TlavStats stats;
+  stats.supersteps = fs.steps;
+  stats.total_messages = fs.messages;
+  stats.cross_worker_messages = fs.wire_messages;
+  stats.total_message_bytes =
+      fs.messages * (payload_bytes + message_overhead_bytes);
+  stats.cross_worker_bytes = fs.wire_bytes;
+  stats.vertex_activations = fs.vertex_activations;
+  stats.edge_scans = fs.edges_scanned;
+  stats.wall_seconds = fs.wall_seconds;
+  stats.modeled_seconds = fs.modeled_seconds;
+  stats.pull_supersteps = fs.pull_steps;
+  stats.direction_switches = fs.direction_switches;
+  stats.per_step.reserve(fs.per_step.size());
+  for (const FrontierStep& s : fs.per_step) {
+    stats.per_step.push_back({s.active_vertices, s.messages});
+  }
+  return stats;
+}
+
+}  // namespace internal
+}  // namespace gal
+
+#endif  // GAL_TLAV_ALGOS_FRONTIER_BRIDGE_H_

@@ -2,8 +2,19 @@
 
 #include <algorithm>
 
+#include "tlav/algos/frontier_bridge.h"
+
 namespace gal {
 namespace {
+
+Status ValidateSource(const Graph& g, VertexId source) {
+  if (source >= g.NumVertices()) {
+    return Status::InvalidArgument(
+        "traversal source " + std::to_string(source) +
+        " out of range for |V|=" + std::to_string(g.NumVertices()));
+  }
+  return Status::Ok();
+}
 
 struct BfsProgram : public VertexProgram<uint32_t, uint32_t> {
   explicit BfsProgram(VertexId source) : source_(source) {}
@@ -84,22 +95,63 @@ uint32_t SyntheticEdgeWeight(VertexId u, VertexId v) {
   return static_cast<uint32_t>(x % 16) + 1;
 }
 
-BfsResult TlavBfs(const Graph& g, VertexId source, const TlavConfig& config) {
-  TlavEngine<uint32_t, uint32_t> engine(&g, config);
-  BfsProgram program(source);
+BfsResult TlavBfs(const Graph& g, VertexId source,
+                  const TraversalOptions& options) {
   BfsResult result;
+  result.status = ValidateSource(g, source);
+  if (!result.status.ok()) return result;
+
+  if (internal::UseFrontierPath(options.engine, options.direction)) {
+    FrontierBfsResult fr = FrontierBfs(
+        g, source, internal::ToFrontierOptions(options.engine, options.direction));
+    result.distance = std::move(fr.distance);
+    result.stats = internal::BridgeStats(fr.stats, sizeof(uint32_t),
+                                         options.engine.message_overhead_bytes);
+    result.status = std::move(fr.status);
+    return result;
+  }
+
+  TlavEngine<uint32_t, uint32_t> engine(&g, options.engine);
+  BfsProgram program(source);
+  result.stats = engine.Run(program);
+  result.distance = engine.values();
+  return result;
+}
+
+BfsResult TlavBfs(const Graph& g, VertexId source, const TlavConfig& config) {
+  TraversalOptions options;
+  options.engine = config;
+  return TlavBfs(g, source, options);
+}
+
+SsspResult TlavSssp(const Graph& g, VertexId source,
+                    const TraversalOptions& options) {
+  SsspResult result;
+  result.status = ValidateSource(g, source);
+  if (!result.status.ok()) return result;
+
+  if (internal::UseFrontierPath(options.engine, options.direction)) {
+    FrontierSsspResult fr = FrontierSssp(
+        g, source, &SyntheticEdgeWeight,
+        internal::ToFrontierOptions(options.engine, options.direction));
+    result.distance = std::move(fr.distance);
+    result.stats = internal::BridgeStats(fr.stats, sizeof(uint64_t),
+                                         options.engine.message_overhead_bytes);
+    result.status = std::move(fr.status);
+    return result;
+  }
+
+  TlavEngine<uint64_t, uint64_t> engine(&g, options.engine);
+  SsspProgram program(source);
   result.stats = engine.Run(program);
   result.distance = engine.values();
   return result;
 }
 
 SsspResult TlavSssp(const Graph& g, VertexId source, const TlavConfig& config) {
-  TlavEngine<uint64_t, uint64_t> engine(&g, config);
-  SsspProgram program(source);
-  SsspResult result;
-  result.stats = engine.Run(program);
-  result.distance = engine.values();
-  return result;
+  TraversalOptions options;
+  options.engine = config;
+  return TlavSssp(g, source, options);
 }
 
 }  // namespace gal

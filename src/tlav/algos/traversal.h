@@ -5,6 +5,8 @@
 #include <limits>
 #include <vector>
 
+#include "common/status.h"
+#include "frontier/direction.h"
 #include "graph/graph.h"
 #include "tlav/engine.h"
 
@@ -12,12 +14,30 @@ namespace gal {
 
 inline constexpr uint32_t kUnreachable = std::numeric_limits<uint32_t>::max();
 
-/// Hop distances from `source` (frontier-style BFS on the TLAV engine).
+/// How a traversal runs: the Pregel-style engine parameters plus the
+/// frontier substrate's direction policy. With the default (kAuto, or
+/// GAL_FRONTIER_MODE override) the run routes through the
+/// direction-optimizing frontier substrate (src/frontier/); forcing
+/// kPushOnly — or using engine features the substrate does not model
+/// (mirroring, checkpointing, fault injection) — runs the original
+/// message-passing engine. Results are bit-identical either way.
+struct TraversalOptions {
+  TlavConfig engine;
+  DirectionConfig direction = DirectionConfig::FromEnv();
+};
+
+/// Hop distances from `source` (frontier-style BFS). `status` is non-OK
+/// and `distance` empty when `source` is out of range — callers that
+/// ignored the old silent all-kUnreachable behavior now see the error.
 struct BfsResult {
   std::vector<uint32_t> distance;  // kUnreachable if not reached
   TlavStats stats;
+  Status status;
 };
-BfsResult TlavBfs(const Graph& g, VertexId source, const TlavConfig& config = {});
+BfsResult TlavBfs(const Graph& g, VertexId source,
+                  const TraversalOptions& options);
+BfsResult TlavBfs(const Graph& g, VertexId source,
+                  const TlavConfig& config = {});
 
 /// Deterministic synthetic edge weight in [1, 16], symmetric in (u, v).
 /// Gives the unweighted substrate a weighted-SSSP workload without
@@ -25,11 +45,15 @@ BfsResult TlavBfs(const Graph& g, VertexId source, const TlavConfig& config = {}
 uint32_t SyntheticEdgeWeight(VertexId u, VertexId v);
 
 /// Single-source shortest paths with SyntheticEdgeWeight, Pregel-style
-/// (delta-free Bellman-Ford with min combiner).
+/// (delta-free Bellman-Ford with min combiner). Same error contract as
+/// TlavBfs for an out-of-range source.
 struct SsspResult {
   std::vector<uint64_t> distance;  // UINT64_MAX if not reached
   TlavStats stats;
+  Status status;
 };
+SsspResult TlavSssp(const Graph& g, VertexId source,
+                    const TraversalOptions& options);
 SsspResult TlavSssp(const Graph& g, VertexId source,
                     const TlavConfig& config = {});
 

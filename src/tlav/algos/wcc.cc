@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <unordered_set>
 
+#include "tlav/algos/frontier_bridge.h"
+
 namespace gal {
 namespace {
 
@@ -30,18 +32,41 @@ struct WccProgram : public VertexProgram<VertexId, VertexId> {
   }
 };
 
+uint32_t CountComponents(const std::vector<VertexId>& component) {
+  std::unordered_set<VertexId> roots(component.begin(), component.end());
+  return static_cast<uint32_t>(roots.size());
+}
+
 }  // namespace
 
-WccResult Wcc(const Graph& g, const TlavConfig& config) {
-  TlavEngine<VertexId, VertexId> engine(&g, config);
-  WccProgram program;
+WccResult Wcc(const Graph& g, const WccOptions& options) {
   WccResult result;
+  if (internal::UseFrontierPath(options.engine, options.direction)) {
+    FrontierWccResult fr = FrontierWcc(
+        g, internal::ToFrontierOptions(options.engine, options.direction));
+    result.component = std::move(fr.component);
+    result.num_components = fr.num_components;
+    result.stats = internal::BridgeStats(fr.stats, sizeof(VertexId),
+                                         options.engine.message_overhead_bytes);
+    return result;
+  }
+
+  // Weak connectivity is direction-blind: the message engine propagates
+  // over the symmetrized view so a directed edge carries labels both
+  // ways (SendToAllNeighbors alone would walk out-edges only).
+  const Graph& ug = g.UndirectedView();
+  TlavEngine<VertexId, VertexId> engine(&ug, options.engine);
+  WccProgram program;
   result.stats = engine.Run(program);
   result.component = engine.values();
-  std::unordered_set<VertexId> roots(result.component.begin(),
-                                     result.component.end());
-  result.num_components = static_cast<uint32_t>(roots.size());
+  result.num_components = CountComponents(result.component);
   return result;
+}
+
+WccResult Wcc(const Graph& g, const TlavConfig& config) {
+  WccOptions options;
+  options.engine = config;
+  return Wcc(g, options);
 }
 
 }  // namespace gal

@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "frontier/direction.h"
 #include "graph/graph.h"
 #include "tlav/engine.h"
 
@@ -10,6 +11,11 @@ namespace gal {
 
 /// Weakly connected components by hash-min label propagation: each
 /// vertex repeatedly adopts the minimum id seen in its neighborhood.
+/// On directed graphs, propagation runs over the symmetrized
+/// Graph::UndirectedView() — weak connectivity ignores edge direction
+/// (an earlier version propagated along out-edges only, over-counting
+/// components on directed graphs).
+///
 /// Superstep count is O(diameter) — the workload behind the survey's
 /// discussion of TLAV's O((|V|+|E|) log |V|) practical-efficiency
 /// envelope (low-diameter graphs converge in ~log |V| rounds; a path
@@ -20,6 +26,17 @@ struct WccResult {
   TlavStats stats;
 };
 
+/// Like TraversalOptions: the default direction (kAuto unless
+/// GAL_FRONTIER_MODE says otherwise) routes through the frontier
+/// substrate; forced push or engine features (mirroring, checkpointing,
+/// fault injection) run the message engine. Components are identical
+/// either way.
+struct WccOptions {
+  TlavConfig engine;
+  DirectionConfig direction = DirectionConfig::FromEnv();
+};
+
+WccResult Wcc(const Graph& g, const WccOptions& options);
 WccResult Wcc(const Graph& g, const TlavConfig& config = {});
 
 }  // namespace gal

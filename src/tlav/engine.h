@@ -51,6 +51,12 @@ struct TlavStats {
   /// cost-model comm (includes recomputed supersteps after an injected
   /// failure — recovery costs modeled time too).
   double modeled_seconds = 0.0;
+  // Direction-optimizing traversal accounting. The message engine is
+  // push-only (both stay 0); runs routed through the frontier substrate
+  // report how many supersteps gathered over in-edges and how often the
+  // Beamer heuristic flipped direction.
+  uint32_t pull_supersteps = 0;
+  uint32_t direction_switches = 0;
   // Fault-tolerance accounting (LWCP-style checkpointing).
   uint32_t checkpoints_taken = 0;
   uint64_t checkpoint_bytes = 0;

@@ -342,6 +342,27 @@ TEST(BfsEngineTest, SpillPolicyCompletesAndAccountsOverflow) {
   EXPECT_FALSE(stats.budget_exceeded);
 }
 
+TEST(BfsEngineTest, SpillPolicyKeepsResidentBytesWithinBudget) {
+  // Regression: spilled embeddings were charged to the next level's
+  // resident bytes as well as spilled_bytes, double-counting the
+  // overflow and reporting a peak far beyond the budget even though the
+  // policy's whole point is that overflow lives in host memory.
+  Graph g = Complete(12);
+  BfsEngineConfig config;
+  config.memory_budget_bytes = 2048;
+  config.policy = MemoryPolicy::kSpill;
+  BfsExtensionEngine engine(config);
+  uint64_t outputs = 0;
+  BfsEngineStats stats = engine.Run(AllVertices(g), 4, CliqueExtend(g),
+                                    [&outputs](const Embedding&) { ++outputs; });
+  EXPECT_EQ(outputs, 495u);  // spilling must not drop work: C(12,4)
+  EXPECT_GT(stats.spilled_bytes, 0u);
+  // Resident footprint never exceeds the budget by more than the one
+  // embedding whose admission check tripped (the roots here fit).
+  const uint64_t slack = 4 * sizeof(VertexId) + sizeof(Embedding);
+  EXPECT_LE(stats.peak_bytes, config.memory_budget_bytes + slack);
+}
+
 TEST(BfsEngineTest, HybridPolicyMatchesCountWithBoundedMemory) {
   Graph g = Complete(12);
   BfsEngineConfig unlimited;

@@ -384,6 +384,28 @@ TEST(WccTest, LowDiameterGraphTakesFewSupersteps) {
   EXPECT_LT(r.stats.supersteps, 12u);
 }
 
+TEST(WccTest, DirectedGraphYieldsWeakComponents) {
+  // Regression: a directed path pointing toward lower ids. Propagating
+  // along out-edges only moves labels the wrong way and leaves every
+  // vertex its own component; *weak* connectivity must ignore direction
+  // and find one.
+  std::vector<Edge> edges;
+  for (VertexId v = 1; v < 32; ++v) edges.push_back({v, v - 1});
+  GraphOptions options;
+  options.directed = true;
+  Graph g = std::move(Graph::FromEdges(32, std::move(edges), options).value());
+  WccResult r = Wcc(g);
+  EXPECT_EQ(r.num_components, 1u);
+  EXPECT_EQ(r.component, std::vector<VertexId>(32, 0));
+
+  // The message-engine path (forced push) must agree.
+  WccOptions push_only;
+  push_only.direction.mode = DirectionMode::kPushOnly;
+  WccResult engine = Wcc(g, push_only);
+  EXPECT_EQ(engine.num_components, 1u);
+  EXPECT_EQ(engine.component, r.component);
+}
+
 // --- SV pointer jumping & block-centric WCC ------------------------------
 
 TEST(SvWccTest, MatchesHashMinOnVariedGraphs) {
@@ -466,6 +488,46 @@ TEST(TraversalTest, SsspMatchesDijkstra) {
   SsspResult r = TlavSssp(g, 0);
   std::vector<uint64_t> ref = SerialDijkstra(g, 0);
   EXPECT_EQ(r.distance, ref);
+}
+
+TEST(TraversalTest, OutOfRangeSourceIsAnError) {
+  // Regression: an out-of-range source used to return all-kUnreachable
+  // with an OK-looking result, indistinguishable from a real run on a
+  // graph with an isolated source.
+  Graph g = Path(8);
+  BfsResult bfs = TlavBfs(g, 8);
+  EXPECT_FALSE(bfs.status.ok());
+  EXPECT_TRUE(bfs.distance.empty());
+  SsspResult sssp = TlavSssp(g, 100);
+  EXPECT_FALSE(sssp.status.ok());
+  EXPECT_TRUE(sssp.distance.empty());
+  // The message-engine path validates too.
+  TraversalOptions push_only;
+  push_only.direction.mode = DirectionMode::kPushOnly;
+  EXPECT_FALSE(TlavBfs(g, 8, push_only).status.ok());
+  // In-range sources carry an OK status.
+  EXPECT_TRUE(TlavBfs(g, 7).status.ok());
+}
+
+TEST(TraversalTest, DirectionOptimizedBfsMatchesPushOnly) {
+  // The tentpole invariant: identical distances whichever way each
+  // level walked the edges, at several worker counts.
+  for (uint32_t workers : {1u, 2u, 4u}) {
+    Graph g = BarabasiAlbert(400, 4, 7);  // dense-frontier middle levels
+    TlavConfig config;
+    config.num_workers = workers;
+    TraversalOptions push_only;
+    push_only.engine = config;
+    push_only.direction.mode = DirectionMode::kPushOnly;
+    TraversalOptions opt;
+    opt.engine = config;
+    opt.direction.mode = DirectionMode::kAuto;
+    BfsResult a = TlavBfs(g, 0, push_only);
+    BfsResult b = TlavBfs(g, 0, opt);
+    EXPECT_EQ(a.distance, b.distance) << "workers=" << workers;
+    EXPECT_GT(b.stats.pull_supersteps, 0u);
+    EXPECT_EQ(a.stats.pull_supersteps, 0u);
+  }
 }
 
 TEST(TraversalTest, SyntheticWeightsSymmetricAndBounded) {
