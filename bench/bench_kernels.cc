@@ -8,6 +8,7 @@
 #include <benchmark/benchmark.h>
 
 #include "common/rng.h"
+#include "common/simd.h"
 #include "gnn/sampler.h"
 #include "graph/generators.h"
 #include "tensor/kernel_context.h"
@@ -124,6 +125,76 @@ void BM_SpmmThreadSweep(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * adj.nnz() * h.cols());
 }
 BENCHMARK(BM_SpmmThreadSweep)->Apply(KernelThreadArgs)->UseRealTime();
+
+// ---- reorder x SIMD sweep --------------------------------------------
+// The before/after rows for the cache-layout + vector-kernel pass: each
+// benchmark below carries `reorder` (0=none 1=degree-desc 2=hub-cluster)
+// and `simd` (0=scalar 1=active ISA) counters so the speedup matrix is a
+// recorded artifact, not a one-off measurement.
+
+Graph WithReorder(const Graph& g, ReorderMode mode) {
+  GraphOptions options;
+  options.directed = g.directed();
+  options.reorder = mode;
+  return Graph::FromEdges(g.NumVertices(), g.CollectEdges(), options).value();
+}
+
+void BM_TriangleReorderSimdSweep(benchmark::State& state) {
+  const auto mode = static_cast<ReorderMode>(state.range(0));
+  const bool want_simd = state.range(1) != 0;
+  Graph g = WithReorder(Rmat(12, 8, 3), mode);
+  const bool prev = simd::SetEnabled(want_simd);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SerialTriangleCount(g).triangles);
+  }
+  simd::SetEnabled(prev);
+  state.counters["reorder"] = static_cast<double>(state.range(0));
+  state.counters["simd"] = simd::Available() && want_simd ? 1.0 : 0.0;
+  state.SetItemsProcessed(state.iterations() * g.NumEdges());
+}
+BENCHMARK(BM_TriangleReorderSimdSweep)->ArgsProduct({{0, 1, 2}, {0, 1}});
+
+void BM_GemmSimdSweep(benchmark::State& state) {
+  const uint32_t n = 256;
+  const bool want_simd = state.range(0) != 0;
+  Rng rng(4);
+  Matrix a = Matrix::Xavier(n, n, rng);
+  Matrix b = Matrix::Xavier(n, n, rng);
+  KernelContext::Get().SetNumThreads(1);  // isolate the inner-tile kernel
+  const bool prev = simd::SetEnabled(want_simd);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Matmul(a, b).rows());
+  }
+  simd::SetEnabled(prev);
+  KernelContext::Get().SetNumThreads(0);
+  const double flops = 2.0 * n * n * n * state.iterations();
+  state.counters["GFLOP/s"] =
+      benchmark::Counter(flops * 1e-9, benchmark::Counter::kIsRate);
+  state.counters["simd"] = simd::Available() && want_simd ? 1.0 : 0.0;
+}
+BENCHMARK(BM_GemmSimdSweep)->Arg(0)->Arg(1);
+
+void BM_SpmmReorderSimdSweep(benchmark::State& state) {
+  const auto mode = static_cast<ReorderMode>(state.range(0));
+  const bool want_simd = state.range(1) != 0;
+  Graph g = WithReorder(Rmat(12, 8, 5), mode);
+  SparseMatrix adj = NormalizedAdjacency(g, AdjNorm::kSymmetric);
+  Rng rng(5);
+  Matrix h = Matrix::Xavier(g.NumVertices(), 32, rng);
+  KernelContext::Get().SetNumThreads(1);
+  const bool prev = simd::SetEnabled(want_simd);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(adj.Multiply(h).rows());
+  }
+  simd::SetEnabled(prev);
+  KernelContext::Get().SetNumThreads(0);
+  const double edges = static_cast<double>(adj.nnz()) * state.iterations();
+  state.counters["edges/s"] =
+      benchmark::Counter(edges, benchmark::Counter::kIsRate);
+  state.counters["reorder"] = static_cast<double>(state.range(0));
+  state.counters["simd"] = simd::Available() && want_simd ? 1.0 : 0.0;
+}
+BENCHMARK(BM_SpmmReorderSimdSweep)->ArgsProduct({{0, 1, 2}, {0, 1}});
 
 void BM_WccSuperstepLoop(benchmark::State& state) {
   Graph g = Rmat(static_cast<uint32_t>(state.range(0)), 8, 7);

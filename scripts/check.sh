@@ -34,9 +34,21 @@ cmake --build build-tsan --target gal_tests -j "${JOBS}"
 # suites run the direction-optimizing traversals (push scatter, pull
 # gather over the shared bitmap, per-worker counters) across worker
 # counts under TSan — the parity sweep is where a racy frontier merge
-# would show up.
+# would show up. The reorder/SIMD parity suites (GraphReorderTest,
+# ReorderSimdParityTest, IntersectTest, SimdTest) sweep thread and
+# worker counts over the reordered layouts and vector kernels — the
+# per-worker triangle tallies and the SIMD dispatch flag are the shared
+# state TSan watches there.
 ./build-tsan/tests/gal_tests \
-    --gtest_filter='PipelineTest.*:ThreadPoolTest.*:TaskEngineTest.*:WorkDequeTest.*:MatchDeterminismTest.*:KernelContextTest.*:KernelParityTest.*:TensorTest.*:MatrixTest.*:SparseTest.*:CoreBudgetTest.*:TrafficLedgerTest.*:VirtualClockTest.*:ClusterRuntimeTest.*:ExchangeChannelTest.*:ClusterExchangeTest.*:FrontierBitmapTest.*:SlidingQueueTest.*:VertexFrontierTest.*:Workers/FrontierParityTest.*:FrontierTraversalTest.*:DistGcnTest.OverlapReducesSimulatedTime:DistGcnTest.ReportExposesTracesAndOverlapOccupancy:DistGcnTest.CommChannelsRelieveCommBoundOverlap'
+    --gtest_filter='PipelineTest.*:ThreadPoolTest.*:TaskEngineTest.*:WorkDequeTest.*:MatchDeterminismTest.*:KernelContextTest.*:KernelParityTest.*:TensorTest.*:MatrixTest.*:SparseTest.*:CoreBudgetTest.*:TrafficLedgerTest.*:VirtualClockTest.*:ClusterRuntimeTest.*:ExchangeChannelTest.*:ClusterExchangeTest.*:FrontierBitmapTest.*:SlidingQueueTest.*:VertexFrontierTest.*:Workers/FrontierParityTest.*:FrontierTraversalTest.*:GraphReorderTest.*:ReorderSimdParityTest.*:IntersectTest.*:SimdTest.*:DistGcnTest.OverlapReducesSimulatedTime:DistGcnTest.ReportExposesTracesAndOverlapOccupancy:DistGcnTest.CommChannelsRelieveCommBoundOverlap'
+
+echo
+echo "== scalar fallback: parity suites with GAL_SIMD=0 =="
+# The kill switch must leave every result bit-identical — this run is
+# what keeps the scalar fallback honest on AVX2 hosts (and is the only
+# configuration non-AVX2 hosts ever execute).
+GAL_SIMD=0 ./build/tests/gal_tests \
+    --gtest_filter='GraphReorderTest.*:ReorderSimdParityTest.*:IntersectTest.*:SimdTest.*'
 
 echo
 echo "check.sh: all green"

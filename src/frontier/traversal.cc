@@ -479,7 +479,9 @@ FrontierSsspResult FrontierSssp(const Graph& g, VertexId source,
         const uint64_t dv = dist[v];
         for (VertexId u : g.Neighbors(v)) {
           ++c.edges;
-          const uint64_t cand = dv + weight(v, u);
+          // Weights are a function of ORIGINAL ids so a reordered
+          // layout traverses the same weighted graph.
+          const uint64_t cand = dv + weight(g.OriginalId(v), g.OriginalId(u));
           if (cand >= dist[u]) continue;  // stale reads only skip work
           ++c.messages;
           const uint32_t dst = rt.OwnerOf(u);

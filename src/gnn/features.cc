@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "graph/intersect.h"
 #include "graph/kcore.h"
 #include "tlav/algos/pagerank.h"
 
@@ -13,27 +14,17 @@ std::vector<uint64_t> PerVertexTriangles(const Graph& g) {
   std::vector<uint64_t> count(n, 0);
   // For each edge (v, u) with v < u, intersect sorted neighborhoods and
   // credit all three corners of each triangle found with w > u.
+  std::vector<VertexId> common;  // scratch, reused across edges
   for (VertexId v = 0; v < n; ++v) {
     const auto nv = g.Neighbors(v);
     for (VertexId u : nv) {
       if (u <= v) continue;
-      const auto nu = g.Neighbors(u);
-      size_t i = 0;
-      size_t j = 0;
-      while (i < nv.size() && j < nu.size()) {
-        if (nv[i] < nu[j]) {
-          ++i;
-        } else if (nv[i] > nu[j]) {
-          ++j;
-        } else {
-          const VertexId w = nv[i];
-          if (w > u) {
-            ++count[v];
-            ++count[u];
-            ++count[w];
-          }
-          ++i;
-          ++j;
+      IntersectInto(nv, g.Neighbors(u), common);
+      for (const VertexId w : common) {
+        if (w > u) {
+          ++count[v];
+          ++count[u];
+          ++count[w];
         }
       }
     }
@@ -71,7 +62,9 @@ Matrix StructuralFeatures(const Graph& g) {
     x.at(v, 2) = static_cast<float>(std::log1p(g.Degree(v)) / log_max);
     x.at(v, 3) = static_cast<float>(cc[v]);
     x.at(v, 4) = static_cast<float>(degen.core_numbers[v] / degeneracy);
-    x.at(v, 5) = static_cast<float>(pr.ranks[v] * n);
+    // PageRank reports ranks in original-id space; feature rows here
+    // are per layout vertex, so translate when the graph is reordered.
+    x.at(v, 5) = static_cast<float>(pr.ranks[g.OriginalId(v)] * n);
   }
   return x;
 }

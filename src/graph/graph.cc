@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "common/logging.h"
+#include "graph/reorder.h"
 
 namespace gal {
 
@@ -38,6 +39,24 @@ Result<Graph> Graph::FromEdges(VertexId num_vertices, std::vector<Edge> edges,
   }
 
   Graph g;
+  if (options.reorder != ReorderMode::kNone && num_vertices > 0) {
+    std::vector<uint32_t> degree(num_vertices, 0);
+    for (const Edge& e : directed_edges) ++degree[e.src];
+    std::vector<VertexId> to_internal = ComputeReorderPermutation(
+        options.reorder, num_vertices, degree, directed_edges);
+    for (Edge& e : directed_edges) {
+      e.src = to_internal[e.src];
+      e.dst = to_internal[e.dst];
+    }
+    std::sort(directed_edges.begin(), directed_edges.end());
+    std::vector<VertexId> inv(num_vertices);
+    for (VertexId v = 0; v < num_vertices; ++v) inv[to_internal[v]] = v;
+    g.reorder_mode_ = options.reorder;
+    g.to_internal_ =
+        std::make_shared<const std::vector<VertexId>>(std::move(to_internal));
+    g.to_original_ =
+        std::make_shared<const std::vector<VertexId>>(std::move(inv));
+  }
   g.num_vertices_ = num_vertices;
   g.directed_ = options.directed;
   g.offsets_.assign(static_cast<size_t>(num_vertices) + 1, 0);
@@ -73,6 +92,15 @@ Status Graph::SetLabels(std::vector<Label> labels) {
         "labels.size()=" + std::to_string(labels.size()) +
         " != |V|=" + std::to_string(num_vertices_));
   }
+  if (IsReordered()) {
+    // Callers label vertices in their own (original) id space; store
+    // under the internal layout so LabelOf(internal) is direct.
+    std::vector<Label> internal(labels.size());
+    for (VertexId v = 0; v < num_vertices_; ++v) {
+      internal[v] = labels[OriginalId(v)];
+    }
+    labels = std::move(internal);
+  }
   labels_ = std::move(labels);
   return Status::Ok();
 }
@@ -94,6 +122,11 @@ Graph Graph::Reversed() const {
   GAL_CHECK(g.ok()) << g.status();
   Graph out = std::move(g.value());
   out.labels_ = labels_;
+  // The reversed view lives in the same internal id space (the edges
+  // above were emitted with internal endpoints), so it shares the maps.
+  out.reorder_mode_ = reorder_mode_;
+  out.to_original_ = to_original_;
+  out.to_internal_ = to_internal_;
   return out;
 }
 
@@ -115,6 +148,10 @@ const Graph& Graph::UndirectedView() const {
     GAL_CHECK(sym.ok()) << sym.status();
     Graph out = std::move(sym.value());
     out.labels_ = labels_;
+    // Same internal id space as this graph; share the reorder maps.
+    out.reorder_mode_ = reorder_mode_;
+    out.to_original_ = to_original_;
+    out.to_internal_ = to_internal_;
     views_->undirected = std::make_shared<const Graph>(std::move(out));
   }
   return *views_->undirected;
@@ -173,15 +210,25 @@ std::vector<Edge> Graph::CollectEdges() const {
 }
 
 size_t Graph::MemoryBytes() const {
-  return offsets_.size() * sizeof(EdgeId) +
-         targets_.size() * sizeof(VertexId) + labels_.size() * sizeof(Label);
+  size_t bytes = offsets_.size() * sizeof(EdgeId) +
+                 targets_.size() * sizeof(VertexId) +
+                 labels_.size() * sizeof(Label);
+  if (to_original_ != nullptr) bytes += to_original_->size() * sizeof(VertexId);
+  if (to_internal_ != nullptr) bytes += to_internal_->size() * sizeof(VertexId);
+  return bytes;
 }
 
 std::string Graph::ToString() const {
   std::ostringstream os;
   os << "Graph(|V|=" << num_vertices_ << ", |E|=" << num_edges_
      << ", directed=" << (directed_ ? "true" : "false")
-     << ", labeled=" << (IsLabeled() ? "true" : "false") << ")";
+     << ", labeled=" << (IsLabeled() ? "true" : "false");
+  if (IsReordered()) {
+    os << ", reorder="
+       << (reorder_mode_ == ReorderMode::kDegreeDesc ? "degree-desc"
+                                                     : "hub-cluster");
+  }
+  os << ")";
   return os.str();
 }
 

@@ -35,6 +35,24 @@ struct Edge {
   }
 };
 
+/// Build-time vertex-reordering policy (layout-as-policy): the CSR is
+/// stored under a permutation of the input ids chosen so hot adjacency
+/// scans hit cache. The permutation and its inverse live on the graph,
+/// and the analytics entry points (BFS/SSSP/WCC/PageRank, triangle and
+/// clique/k-truss outputs) map their results back to the original ids,
+/// so a reordered run is bit-identical to an unordered one.
+enum class ReorderMode : uint8_t {
+  kNone,
+  /// Vertices sorted by descending degree (ties by original id): the
+  /// high-degree hubs every power-law scan keeps revisiting become
+  /// id-contiguous, so their offsets/targets rows share cache lines.
+  kDegreeDesc,
+  /// Hubs first (degree-desc), then each remaining vertex placed next
+  /// to the hub it attaches to most strongly — a cheap clustering that
+  /// keeps a hub's fringe in the same cache window as the hub itself.
+  kHubCluster,
+};
+
 /// Options controlling CSR construction.
 struct GraphOptions {
   /// If false (default), every input edge {u,v} is stored in both
@@ -44,6 +62,10 @@ struct GraphOptions {
   bool remove_self_loops = true;
   /// Collapse duplicate edges.
   bool dedup = true;
+  /// Cache-aware vertex reordering applied at build time (see
+  /// ReorderMode). Input edges and SetLabels stay in original-id space;
+  /// only the internal CSR layout changes.
+  ReorderMode reorder = ReorderMode::kNone;
 };
 
 /// An immutable graph in Compressed Sparse Row form with sorted adjacency
@@ -132,6 +154,41 @@ class Graph {
   const std::vector<EdgeId>& offsets() const { return offsets_; }
   const std::vector<VertexId>& targets() const { return targets_; }
 
+  // --- cache-aware vertex reordering (GraphOptions::reorder) ---------------
+  //
+  // When built with a ReorderMode other than kNone, the CSR arrays are
+  // stored under a permutation: vertex `v` of this graph is "internal"
+  // id space; OriginalId/InternalId translate to and from the caller's
+  // id space. Per-vertex algorithm results are produced in internal
+  // space and mapped back via MapToOriginal by the analytics wrappers.
+  // Derived views (Reversed/UndirectedView) share the same internal id
+  // space and carry the mapping; InducedSubgraph does not (its result
+  // is a fresh id space).
+
+  bool IsReordered() const { return to_original_ != nullptr; }
+  ReorderMode reorder_mode() const { return reorder_mode_; }
+
+  /// Original id of internal vertex `v` (identity when not reordered).
+  VertexId OriginalId(VertexId v) const {
+    return to_original_ == nullptr ? v : (*to_original_)[v];
+  }
+  /// Internal id of original vertex `v` (identity when not reordered).
+  VertexId InternalId(VertexId v) const {
+    return to_internal_ == nullptr ? v : (*to_internal_)[v];
+  }
+
+  /// Permutes a per-internal-vertex array into original-id indexing:
+  /// out[OriginalId(v)] = per_vertex[v]. Identity when not reordered.
+  template <typename T>
+  std::vector<T> MapToOriginal(std::vector<T> per_vertex) const {
+    if (to_original_ == nullptr) return per_vertex;
+    std::vector<T> out(per_vertex.size());
+    for (size_t v = 0; v < per_vertex.size(); ++v) {
+      out[(*to_original_)[v]] = std::move(per_vertex[v]);
+    }
+    return out;
+  }
+
   /// All logical edges, materialized (src < dst for undirected graphs).
   std::vector<Edge> CollectEdges() const;
 
@@ -156,6 +213,11 @@ class Graph {
   std::vector<EdgeId> offsets_;    // size num_vertices_ + 1
   std::vector<VertexId> targets_;  // sorted per-vertex
   std::vector<Label> labels_;      // empty or size num_vertices_
+  /// Reordering maps, shared (immutable) with derived views and copies.
+  /// to_original_[internal] = original; to_internal_[original] = internal.
+  ReorderMode reorder_mode_ = ReorderMode::kNone;
+  std::shared_ptr<const std::vector<VertexId>> to_original_;
+  std::shared_ptr<const std::vector<VertexId>> to_internal_;
   std::shared_ptr<ViewCache> views_ = std::make_shared<ViewCache>();
 };
 

@@ -1,0 +1,45 @@
+#ifndef GAL_GRAPH_INTERSECT_H_
+#define GAL_GRAPH_INTERSECT_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace gal {
+
+/// Unified sorted-adjacency intersection, the shared inner loop of
+/// triangles, cliques, k-truss, matching, and GNN structural features.
+/// Inputs are strictly-ascending sorted id arrays (CSR adjacency rows
+/// qualify). Strategy is adaptive:
+///   - scalar two-pointer merge — the reference path, and the only one
+///     used when simd::Enabled() is false (GAL_SIMD=0);
+///   - galloping (exponential + binary search) when one side is >=32x
+///     longer than the other — hub-vs-leaf intersections;
+///   - AVX2 8x8 block compare otherwise.
+/// All paths return identical elements/counts; only speed differs.
+///
+/// `ops`, when non-null, accumulates a work diagnostic. On the scalar
+/// merge path it counts loop iterations — exactly the historical
+/// `intersection_ops` semantics, so GAL_SIMD=0 runs reproduce old
+/// numbers. Vector/galloping paths count elements touched or probes
+/// made; the diagnostic is path-dependent by design (it measures work
+/// actually done), while counts/elements never vary.
+
+/// Number of common elements of a and b.
+uint64_t IntersectCount(std::span<const VertexId> a,
+                        std::span<const VertexId> b, uint64_t* ops = nullptr);
+
+/// Replaces `out` with the (ascending) common elements of a and b.
+/// Reuses out's capacity — the scratch-buffer form for tight loops.
+void IntersectInto(std::span<const VertexId> a, std::span<const VertexId> b,
+                   std::vector<VertexId>& out, uint64_t* ops = nullptr);
+
+/// Returns the (ascending) common elements of a and b.
+std::vector<VertexId> Intersect(std::span<const VertexId> a,
+                                std::span<const VertexId> b);
+
+}  // namespace gal
+
+#endif  // GAL_GRAPH_INTERSECT_H_

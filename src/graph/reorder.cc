@@ -1,0 +1,111 @@
+#include "graph/reorder.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace gal {
+namespace {
+
+/// Stable degree-descending order: hubs get the smallest internal ids,
+/// ties broken by original id so the permutation is deterministic.
+std::vector<VertexId> DegreeDescOrder(VertexId n,
+                                      std::span<const uint32_t> degree) {
+  std::vector<VertexId> order(n);
+  std::iota(order.begin(), order.end(), VertexId{0});
+  std::stable_sort(order.begin(), order.end(), [&](VertexId a, VertexId b) {
+    return degree[a] != degree[b] ? degree[a] > degree[b] : a < b;
+  });
+  return order;
+}
+
+/// Hub threshold: a vertex is a hub when its degree clears 4x the mean
+/// (and at least 8) — the knee past which power-law tails start; on
+/// uniform-degree graphs nothing qualifies and the mode degenerates to
+/// the identity placement for the non-hub block.
+uint32_t HubThreshold(VertexId n, std::span<const uint32_t> degree) {
+  uint64_t total = 0;
+  for (uint32_t d : degree) total += d;
+  const uint64_t mean = n == 0 ? 0 : (total + n - 1) / n;
+  return static_cast<uint32_t>(std::max<uint64_t>(8, 4 * mean));
+}
+
+std::vector<VertexId> HubClusterOrder(VertexId n,
+                                      std::span<const uint32_t> degree,
+                                      std::span<const Edge> directed_edges) {
+  const uint32_t threshold = HubThreshold(n, degree);
+  std::vector<uint8_t> is_hub(n, 0);
+  std::vector<VertexId> hubs;
+  for (VertexId v = 0; v < n; ++v) {
+    if (degree[v] >= threshold) {
+      is_hub[v] = 1;
+      hubs.push_back(v);
+    }
+  }
+  std::stable_sort(hubs.begin(), hubs.end(), [&](VertexId a, VertexId b) {
+    return degree[a] != degree[b] ? degree[a] > degree[b] : a < b;
+  });
+  std::vector<uint32_t> hub_pos(n, UINT32_MAX);
+  for (uint32_t i = 0; i < hubs.size(); ++i) hub_pos[hubs[i]] = i;
+
+  // Anchor of a non-hub: its highest-degree hub neighbor (ties to the
+  // smaller id). One pass over the sorted edge list finds it.
+  std::vector<VertexId> anchor(n, kInvalidVertex);
+  for (const Edge& e : directed_edges) {
+    if (is_hub[e.src] || !is_hub[e.dst]) continue;
+    VertexId& a = anchor[e.src];
+    if (a == kInvalidVertex || degree[e.dst] > degree[a] ||
+        (degree[e.dst] == degree[a] && e.dst < a)) {
+      a = e.dst;
+    }
+  }
+
+  // Placement: hubs first, then anchored non-hubs grouped behind their
+  // anchor's position (original id within a group), then the rest in
+  // original order.
+  std::vector<VertexId> order = hubs;
+  order.reserve(n);
+  std::vector<VertexId> anchored;
+  std::vector<VertexId> loose;
+  for (VertexId v = 0; v < n; ++v) {
+    if (is_hub[v]) continue;
+    (anchor[v] != kInvalidVertex ? anchored : loose).push_back(v);
+  }
+  std::stable_sort(anchored.begin(), anchored.end(),
+                   [&](VertexId a, VertexId b) {
+                     const uint32_t pa = hub_pos[anchor[a]];
+                     const uint32_t pb = hub_pos[anchor[b]];
+                     return pa != pb ? pa < pb : a < b;
+                   });
+  order.insert(order.end(), anchored.begin(), anchored.end());
+  order.insert(order.end(), loose.begin(), loose.end());
+  return order;
+}
+
+}  // namespace
+
+std::vector<VertexId> ComputeReorderPermutation(
+    ReorderMode mode, VertexId num_vertices, std::span<const uint32_t> degree,
+    std::span<const Edge> directed_edges) {
+  GAL_CHECK(degree.size() == num_vertices);
+  std::vector<VertexId> order;
+  switch (mode) {
+    case ReorderMode::kNone:
+      order.resize(num_vertices);
+      std::iota(order.begin(), order.end(), VertexId{0});
+      break;
+    case ReorderMode::kDegreeDesc:
+      order = DegreeDescOrder(num_vertices, degree);
+      break;
+    case ReorderMode::kHubCluster:
+      order = HubClusterOrder(num_vertices, degree, directed_edges);
+      break;
+  }
+  // order[i] = original vertex placed at internal position i; invert.
+  std::vector<VertexId> to_internal(num_vertices);
+  for (VertexId i = 0; i < num_vertices; ++i) to_internal[order[i]] = i;
+  return to_internal;
+}
+
+}  // namespace gal

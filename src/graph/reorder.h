@@ -1,0 +1,26 @@
+#ifndef GAL_GRAPH_REORDER_H_
+#define GAL_GRAPH_REORDER_H_
+
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace gal {
+
+/// Computes the build-time vertex permutation for `mode` (see
+/// ReorderMode in graph.h). Returns to_internal: original id ->
+/// internal id. Deterministic in its inputs.
+///
+/// `degree` is the out-degree of every original vertex (== undirected
+/// degree for symmetrized edge lists); `directed_edges` is the full
+/// deduplicated adjacency as (src, dst) pairs sorted by (src, dst) —
+/// exactly the list Graph::FromEdges builds the CSR from. Hub-cluster
+/// placement scans it once to find each vertex's strongest neighbor.
+std::vector<VertexId> ComputeReorderPermutation(
+    ReorderMode mode, VertexId num_vertices, std::span<const uint32_t> degree,
+    std::span<const Edge> directed_edges);
+
+}  // namespace gal
+
+#endif  // GAL_GRAPH_REORDER_H_

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <sstream>
 
+#include "common/simd.h"
 #include "tensor/kernel_context.h"
 
 namespace gal {
@@ -42,7 +43,8 @@ void Matrix::AddScaled(const Matrix& other, float alpha) {
   KernelContext& ctx = KernelContext::Get();
   ScopedSpan span(ctx.elementwise_hist());
   ctx.ParallelFor1D(data_.size(), 2, [&](size_t begin, size_t end) {
-    for (size_t i = begin; i < end; ++i) data_[i] += alpha * other.data_[i];
+    simd::AxpyF32(data_.data() + begin, other.data_.data() + begin, alpha,
+                  end - begin);
   });
 }
 
@@ -96,8 +98,9 @@ Matrix Matmul(const Matrix& a, const Matrix& b) {
         for (uint32_t k = k0; k < k1; ++k) {
           const float aik = ai[k];
           if (aik == 0.0f) continue;
-          const float* bk = b.row(k);
-          for (uint32_t j = 0; j < ncols; ++j) ci[j] += aik * bk[j];
+          // axpy form: per-lane multiply-then-add preserves the scalar
+          // loop's per-element rounding at any vector width.
+          simd::AxpyF32(ci, b.row(k), aik, ncols);
         }
       }
     }
@@ -132,8 +135,7 @@ Matrix MatmulTransposeA(const Matrix& a, const Matrix& b) {
         for (uint32_t i = i0; i < i1; ++i) {
           const float aki = ak[i];
           if (aki == 0.0f) continue;
-          float* ci = c.row(i);
-          for (uint32_t j = 0; j < ncols; ++j) ci[j] += aki * bk[j];
+          simd::AxpyF32(c.row(i), bk, aki, ncols);
         }
       }
     }

@@ -5,6 +5,7 @@
 #include <sstream>
 #include <tuple>
 
+#include "common/simd.h"
 #include "tensor/kernel_context.h"
 
 namespace gal {
@@ -91,9 +92,9 @@ Matrix SparseMatrix::Multiply(const Matrix& dense) const {
     for (uint32_t r = bounds[s]; r < bounds[s + 1]; ++r) {
       float* or_ = out.row(r);
       for (uint64_t e = offsets_[r]; e < offsets_[r + 1]; ++e) {
-        const float w = values_[e];
-        const float* src = dense.row(cols_idx_[e]);
-        for (uint32_t j = 0; j < dense.cols(); ++j) or_[j] += w * src[j];
+        // axpy row gather; per-lane multiply-then-add keeps the result
+        // bit-identical to the scalar loop.
+        simd::AxpyF32(or_, dense.row(cols_idx_[e]), values_[e], dense.cols());
       }
     }
   });
@@ -146,9 +147,8 @@ Matrix SparseMatrix::TransposeMultiply(const Matrix& dense) const {
     for (uint32_t r = bounds[s]; r < bounds[s + 1]; ++r) {
       float* or_ = out.row(r);
       for (uint64_t e = t.offsets_[r]; e < t.offsets_[r + 1]; ++e) {
-        const float w = t.values_[e];
-        const float* src = dense.row(t.cols_idx_[e]);
-        for (uint32_t j = 0; j < dense.cols(); ++j) or_[j] += w * src[j];
+        simd::AxpyF32(or_, dense.row(t.cols_idx_[e]), t.values_[e],
+                      dense.cols());
       }
     }
   });

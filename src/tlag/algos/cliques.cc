@@ -4,19 +4,20 @@
 #include <atomic>
 #include <mutex>
 
+#include "graph/intersect.h"
 #include "graph/kcore.h"
 
 namespace gal {
 namespace {
 
-/// Sorted-vector set intersection.
-std::vector<VertexId> Intersect(const std::vector<VertexId>& a,
-                                std::span<const VertexId> b) {
-  std::vector<VertexId> out;
-  out.reserve(std::min(a.size(), b.size()));
-  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
-                        std::back_inserter(out));
-  return out;
+/// Maps a clique's internal vertex ids back to the caller's original id
+/// space, re-sorted (the permutation is not order-preserving).
+std::vector<VertexId> CliqueToOriginal(const Graph& g,
+                                       std::vector<VertexId> clique) {
+  if (!g.IsReordered()) return clique;
+  for (VertexId& v : clique) v = g.OriginalId(v);
+  std::sort(clique.begin(), clique.end());
+  return clique;
 }
 
 /// One Bron–Kerbosch search-tree node, shippable between workers.
@@ -59,21 +60,7 @@ VertexId ChoosePivot(const Graph& g, const std::vector<VertexId>& p,
   VertexId pivot = kInvalidVertex;
   size_t best = 0;
   auto consider = [&](VertexId u) {
-    const auto nbrs = g.Neighbors(u);
-    size_t overlap = 0;
-    size_t i = 0;
-    size_t j = 0;
-    while (i < p.size() && j < nbrs.size()) {
-      if (p[i] < nbrs[j]) {
-        ++i;
-      } else if (p[i] > nbrs[j]) {
-        ++j;
-      } else {
-        ++overlap;
-        ++i;
-        ++j;
-      }
-    }
+    const uint64_t overlap = IntersectCount(p, g.Neighbors(u));
     if (pivot == kInvalidVertex || overlap > best) {
       best = overlap;
       pivot = u;
@@ -255,6 +242,9 @@ MaximalCliqueResult MaximalCliques(const Graph& g,
   result.count = shared.count.load();
   result.largest = shared.largest.load();
   result.cliques = std::move(shared.cliques);
+  for (std::vector<VertexId>& clique : result.cliques) {
+    clique = CliqueToOriginal(g, std::move(clique));
+  }
   result.task_stats = stats;
   return result;
 }
@@ -293,7 +283,7 @@ MaximumCliqueResult MaximumClique(const Graph& g,
 
   MaximumCliqueResult result;
   result.size = shared.best_size.load();
-  result.clique = shared.best_clique;
+  result.clique = CliqueToOriginal(g, shared.best_clique);
   std::sort(result.clique.begin(), result.clique.end());
   result.branches_explored = shared.branches.load();
   result.branches_pruned = shared.pruned.load();

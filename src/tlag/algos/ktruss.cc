@@ -5,6 +5,7 @@
 #include <queue>
 
 #include "common/logging.h"
+#include "graph/intersect.h"
 
 namespace gal {
 namespace {
@@ -35,25 +36,13 @@ KTrussResult KTrussDecomposition(const Graph& g) {
     idx.index[{result.edges[e].src, result.edges[e].dst}] = e;
   }
 
-  // Initial supports: triangles through each edge, via sorted
-  // intersections.
+  // Initial supports: triangles through each edge, via the shared
+  // sorted intersection.
   std::vector<uint32_t> support(m, 0);
   for (uint32_t e = 0; e < m; ++e) {
-    const auto nu = g.Neighbors(result.edges[e].src);
-    const auto nv = g.Neighbors(result.edges[e].dst);
-    size_t i = 0;
-    size_t j = 0;
-    while (i < nu.size() && j < nv.size()) {
-      if (nu[i] < nv[j]) {
-        ++i;
-      } else if (nu[i] > nv[j]) {
-        ++j;
-      } else {
-        ++support[e];
-        ++i;
-        ++j;
-      }
-    }
+    support[e] = static_cast<uint32_t>(
+        IntersectCount(g.Neighbors(result.edges[e].src),
+                       g.Neighbors(result.edges[e].dst)));
   }
 
   // Peel edges in increasing support; when edge (u,v) is removed, the
@@ -64,6 +53,7 @@ KTrussResult KTrussDecomposition(const Graph& g) {
   for (uint32_t e = 0; e < m; ++e) pq.push({support[e], e});
 
   uint32_t k = 2;
+  std::vector<VertexId> common;  // scratch, reused across peels
   while (!pq.empty()) {
     auto [s, e] = pq.top();
     pq.pop();
@@ -75,31 +65,29 @@ KTrussResult KTrussDecomposition(const Graph& g) {
 
     const VertexId u = result.edges[e].src;
     const VertexId v = result.edges[e].dst;
-    const auto nu = g.Neighbors(u);
-    const auto nv = g.Neighbors(v);
-    size_t i = 0;
-    size_t j = 0;
-    while (i < nu.size() && j < nv.size()) {
-      if (nu[i] < nv[j]) {
-        ++i;
-      } else if (nu[i] > nv[j]) {
-        ++j;
-      } else {
-        const VertexId w = nu[i];
-        const uint32_t e1 = idx.Of(u, w);
-        const uint32_t e2 = idx.Of(v, w);
-        if (!removed[e1] && !removed[e2]) {
-          // The triangle (u,v,w) disappears with e.
-          for (uint32_t other : {e1, e2}) {
-            GAL_DCHECK(support[other] > 0);
-            --support[other];
-            ++result.support_updates;
-            pq.push({support[other], other});
-          }
+    IntersectInto(g.Neighbors(u), g.Neighbors(v), common);
+    for (const VertexId w : common) {
+      const uint32_t e1 = idx.Of(u, w);
+      const uint32_t e2 = idx.Of(v, w);
+      if (!removed[e1] && !removed[e2]) {
+        // The triangle (u,v,w) disappears with e.
+        for (uint32_t other : {e1, e2}) {
+          GAL_DCHECK(support[other] > 0);
+          --support[other];
+          ++result.support_updates;
+          pq.push({support[other], other});
         }
-        ++i;
-        ++j;
       }
+    }
+  }
+
+  if (g.IsReordered()) {
+    // Report edges in the caller's original id space (normalized
+    // src < dst, like CollectEdges on an unordered build).
+    for (Edge& edge : result.edges) {
+      edge.src = g.OriginalId(edge.src);
+      edge.dst = g.OriginalId(edge.dst);
+      if (edge.src > edge.dst) std::swap(edge.src, edge.dst);
     }
   }
   return result;

@@ -1,30 +1,54 @@
 #include "tlav/algos/pagerank.h"
 
+#include <cmath>
+
 namespace gal {
 namespace {
 
-struct PageRankProgram : public VertexProgram<double, double> {
+/// Rank contributions travel as fixed-point integers (2^-50 resolution).
+/// Floating-point summation is order-sensitive, and both vertex
+/// reordering and worker/thread splits change the order messages fold in
+/// — integer addition is associative and commutative, so the reduction
+/// is exact and the final ranks are bit-identical across layouts,
+/// worker counts, and delivery orders. Total rank mass is ~1, so the
+/// fixed-point sum stays far below 2^63 (and below 2^53 when mirrored
+/// into the double-typed dangling aggregator, keeping that sum exact
+/// too). Quantization error is ~2^-51 per edge, orders of magnitude
+/// under the tolerance any consumer of PageRank uses.
+constexpr double kFixedScale = static_cast<double>(1ull << 50);
+
+uint64_t ToFixed(double x) {
+  return static_cast<uint64_t>(std::llround(x * kFixedScale));
+}
+
+double FromFixed(uint64_t fixed) {
+  return static_cast<double>(fixed) / kFixedScale;
+}
+
+struct PageRankProgram : public VertexProgram<double, uint64_t> {
   PageRankProgram(uint32_t iterations, double damping)
       : iterations_(iterations), damping_(damping) {}
 
-  void Compute(VertexHandle<double, double>& v,
-               std::span<const double> messages) override {
+  void Compute(VertexHandle<double, uint64_t>& v,
+               std::span<const uint64_t> messages) override {
     const double n = static_cast<double>(v.num_vertices());
     if (v.superstep() == 0) {
       v.value() = 1.0 / n;
     } else {
-      double sum = 0.0;
-      for (double m : messages) sum += m;
+      uint64_t sum = 0;
+      for (uint64_t m : messages) sum += m;
       // Dangling mass from the previous superstep is shared uniformly.
-      const double dangling = v.GetAggregate("dangling") / n;
-      v.value() = (1.0 - damping_) / n + damping_ * (sum + dangling);
+      // The aggregate holds an exact integer (fixed-point units).
+      const double dangling = FromFixed(
+          static_cast<uint64_t>(v.GetAggregate("dangling"))) / n;
+      v.value() = (1.0 - damping_) / n + damping_ * (FromFixed(sum) + dangling);
     }
     if (v.superstep() < iterations_) {
       const uint32_t degree = v.Degree();
       if (degree > 0) {
-        v.SendToAllNeighbors(v.value() / degree);
+        v.SendToAllNeighbors(ToFixed(v.value() / degree));
       } else {
-        v.Aggregate("dangling", v.value());
+        v.Aggregate("dangling", static_cast<double>(ToFixed(v.value())));
       }
     } else {
       v.VoteToHalt();
@@ -32,7 +56,7 @@ struct PageRankProgram : public VertexProgram<double, double> {
   }
 
   bool has_combiner() const override { return true; }
-  double Combine(const double& a, const double& b) const override {
+  uint64_t Combine(const uint64_t& a, const uint64_t& b) const override {
     return a + b;
   }
 
@@ -43,12 +67,12 @@ struct PageRankProgram : public VertexProgram<double, double> {
 }  // namespace
 
 PageRankResult PageRank(const Graph& g, const PageRankOptions& options) {
-  TlavEngine<double, double> engine(&g, options.engine);
+  TlavEngine<double, uint64_t> engine(&g, options.engine);
   engine.RegisterAggregator("dangling", AggregateOp::kSum, 0.0);
   PageRankProgram program(options.iterations, options.damping);
   PageRankResult result;
   result.stats = engine.Run(program);
-  result.ranks = engine.values();
+  result.ranks = g.MapToOriginal(engine.values());
   return result;
 }
 

@@ -48,7 +48,7 @@ struct BfsProgram : public VertexProgram<uint32_t, uint32_t> {
 };
 
 struct SsspProgram : public VertexProgram<uint64_t, uint64_t> {
-  explicit SsspProgram(VertexId source) : source_(source) {}
+  SsspProgram(VertexId source, const Graph* g) : source_(source), g_(g) {}
 
   void Compute(VertexHandle<uint64_t, uint64_t>& v,
                std::span<const uint64_t> messages) override {
@@ -71,8 +71,11 @@ struct SsspProgram : public VertexProgram<uint64_t, uint64_t> {
   }
 
   void Relax(VertexHandle<uint64_t, uint64_t>& v) {
+    // Synthetic weights are a pure function of the ORIGINAL endpoint
+    // ids, so a reordered layout sees the exact same weighted graph.
+    const VertexId vo = g_->OriginalId(v.id());
     for (VertexId u : v.Neighbors()) {
-      v.SendTo(u, v.value() + SyntheticEdgeWeight(v.id(), u));
+      v.SendTo(u, v.value() + SyntheticEdgeWeight(vo, g_->OriginalId(u)));
     }
   }
 
@@ -82,6 +85,7 @@ struct SsspProgram : public VertexProgram<uint64_t, uint64_t> {
   }
 
   VertexId source_;
+  const Graph* g_;
 };
 
 }  // namespace
@@ -100,11 +104,15 @@ BfsResult TlavBfs(const Graph& g, VertexId source,
   BfsResult result;
   result.status = ValidateSource(g, source);
   if (!result.status.ok()) return result;
+  // Callers address vertices in original-id space; the engines run in
+  // the (possibly reordered) internal layout, so translate on the way
+  // in and permute per-vertex results back on the way out.
+  source = g.InternalId(source);
 
   if (internal::UseFrontierPath(options.engine, options.direction)) {
     FrontierBfsResult fr = FrontierBfs(
         g, source, internal::ToFrontierOptions(options.engine, options.direction));
-    result.distance = std::move(fr.distance);
+    result.distance = g.MapToOriginal(std::move(fr.distance));
     result.stats = internal::BridgeStats(fr.stats, sizeof(uint32_t),
                                          options.engine.message_overhead_bytes);
     result.status = std::move(fr.status);
@@ -114,7 +122,7 @@ BfsResult TlavBfs(const Graph& g, VertexId source,
   TlavEngine<uint32_t, uint32_t> engine(&g, options.engine);
   BfsProgram program(source);
   result.stats = engine.Run(program);
-  result.distance = engine.values();
+  result.distance = g.MapToOriginal(engine.values());
   return result;
 }
 
@@ -129,12 +137,13 @@ SsspResult TlavSssp(const Graph& g, VertexId source,
   SsspResult result;
   result.status = ValidateSource(g, source);
   if (!result.status.ok()) return result;
+  source = g.InternalId(source);
 
   if (internal::UseFrontierPath(options.engine, options.direction)) {
     FrontierSsspResult fr = FrontierSssp(
         g, source, &SyntheticEdgeWeight,
         internal::ToFrontierOptions(options.engine, options.direction));
-    result.distance = std::move(fr.distance);
+    result.distance = g.MapToOriginal(std::move(fr.distance));
     result.stats = internal::BridgeStats(fr.stats, sizeof(uint64_t),
                                          options.engine.message_overhead_bytes);
     result.status = std::move(fr.status);
@@ -142,9 +151,9 @@ SsspResult TlavSssp(const Graph& g, VertexId source,
   }
 
   TlavEngine<uint64_t, uint64_t> engine(&g, options.engine);
-  SsspProgram program(source);
+  SsspProgram program(source, &g);
   result.stats = engine.Run(program);
-  result.distance = engine.values();
+  result.distance = g.MapToOriginal(engine.values());
   return result;
 }
 

@@ -37,6 +37,25 @@ uint32_t CountComponents(const std::vector<VertexId>& component) {
   return static_cast<uint32_t>(roots.size());
 }
 
+/// Labels computed in internal space are each component's min *internal*
+/// id, which depends on the layout. Relabel to the min *original* id so
+/// reordered runs are bit-identical to unordered ones: one ascending
+/// pass over original ids — the first original id to reach a component
+/// root is, by construction, that component's minimum.
+std::vector<VertexId> CanonicalizeComponents(const Graph& g,
+                                             std::vector<VertexId> internal) {
+  if (!g.IsReordered()) return internal;
+  const VertexId n = g.NumVertices();
+  std::vector<VertexId> mapped(n);
+  std::vector<VertexId> root_label(n, kInvalidVertex);
+  for (VertexId v = 0; v < n; ++v) {
+    const VertexId root = internal[g.InternalId(v)];
+    if (root_label[root] == kInvalidVertex) root_label[root] = v;
+    mapped[v] = root_label[root];
+  }
+  return mapped;
+}
+
 }  // namespace
 
 WccResult Wcc(const Graph& g, const WccOptions& options) {
@@ -44,7 +63,7 @@ WccResult Wcc(const Graph& g, const WccOptions& options) {
   if (internal::UseFrontierPath(options.engine, options.direction)) {
     FrontierWccResult fr = FrontierWcc(
         g, internal::ToFrontierOptions(options.engine, options.direction));
-    result.component = std::move(fr.component);
+    result.component = CanonicalizeComponents(g, std::move(fr.component));
     result.num_components = fr.num_components;
     result.stats = internal::BridgeStats(fr.stats, sizeof(VertexId),
                                          options.engine.message_overhead_bytes);
@@ -58,7 +77,7 @@ WccResult Wcc(const Graph& g, const WccOptions& options) {
   TlavEngine<VertexId, VertexId> engine(&ug, options.engine);
   WccProgram program;
   result.stats = engine.Run(program);
-  result.component = engine.values();
+  result.component = CanonicalizeComponents(g, engine.values());
   result.num_components = CountComponents(result.component);
   return result;
 }
