@@ -23,8 +23,8 @@ using namespace gal;
 /// Canonical clique extension shared by both engines.
 BfsExtensionEngine::ExtendFn CliqueExtend(const Graph& g) {
   return [&g](const Embedding& e, std::vector<VertexId>& out) {
-    for (VertexId u : g.Neighbors(e.back())) {
-      if (u <= e.back()) continue;
+    g.ForEachOutNeighbor(e.back(), [&](VertexId u) {
+      if (u <= e.back()) return;
       bool ok = true;
       for (size_t i = 0; i + 1 < e.size(); ++i) {
         if (!g.HasEdge(e[i], u)) {
@@ -33,7 +33,7 @@ BfsExtensionEngine::ExtendFn CliqueExtend(const Graph& g) {
         }
       }
       if (ok) out.push_back(u);
-    }
+    });
   };
 }
 

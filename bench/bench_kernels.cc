@@ -3,10 +3,12 @@
 // matmul, sampling, and the TLAV superstep loop. These are the numbers
 // to watch when optimizing the library itself.
 
+#include <algorithm>
 #include <thread>
 
 #include <benchmark/benchmark.h>
 
+#include "common/logging.h"
 #include "common/rng.h"
 #include "common/simd.h"
 #include "gnn/sampler.h"
@@ -126,33 +128,48 @@ void BM_SpmmThreadSweep(benchmark::State& state) {
 }
 BENCHMARK(BM_SpmmThreadSweep)->Apply(KernelThreadArgs)->UseRealTime();
 
-// ---- reorder x SIMD sweep --------------------------------------------
-// The before/after rows for the cache-layout + vector-kernel pass: each
-// benchmark below carries `reorder` (0=none 1=degree-desc 2=hub-cluster)
-// and `simd` (0=scalar 1=active ISA) counters so the speedup matrix is a
-// recorded artifact, not a one-off measurement.
+// ---- reorder x compression x SIMD sweep ------------------------------
+// The before/after rows for the cache-layout + codec + vector-kernel
+// pass: each benchmark below carries `reorder` (0=none 1=degree-desc
+// 2=hub-cluster), `compressed` (0=raw CSR 1=delta-varint), and `simd`
+// (0=scalar 1=active ISA) counters so the speedup matrix is a recorded
+// artifact, not a one-off measurement. Compressed rows also report
+// `B/edge` (adjacency bytes per entry; raw CSR is 4.00) — the time
+// delta against the raw row at the same (reorder, simd) is the
+// streaming-decode overhead.
 
-Graph WithReorder(const Graph& g, ReorderMode mode) {
+Graph WithLayout(const Graph& g, ReorderMode mode,
+                 CompressionMode codec = CompressionMode::kNone) {
   GraphOptions options;
   options.directed = g.directed();
   options.reorder = mode;
+  options.compression = codec;
   return Graph::FromEdges(g.NumVertices(), g.CollectEdges(), options).value();
 }
 
 void BM_TriangleReorderSimdSweep(benchmark::State& state) {
   const auto mode = static_cast<ReorderMode>(state.range(0));
   const bool want_simd = state.range(1) != 0;
-  Graph g = WithReorder(Rmat(12, 8, 3), mode);
+  const auto codec = static_cast<CompressionMode>(state.range(2));
+  Graph raw = Rmat(12, 8, 3);
+  const uint64_t expect = SerialTriangleCount(raw).triangles;
+  Graph g = WithLayout(raw, mode, codec);
   const bool prev = simd::SetEnabled(want_simd);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(SerialTriangleCount(g).triangles);
+    const uint64_t triangles = SerialTriangleCount(g).triangles;
+    GAL_CHECK(triangles == expect);
+    benchmark::DoNotOptimize(triangles);
   }
   simd::SetEnabled(prev);
   state.counters["reorder"] = static_cast<double>(state.range(0));
   state.counters["simd"] = simd::Available() && want_simd ? 1.0 : 0.0;
+  state.counters["compressed"] = g.IsCompressed() ? 1.0 : 0.0;
+  state.counters["B/edge"] =
+      static_cast<double>(g.AdjacencyBytes()) /
+      std::max<uint64_t>(1, g.NumAdjacencyEntries());
   state.SetItemsProcessed(state.iterations() * g.NumEdges());
 }
-BENCHMARK(BM_TriangleReorderSimdSweep)->ArgsProduct({{0, 1, 2}, {0, 1}});
+BENCHMARK(BM_TriangleReorderSimdSweep)->ArgsProduct({{0, 1, 2}, {0, 1}, {0, 1}});
 
 void BM_GemmSimdSweep(benchmark::State& state) {
   const uint32_t n = 256;
@@ -177,7 +194,7 @@ BENCHMARK(BM_GemmSimdSweep)->Arg(0)->Arg(1);
 void BM_SpmmReorderSimdSweep(benchmark::State& state) {
   const auto mode = static_cast<ReorderMode>(state.range(0));
   const bool want_simd = state.range(1) != 0;
-  Graph g = WithReorder(Rmat(12, 8, 5), mode);
+  Graph g = WithLayout(Rmat(12, 8, 5), mode);
   SparseMatrix adj = NormalizedAdjacency(g, AdjNorm::kSymmetric);
   Rng rng(5);
   Matrix h = Matrix::Xavier(g.NumVertices(), 32, rng);
@@ -206,6 +223,29 @@ void BM_WccSuperstepLoop(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * g.NumEdges());
 }
 BENCHMARK(BM_WccSuperstepLoop)->Arg(10)->Arg(12);
+
+void BM_WccCompressedSweep(benchmark::State& state) {
+  // End-to-end superstep loop over raw vs delta-varint adjacency: the
+  // frontier substrate streams every scatter/gather through the codec,
+  // so this is the decode overhead measured where it matters.
+  Graph raw = Rmat(12, 8, 7);
+  const auto codec = static_cast<CompressionMode>(state.range(0));
+  Graph g = WithLayout(raw, ReorderMode::kNone, codec);
+  TlavConfig config;
+  config.num_workers = 8;
+  const uint64_t expect = Wcc(raw, config).num_components;
+  for (auto _ : state) {
+    const uint64_t components = Wcc(g, config).num_components;
+    GAL_CHECK(components == expect);
+    benchmark::DoNotOptimize(components);
+  }
+  state.counters["compressed"] = g.IsCompressed() ? 1.0 : 0.0;
+  state.counters["B/edge"] =
+      static_cast<double>(g.AdjacencyBytes()) /
+      std::max<uint64_t>(1, g.NumAdjacencyEntries());
+  state.SetItemsProcessed(state.iterations() * g.NumEdges());
+}
+BENCHMARK(BM_WccCompressedSweep)->Arg(0)->Arg(1);
 
 void BM_MiniBatchSampling(benchmark::State& state) {
   Graph g = Rmat(12, 8, 9);

@@ -82,17 +82,17 @@ int main() {
     // columns.
     Matrix seed_counts(n, 2 * communities);
     for (VertexId v = 0; v < n; ++v) {
-      for (VertexId u : g.Neighbors(v)) {
+      g.ForEachOutNeighbor(v, [&](VertexId u) {
         if (train_mask[u]) {
           seed_counts.at(v, static_cast<uint32_t>(labels[u])) += 1.0f;
         }
-        for (VertexId w : g.Neighbors(u)) {
+        g.ForEachOutNeighbor(u, [&](VertexId w) {
           if (w != v && train_mask[w]) {
             seed_counts.at(v, communities +
                                   static_cast<uint32_t>(labels[w])) += 1.0f;
           }
-        }
-      }
+        });
+      });
       // Normalize each hop block to fractions.
       for (uint32_t block = 0; block < 2; ++block) {
         float total = 0;

@@ -35,14 +35,14 @@ int main() {
     BfsEngineStats s = engine.Run(
         roots, 3,
         [&data](const Embedding& e, std::vector<VertexId>& cand) {
-          for (VertexId u : data.Neighbors(e.back())) {
-            if (u <= e.back()) continue;
+          data.ForEachOutNeighbor(e.back(), [&](VertexId u) {
+            if (u <= e.back()) return;
             bool ok = true;
             for (VertexId w : e) {
               if (w != e.back() && !data.HasEdge(w, u)) { ok = false; break; }
             }
             if (ok) cand.push_back(u);
-          }
+          });
         },
         [&out](const Embedding&) { out++; });
     table.AddRow({"Arabesque/RStream/Pangolin", "TLAG", "yes", "yes",

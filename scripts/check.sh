@@ -34,13 +34,22 @@ cmake --build build-tsan --target gal_tests -j "${JOBS}"
 # suites run the direction-optimizing traversals (push scatter, pull
 # gather over the shared bitmap, per-worker counters) across worker
 # counts under TSan — the parity sweep is where a racy frontier merge
-# would show up. The reorder/SIMD parity suites (GraphReorderTest,
-# ReorderSimdParityTest, IntersectTest, SimdTest) sweep thread and
-# worker counts over the reordered layouts and vector kernels — the
-# per-worker triangle tallies and the SIMD dispatch flag are the shared
-# state TSan watches there.
+# would show up. The reorder/SIMD/compression parity suites
+# (GraphReorderTest, ReorderSimdParityTest, IntersectTest, SimdTest,
+# CompressedCsrTest) sweep thread and worker counts over the reordered
+# and compressed layouts and vector kernels — the per-worker triangle
+# tallies, the per-worker decode scratch, and the SIMD dispatch flag are
+# the shared state TSan watches there.
 ./build-tsan/tests/gal_tests \
-    --gtest_filter='PipelineTest.*:ThreadPoolTest.*:TaskEngineTest.*:WorkDequeTest.*:MatchDeterminismTest.*:KernelContextTest.*:KernelParityTest.*:TensorTest.*:MatrixTest.*:SparseTest.*:CoreBudgetTest.*:TrafficLedgerTest.*:VirtualClockTest.*:ClusterRuntimeTest.*:ExchangeChannelTest.*:ClusterExchangeTest.*:FrontierBitmapTest.*:SlidingQueueTest.*:VertexFrontierTest.*:Workers/FrontierParityTest.*:FrontierTraversalTest.*:GraphReorderTest.*:ReorderSimdParityTest.*:IntersectTest.*:SimdTest.*:DistGcnTest.OverlapReducesSimulatedTime:DistGcnTest.ReportExposesTracesAndOverlapOccupancy:DistGcnTest.CommChannelsRelieveCommBoundOverlap'
+    --gtest_filter='PipelineTest.*:ThreadPoolTest.*:TaskEngineTest.*:WorkDequeTest.*:MatchDeterminismTest.*:KernelContextTest.*:KernelParityTest.*:TensorTest.*:MatrixTest.*:SparseTest.*:CoreBudgetTest.*:TrafficLedgerTest.*:VirtualClockTest.*:ClusterRuntimeTest.*:ExchangeChannelTest.*:ClusterExchangeTest.*:FrontierBitmapTest.*:SlidingQueueTest.*:VertexFrontierTest.*:Workers/FrontierParityTest.*:FrontierTraversalTest.*:GraphReorderTest.*:ReorderSimdParityTest.*:IntersectTest.*:SimdTest.*:CompressedCsrTest.*:DistGcnTest.OverlapReducesSimulatedTime:DistGcnTest.ReportExposesTracesAndOverlapOccupancy:DistGcnTest.CommChannelsRelieveCommBoundOverlap'
+
+echo
+echo "== tsan + forced compression: parity suites with GAL_GRAPH_COMPRESSION=1 =="
+# Forces every FromEdges in the parity suites onto the delta-varint
+# layout, so the streaming decode paths (cursors, per-worker scratch)
+# run under TSan with reference and fast runs both compressed.
+GAL_GRAPH_COMPRESSION=1 ./build-tsan/tests/gal_tests \
+    --gtest_filter='GraphReorderTest.*:ReorderSimdParityTest.*:IntersectTest.*:SimdTest.*:CompressedCsrTest.*'
 
 echo
 echo "== scalar fallback: parity suites with GAL_SIMD=0 =="
@@ -48,7 +57,14 @@ echo "== scalar fallback: parity suites with GAL_SIMD=0 =="
 # what keeps the scalar fallback honest on AVX2 hosts (and is the only
 # configuration non-AVX2 hosts ever execute).
 GAL_SIMD=0 ./build/tests/gal_tests \
-    --gtest_filter='GraphReorderTest.*:ReorderSimdParityTest.*:IntersectTest.*:SimdTest.*'
+    --gtest_filter='GraphReorderTest.*:ReorderSimdParityTest.*:IntersectTest.*:SimdTest.*:CompressedCsrTest.*'
+
+echo
+echo "== scalar fallback + forced compression: GAL_SIMD=0 GAL_GRAPH_COMPRESSION=1 =="
+# The two kill-switch extremes together: scalar kernels over the
+# compressed layout must still be bit-identical.
+GAL_SIMD=0 GAL_GRAPH_COMPRESSION=1 ./build/tests/gal_tests \
+    --gtest_filter='GraphReorderTest.*:ReorderSimdParityTest.*:IntersectTest.*:SimdTest.*:CompressedCsrTest.*'
 
 echo
 echo "check.sh: all green"

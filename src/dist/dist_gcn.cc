@@ -82,9 +82,9 @@ std::vector<std::vector<VertexId>> ComputeHalos(const Graph& g,
   std::vector<std::unordered_set<VertexId>> halo_sets(parts.num_parts);
   for (VertexId v = 0; v < g.NumVertices(); ++v) {
     const uint32_t owner = parts.assignment[v];
-    for (VertexId u : g.Neighbors(v)) {
+    g.ForEachOutNeighbor(v, [&](VertexId u) {
       if (parts.assignment[u] != owner) halo_sets[owner].insert(u);
-    }
+    });
   }
   std::vector<std::vector<VertexId>> halos(parts.num_parts);
   for (uint32_t w = 0; w < parts.num_parts; ++w) {

@@ -236,14 +236,14 @@ FrontierBfsResult FrontierBfs(const Graph& g, VertexId source,
         StepCounters& c = rt.counters(w);
         for (VertexId v : buckets[w]) {
           ++c.active;
-          for (VertexId u : g.Neighbors(v)) {
+          g.ForEachOutNeighbor(v, [&](VertexId u) {
             ++c.edges;
-            if (dist[u] != kFrontierUnreachable) continue;
+            if (dist[u] != kFrontierUnreachable) return;
             ++c.messages;
             const uint32_t dst = rt.OwnerOf(u);
             rt.CountWire(w, dst);
             lanes.Push(w, dst, u);
-          }
+          });
         }
       });
       // Deliver: each owner claims its newly reached vertices in the
@@ -273,10 +273,13 @@ FrontierBfsResult FrontierBfs(const Graph& g, VertexId source,
         for (VertexId v : rt.OwnedVertices(d)) {
           if (dist[v] != kFrontierUnreachable) continue;
           ++c.active;
-          for (VertexId u : reversed->Neighbors(v)) {
+          // Cursor, not callback: the whole point of the pull lane is
+          // stopping at the first frontier hit, which a ForEach can't.
+          for (Graph::NeighborCursor cur = reversed->OutNeighbors(v);
+               cur.Valid(); cur.Next()) {
             ++c.edges;
             ++c.messages;
-            if (bits.Test(u)) {
+            if (bits.Test(cur.Get())) {
               dist[v] = level;
               next_lane[d].push_back(v);
               break;
@@ -354,14 +357,14 @@ FrontierWccResult FrontierWcc(const Graph& g,
         for (VertexId v : buckets[w]) {
           ++c.active;
           const VertexId lv = label[v];
-          for (VertexId u : ug.Neighbors(v)) {
+          ug.ForEachOutNeighbor(v, [&](VertexId u) {
             ++c.edges;
-            if (lv >= label[u]) continue;  // cannot improve u
+            if (lv >= label[u]) return;  // cannot improve u
             ++c.messages;
             const uint32_t dst = rt.OwnerOf(u);
             rt.CountWire(w, dst);
             lanes.Push(w, dst, {u, lv});
-          }
+          });
         }
       });
       rt.ForEachWorker([&](uint32_t d) {
@@ -386,13 +389,13 @@ FrontierWccResult FrontierWcc(const Graph& g,
         for (VertexId v : rt.OwnedVertices(d)) {
           ++c.active;
           VertexId best = label[v];
-          for (VertexId u : ug.Neighbors(v)) {
+          ug.ForEachOutNeighbor(v, [&](VertexId u) {
             ++c.edges;
-            if (!bits.Test(u)) continue;
+            if (!bits.Test(u)) return;
             ++c.messages;
             rt.CountWire(d, rt.OwnerOf(u));
             best = std::min(best, label[u]);
-          }
+          });
           if (best < label[v]) {
             next_label[v] = best;
             next_lane[d].push_back(v);
@@ -457,7 +460,11 @@ FrontierSsspResult FrontierSssp(const Graph& g, VertexId source,
   // bitmap dedup of re-improved vertices).
   VertexFrontier frontier(n), next(n);
   frontier.Add(source, g.Degree(source));
-  FrontierBitmap in_next(n);
+  // One dedup bitmap PER drain worker: workers own disjoint vertices,
+  // but bits of different owners share 64-bit words, so a single
+  // shared bitmap would make the drain phase's read-modify-writes race
+  // (a lost Set drops an improved vertex from the next frontier).
+  std::vector<FrontierBitmap> in_next(W, FrontierBitmap(n));
 
   struct DistMsg {
     VertexId dst;
@@ -477,25 +484,25 @@ FrontierSsspResult FrontierSssp(const Graph& g, VertexId source,
       for (VertexId v : buckets[w]) {
         ++c.active;
         const uint64_t dv = dist[v];
-        for (VertexId u : g.Neighbors(v)) {
+        g.ForEachOutNeighbor(v, [&](VertexId u) {
           ++c.edges;
           // Weights are a function of ORIGINAL ids so a reordered
           // layout traverses the same weighted graph.
           const uint64_t cand = dv + weight(g.OriginalId(v), g.OriginalId(u));
-          if (cand >= dist[u]) continue;  // stale reads only skip work
+          if (cand >= dist[u]) return;  // stale reads only skip work
           ++c.messages;
           const uint32_t dst = rt.OwnerOf(u);
           rt.CountWire(w, dst);
           lanes.Push(w, dst, {u, cand});
-        }
+        });
       }
     });
     rt.ForEachWorker([&](uint32_t d) {
       lanes.Drain(d, [&](const DistMsg& m) {
         if (m.dist < dist[m.dst]) {
           dist[m.dst] = m.dist;
-          if (!in_next.Test(m.dst)) {
-            in_next.Set(m.dst);
+          if (!in_next[d].Test(m.dst)) {
+            in_next[d].Set(m.dst);
             next_lane[d].push_back(m.dst);
           }
         }
@@ -505,7 +512,7 @@ FrontierSsspResult FrontierSssp(const Graph& g, VertexId source,
     next.Clear();
     for (uint32_t w = 0; w < W; ++w) {
       for (VertexId v : next_lane[w]) {
-        in_next.Clear(v);
+        in_next[w].Clear(v);
         next.Add(v, g.Degree(v));
       }
       next_lane[w].clear();

@@ -57,19 +57,23 @@ struct MinCodeSearch {
   std::vector<VertexId> vertex_at;    // discovery index -> pattern vertex
   std::vector<VertexId> rightmost;    // rightmost path (discovery indices'
                                       // pattern vertices, root..rightmost)
-  std::vector<std::vector<uint8_t>> used;  // used[u][slot in Neighbors(u)]
+  std::vector<std::vector<VertexId>> adj;  // decoded rows: the search does
+                                           // slot arithmetic on them across
+                                           // recursion, and patterns are
+                                           // tiny (<= 8 vertices)
+  std::vector<std::vector<uint8_t>> used;  // used[u][slot in adj[u]]
   std::vector<DfsEdge> code;
   uint32_t used_edges = 0;
 
   bool EdgeUsed(VertexId u, VertexId v) const {
-    const auto nbrs = g->Neighbors(u);
+    const std::vector<VertexId>& nbrs = adj[u];
     const size_t slot =
         std::lower_bound(nbrs.begin(), nbrs.end(), v) - nbrs.begin();
     return used[u][slot] != 0;
   }
   void MarkEdge(VertexId u, VertexId v, uint8_t value) {
     auto mark = [&](VertexId a, VertexId b) {
-      const auto nbrs = g->Neighbors(a);
+      const std::vector<VertexId>& nbrs = adj[a];
       const size_t slot =
           std::lower_bound(nbrs.begin(), nbrs.end(), b) - nbrs.begin();
       used[a][slot] = value;
@@ -124,7 +128,7 @@ struct MinCodeSearch {
         // Branch phase: forward extensions from rightmost-path vertices.
         for (size_t pos = rightmost.size(); pos-- > 0;) {
           const VertexId from = rightmost[pos];
-          for (VertexId to : g->Neighbors(from)) {
+          for (VertexId to : adj[from]) {
             if (index_of[to] >= 0) continue;  // already discovered
             const uint32_t new_index =
                 static_cast<uint32_t>(vertex_at.size());
@@ -172,9 +176,13 @@ std::vector<DfsEdge> MinDfsCode(const Graph& pattern) {
   GAL_CHECK(pattern.NumEdges() >= 1);
   MinCodeSearch search;
   search.g = &pattern;
+  search.adj.resize(pattern.NumVertices());
   search.used.resize(pattern.NumVertices());
   for (VertexId v = 0; v < pattern.NumVertices(); ++v) {
-    search.used[v].assign(pattern.Neighbors(v).size(), 0);
+    search.adj[v].reserve(pattern.Degree(v));
+    pattern.ForEachOutNeighbor(
+        v, [&](VertexId u) { search.adj[v].push_back(u); });
+    search.used[v].assign(search.adj[v].size(), 0);
   }
   for (VertexId root = 0; root < pattern.NumVertices(); ++root) {
     search.index_of.assign(pattern.NumVertices(), -1);

@@ -28,21 +28,21 @@ RootedPlan BuildRootedPlan(const Graph& pattern, VertexId root) {
     const VertexId u = queue.front();
     queue.pop_front();
     plan.order.push_back(u);
-    for (VertexId w : pattern.Neighbors(u)) {
+    pattern.ForEachOutNeighbor(u, [&](VertexId w) {
       if (!placed[w]) {
         placed[w] = 1;
         queue.push_back(w);
       }
-    }
+    });
   }
   GAL_CHECK(plan.order.size() == k) << "FSM patterns must be connected";
   std::vector<uint32_t> position(k);
   for (uint32_t i = 0; i < k; ++i) position[plan.order[i]] = i;
   plan.backward.resize(k);
   for (uint32_t i = 0; i < k; ++i) {
-    for (VertexId w : pattern.Neighbors(plan.order[i])) {
+    pattern.ForEachOutNeighbor(plan.order[i], [&](VertexId w) {
       if (position[w] < i) plan.backward[i].push_back(position[w]);
-    }
+    });
   }
   return plan;
 }
@@ -55,8 +55,12 @@ bool ExistsMatch(const Graph& data, const RootedPlan& plan,
   const std::vector<VertexId>& cand = candidates.candidates[plan.order[depth]];
   const std::vector<uint32_t>& backward = plan.backward[depth];
   GAL_CHECK(!backward.empty());
+  // Cursor, not a decoded row: the recursion below reuses any shared
+  // scratch, while cursor state is self-contained and stays valid.
   const VertexId anchor = mapped[backward[0]];
-  for (VertexId v : data.Neighbors(anchor)) {
+  for (Graph::NeighborCursor cur = data.OutNeighbors(anchor); cur.Valid();
+       cur.Next()) {
+    const VertexId v = cur.Get();
     if (!std::binary_search(cand.begin(), cand.end(), v)) continue;
     bool ok = true;
     for (size_t b = 1; b < backward.size(); ++b) {

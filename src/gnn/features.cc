@@ -15,11 +15,12 @@ std::vector<uint64_t> PerVertexTriangles(const Graph& g) {
   // For each edge (v, u) with v < u, intersect sorted neighborhoods and
   // credit all three corners of each triangle found with w > u.
   std::vector<VertexId> common;  // scratch, reused across edges
+  NeighborScratch scratch;       // v's row lives in .a, u's decodes via .b
   for (VertexId v = 0; v < n; ++v) {
-    const auto nv = g.Neighbors(v);
+    const auto nv = g.NeighborsInto(v, scratch.a);
     for (VertexId u : nv) {
       if (u <= v) continue;
-      IntersectInto(nv, g.Neighbors(u), common);
+      IntersectInto(nv, g, u, common, scratch);
       for (const VertexId w : common) {
         if (w > u) {
           ++count[v];

@@ -4,6 +4,7 @@
 #include <unordered_map>
 
 #include "common/logging.h"
+#include "graph/intersect.h"
 #include "nn/optimizer.h"
 #include "tensor/kernel_context.h"
 
@@ -19,23 +20,28 @@ Matrix LocalSubgraphFeatures(const Graph& g) {
   const uint64_t avg_deg = 1 + g.NumAdjacencyEntries() / std::max<VertexId>(1, n);
   KernelContext::Get().ParallelFor1D(
       n, avg_deg * avg_deg, [&](size_t v_begin, size_t v_end) {
+  // Chunk-local decode buffers: allocated once per shard, reused for
+  // every vertex in it (steady-state zero-allocation under compression).
+  NeighborScratch scratch;
   for (VertexId v = static_cast<VertexId>(v_begin);
        v < static_cast<VertexId>(v_end); ++v) {
-    // Triangles through v: pairs of adjacent neighbors.
+    // Triangles through v: pairs of adjacent neighbors. One row decode
+    // per neighbor i, then sorted membership probes for each j > i.
     uint64_t triangles = 0;
-    const auto nv = g.Neighbors(v);
+    const auto nv = g.NeighborsInto(v, scratch.a);
     for (size_t i = 0; i < nv.size(); ++i) {
+      const auto ni = g.NeighborsInto(nv[i], scratch.b);
       for (size_t j = i + 1; j < nv.size(); ++j) {
-        triangles += g.HasEdge(nv[i], nv[j]);
+        triangles += std::binary_search(ni.begin(), ni.end(), nv[j]);
       }
     }
     // 4-cycles through v: an opposite vertex w plus a pair of common
     // neighbors {a, b} of v and w.
     std::unordered_map<VertexId, uint32_t> co_neighbors;
     for (VertexId a : nv) {
-      for (VertexId w : g.Neighbors(a)) {
+      g.ForEachOutNeighbor(a, [&](VertexId w) {
         if (w != v) ++co_neighbors[w];
-      }
+      });
     }
     uint64_t cycles = 0;
     for (const auto& [w, c] : co_neighbors) {

@@ -20,11 +20,10 @@ Rng VertexRng(uint64_t seed, VertexId v, uint32_t layer) {
 std::vector<VertexId> SampleNeighbors(const Graph& g, VertexId v,
                                       uint32_t fanout, uint64_t seed,
                                       uint32_t layer) {
-  const auto nbrs = g.Neighbors(v);
-  if (fanout == 0 || nbrs.size() <= fanout) {
-    return {nbrs.begin(), nbrs.end()};
-  }
-  std::vector<VertexId> pool(nbrs.begin(), nbrs.end());
+  std::vector<VertexId> pool;
+  pool.reserve(g.Degree(v));
+  g.ForEachOutNeighbor(v, [&](VertexId u) { pool.push_back(u); });
+  if (fanout == 0 || pool.size() <= fanout) return pool;
   Rng rng = VertexRng(seed, v, layer);
   for (uint32_t i = 0; i < fanout; ++i) {
     const uint64_t j = i + rng.Uniform(pool.size() - i);

@@ -1,0 +1,38 @@
+#include "graph/compressed_csr.h"
+
+#include "common/logging.h"
+
+namespace gal {
+
+CompressedCsr EncodeDeltaVarint(const std::vector<uint64_t>& offsets,
+                                const std::vector<uint32_t>& targets,
+                                bool strictly_ascending) {
+  CompressedCsr out;
+  out.delta_bias = strictly_ascending ? 1 : 0;
+  const size_t n = offsets.empty() ? 0 : offsets.size() - 1;
+  out.row_offsets.resize(n + 1, 0);
+  // Sorted rows with small gaps mostly take 1 byte/edge; reserve for
+  // that common case and let outliers grow the vector.
+  out.bytes.reserve(targets.size() + targets.size() / 4);
+  for (size_t v = 0; v < n; ++v) {
+    out.row_offsets[v] = out.bytes.size();
+    uint32_t prev = 0;
+    for (uint64_t e = offsets[v]; e < offsets[v + 1]; ++e) {
+      const uint32_t t = targets[e];
+      if (e == offsets[v]) {
+        AppendVarint(out.bytes, t);
+      } else {
+        GAL_CHECK(t >= prev + out.delta_bias)
+            << "adjacency row not sorted" << (strictly_ascending ? "/deduped" : "")
+            << " at vertex " << v;
+        AppendVarint(out.bytes, t - prev - out.delta_bias);
+      }
+      prev = t;
+    }
+  }
+  out.row_offsets[n] = out.bytes.size();
+  out.bytes.shrink_to_fit();
+  return out;
+}
+
+}  // namespace gal

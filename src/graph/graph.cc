@@ -1,6 +1,8 @@
 #include "graph/graph.h"
 
 #include <algorithm>
+#include <cstdlib>
+#include <cstring>
 #include <sstream>
 #include <unordered_map>
 
@@ -8,6 +10,17 @@
 #include "graph/reorder.h"
 
 namespace gal {
+
+CompressionMode ResolveCompressionMode(CompressionMode requested) {
+  const char* env = std::getenv("GAL_GRAPH_COMPRESSION");
+  if (env == nullptr || *env == '\0') return requested;
+  if (std::strcmp(env, "0") == 0 || std::strcmp(env, "none") == 0 ||
+      std::strcmp(env, "off") == 0) {
+    return CompressionMode::kNone;
+  }
+  // Any other value ("1", "delta-varint", ...) forces compression on.
+  return CompressionMode::kDeltaVarint;
+}
 
 Result<Graph> Graph::FromEdges(VertexId num_vertices, std::vector<Edge> edges,
                                const GraphOptions& options) {
@@ -70,12 +83,42 @@ Result<Graph> Graph::FromEdges(VertexId num_vertices, std::vector<Edge> edges,
   }
   g.num_edges_ = options.directed ? directed_edges.size()
                                   : directed_edges.size() / 2;
+  if (ResolveCompressionMode(options.compression) ==
+      CompressionMode::kDeltaVarint) {
+    // Encode after reordering so hub-cluster layouts shrink the deltas,
+    // then drop the raw array — the whole point is the footprint.
+    g.compression_mode_ = CompressionMode::kDeltaVarint;
+    g.compressed_ = std::make_shared<const CompressedCsr>(
+        EncodeDeltaVarint(g.offsets_, g.targets_, options.dedup));
+    g.targets_.clear();
+    g.targets_.shrink_to_fit();
+  }
   return g;
 }
 
 bool Graph::HasEdge(VertexId u, VertexId v) const {
+  if (compressed_ != nullptr) {
+    // Stream the block with an early exit on the sorted order. For the
+    // probe-heavy callers (ColorBound, FSM) this is O(d) instead of
+    // O(log d), but those all sit behind intersect.h scratch paths now;
+    // the remaining HasEdge uses are cold.
+    for (NeighborCursor c = OutNeighbors(u); c.Valid(); c.Next()) {
+      if (c.Get() >= v) return c.Get() == v;
+    }
+    return false;
+  }
   const auto nbrs = Neighbors(u);
   return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+std::span<const VertexId> Graph::NeighborsInto(
+    VertexId v, std::vector<VertexId>& scratch) const {
+  if (compressed_ == nullptr) return Neighbors(v);
+  const uint32_t degree = Degree(v);
+  scratch.resize(degree);
+  DecodeAdjacencyBlock(compressed_->bytes.data() + compressed_->row_offsets[v],
+                       degree, compressed_->delta_bias, scratch.data());
+  return {scratch.data(), degree};
 }
 
 uint32_t Graph::MaxDegree() const {
@@ -107,14 +150,15 @@ Status Graph::SetLabels(std::vector<Label> labels) {
 
 Graph Graph::Reversed() const {
   std::vector<Edge> reversed;
-  reversed.reserve(targets_.size());
+  reversed.reserve(NumAdjacencyEntries());
   for (VertexId v = 0; v < num_vertices_; ++v) {
-    for (VertexId u : Neighbors(v)) reversed.push_back({u, v});
+    ForEachOutNeighbor(v, [&](VertexId u) { reversed.push_back({u, v}); });
   }
   GraphOptions options;
   options.directed = directed_;
   options.remove_self_loops = false;
   options.dedup = false;
+  options.compression = compression_mode_;
   // For undirected graphs FromEdges would double the (already symmetric)
   // list, so dedup instead.
   if (!directed_) options.dedup = true;
@@ -144,6 +188,7 @@ const Graph& Graph::UndirectedView() const {
   std::lock_guard<std::mutex> lock(views_->mu);
   if (!views_->undirected) {
     GraphOptions options;  // directed=false symmetrizes and dedups
+    options.compression = compression_mode_;
     Result<Graph> sym = FromEdges(num_vertices_, CollectEdges(), options);
     GAL_CHECK(sym.ok()) << sym.status();
     Graph out = std::move(sym.value());
@@ -158,7 +203,13 @@ const Graph& Graph::UndirectedView() const {
 }
 
 Result<Graph> Graph::InducedSubgraph(std::span<const VertexId> vertices) const {
-  std::unordered_map<VertexId, VertexId> index;
+  // `vertices` are original ids (the repo-wide API convention). Before
+  // the reorder fix this method read them as internal-layout ids and
+  // indexed labels_ (internal-indexed) with them, so on a reordered
+  // parent it silently returned the subgraph of the *wrong* vertex set;
+  // it also dropped the permutation maps without saying so. The fresh-id
+  // -space contract is now documented in graph.h and asserted below.
+  std::unordered_map<VertexId, VertexId> index;  // original id -> result id
   index.reserve(vertices.size());
   for (size_t i = 0; i < vertices.size(); ++i) {
     VertexId v = vertices[i];
@@ -173,25 +224,27 @@ Result<Graph> Graph::InducedSubgraph(std::span<const VertexId> vertices) const {
 
   std::vector<Edge> edges;
   for (size_t i = 0; i < vertices.size(); ++i) {
-    for (VertexId u : Neighbors(vertices[i])) {
-      auto it = index.find(u);
-      if (it == index.end()) continue;
+    ForEachOutNeighbor(InternalId(vertices[i]), [&](VertexId u_internal) {
+      auto it = index.find(OriginalId(u_internal));
+      if (it == index.end()) return;
       if (directed_ || static_cast<VertexId>(i) < it->second) {
         edges.push_back({static_cast<VertexId>(i), it->second});
       }
-    }
+    });
   }
 
   GraphOptions options;
   options.directed = directed_;
+  options.compression = compression_mode_;
   Result<Graph> sub =
       FromEdges(static_cast<VertexId>(vertices.size()), std::move(edges),
                 options);
   if (!sub.ok()) return sub.status();
+  GAL_CHECK(!sub.value().IsReordered());
   if (IsLabeled()) {
     std::vector<Label> sub_labels(vertices.size());
     for (size_t i = 0; i < vertices.size(); ++i) {
-      sub_labels[i] = labels_[vertices[i]];
+      sub_labels[i] = labels_[InternalId(vertices[i])];
     }
     GAL_CHECK_OK(sub.value().SetLabels(std::move(sub_labels)));
   }
@@ -202,9 +255,9 @@ std::vector<Edge> Graph::CollectEdges() const {
   std::vector<Edge> edges;
   edges.reserve(num_edges_);
   for (VertexId v = 0; v < num_vertices_; ++v) {
-    for (VertexId u : Neighbors(v)) {
+    ForEachOutNeighbor(v, [&](VertexId u) {
       if (directed_ || v < u) edges.push_back({v, u});
-    }
+    });
   }
   return edges;
 }
@@ -215,6 +268,7 @@ size_t Graph::MemoryBytes() const {
                  labels_.size() * sizeof(Label);
   if (to_original_ != nullptr) bytes += to_original_->size() * sizeof(VertexId);
   if (to_internal_ != nullptr) bytes += to_internal_->size() * sizeof(VertexId);
+  if (compressed_ != nullptr) bytes += compressed_->MemoryBytes();
   return bytes;
 }
 
@@ -228,6 +282,7 @@ std::string Graph::ToString() const {
        << (reorder_mode_ == ReorderMode::kDegreeDesc ? "degree-desc"
                                                      : "hub-cluster");
   }
+  if (IsCompressed()) os << ", compression=delta-varint";
   os << ")";
   return os.str();
 }

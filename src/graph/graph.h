@@ -9,7 +9,9 @@
 #include <utility>
 #include <vector>
 
+#include "common/logging.h"
 #include "common/status.h"
+#include "graph/compressed_csr.h"
 
 namespace gal {
 
@@ -53,6 +55,19 @@ enum class ReorderMode : uint8_t {
   kHubCluster,
 };
 
+/// Build-time adjacency-compression policy, the third layout knob next
+/// to ReorderMode and runtime SIMD. Like those, it is pure policy: every
+/// algorithm produces bit-identical results in original-id space whether
+/// the adjacency is raw or compressed.
+enum class CompressionMode : uint8_t {
+  kNone,
+  /// Each (sorted, reorder-permuted) adjacency list is stored as a
+  /// first-target + delta-varint byte block (see compressed_csr.h). The
+  /// raw `targets_` array is dropped; traversals stream-decode the
+  /// blocks, trading decode cycles for memory bandwidth.
+  kDeltaVarint,
+};
+
 /// Options controlling CSR construction.
 struct GraphOptions {
   /// If false (default), every input edge {u,v} is stored in both
@@ -66,7 +81,17 @@ struct GraphOptions {
   /// ReorderMode). Input edges and SetLabels stay in original-id space;
   /// only the internal CSR layout changes.
   ReorderMode reorder = ReorderMode::kNone;
+  /// Adjacency compression applied at build time (see CompressionMode).
+  /// The `GAL_GRAPH_COMPRESSION` environment variable, when set,
+  /// overrides this for every FromEdges call: "1"/"delta-varint" forces
+  /// kDeltaVarint, "0"/"none" forces kNone.
+  CompressionMode compression = CompressionMode::kNone;
 };
+
+/// Resolves the effective compression mode: the `GAL_GRAPH_COMPRESSION`
+/// env override if set (consulted at every FromEdges call, like
+/// GAL_SIMD's kill switch), else `requested`.
+CompressionMode ResolveCompressionMode(CompressionMode requested);
 
 /// An immutable graph in Compressed Sparse Row form with sorted adjacency
 /// lists, the shared substrate for every engine in the framework:
@@ -100,15 +125,103 @@ class Graph {
   EdgeId NumEdges() const { return num_edges_; }
 
   /// Total adjacency entries (2|E| for undirected graphs).
-  EdgeId NumAdjacencyEntries() const { return targets_.size(); }
+  EdgeId NumAdjacencyEntries() const {
+    return num_vertices_ == 0 ? 0 : offsets_[num_vertices_];
+  }
 
   bool directed() const { return directed_; }
 
-  /// Out-neighbors of v, sorted ascending.
+  /// True when the adjacency is stored delta-varint compressed and the
+  /// raw targets array is absent (see CompressionMode::kDeltaVarint).
+  bool IsCompressed() const { return compressed_ != nullptr; }
+  CompressionMode compression_mode() const { return compression_mode_; }
+
+  /// Out-neighbors of v, sorted ascending. Only valid on uncompressed
+  /// graphs — there is no contiguous array to span when the adjacency is
+  /// a varint stream. Compression-oblivious code wants ForEachOutNeighbor
+  /// (streaming), OutNeighbors (cursor), or NeighborsInto (decode into
+  /// caller scratch; zero-copy when raw).
   std::span<const VertexId> Neighbors(VertexId v) const {
+    GAL_CHECK(compressed_ == nullptr)
+        << "Neighbors() on a compressed graph; use ForEachOutNeighbor / "
+           "OutNeighbors / NeighborsInto";
     return {targets_.data() + offsets_[v],
             targets_.data() + offsets_[v + 1]};
   }
+
+  /// Zero-allocation forward cursor over v's sorted out-neighbors,
+  /// uniform across raw and compressed layouts. Supports the early-exit
+  /// loops (BFS pull's break-on-first-hit, HasEdge probes) that a
+  /// ForEachOutNeighbor callback can't express cheaply.
+  class NeighborCursor {
+   public:
+    bool Valid() const { return remaining_ != 0; }
+    VertexId Get() const { return current_; }
+    void Next() {
+      if (--remaining_ == 0) return;
+      if (raw_ != nullptr) {
+        current_ = *++raw_;
+      } else {
+        current_ += ReadVarint(stream_) + bias_;
+      }
+    }
+
+   private:
+    friend class Graph;
+    const VertexId* raw_ = nullptr;    // raw layout: next element
+    const uint8_t* stream_ = nullptr;  // compressed: next varint
+    uint32_t remaining_ = 0;
+    VertexId current_ = 0;
+    uint32_t bias_ = 0;
+  };
+
+  NeighborCursor OutNeighbors(VertexId v) const {
+    NeighborCursor c;
+    c.remaining_ = Degree(v);
+    if (c.remaining_ == 0) return c;
+    if (compressed_ != nullptr) {
+      c.stream_ = compressed_->bytes.data() + compressed_->row_offsets[v];
+      c.bias_ = compressed_->delta_bias;
+      c.current_ = ReadVarint(c.stream_);
+    } else {
+      c.raw_ = targets_.data() + offsets_[v];
+      c.current_ = *c.raw_;
+    }
+    return c;
+  }
+
+  /// Streams v's sorted out-neighbors through `fn(VertexId)` without
+  /// allocating, decoding in-register when compressed. The hot-loop
+  /// replacement for `for (VertexId u : g.Neighbors(v))`.
+  template <typename Fn>
+  void ForEachOutNeighbor(VertexId v, Fn&& fn) const {
+    if (compressed_ == nullptr) {
+      const VertexId* p = targets_.data() + offsets_[v];
+      const VertexId* end = targets_.data() + offsets_[v + 1];
+      for (; p != end; ++p) fn(*p);
+      return;
+    }
+    const uint32_t degree = Degree(v);
+    if (degree == 0) return;
+    const uint8_t* p = compressed_->bytes.data() + compressed_->row_offsets[v];
+    const uint32_t bias = compressed_->delta_bias;
+    VertexId current = ReadVarint(p);
+    fn(current);
+    for (uint32_t i = 1; i < degree; ++i) {
+      current += ReadVarint(p) + bias;
+      fn(current);
+    }
+  }
+
+  /// v's sorted out-neighbors as a random-access span. Raw layout:
+  /// returns the CSR row directly (scratch untouched, zero cost).
+  /// Compressed: decodes into `scratch` (resized to the degree) and
+  /// returns a span over it — the span is invalidated by the next
+  /// NeighborsInto call on the same scratch, so intersection-style code
+  /// holding two rows needs two scratch vectors (see
+  /// graph/intersect.h's NeighborScratch).
+  std::span<const VertexId> NeighborsInto(VertexId v,
+                                          std::vector<VertexId>& scratch) const;
 
   /// Out-degree of v.
   uint32_t Degree(VertexId v) const {
@@ -145,12 +258,20 @@ class Graph {
   /// Thread-safe.
   const Graph& UndirectedView() const;
 
-  /// Subgraph induced by `vertices` (need not be sorted; duplicates are
+  /// Subgraph induced by `vertices`, given in ORIGINAL id space like
+  /// every other public entry point (need not be sorted; duplicates are
   /// an error). Vertex i of the result corresponds to vertices[i].
-  /// Labels are carried over.
+  /// Labels are carried over; the compression mode is inherited.
+  ///
+  /// Contract: the result is a fresh id space — the parent's reorder
+  /// permutation is deliberately NOT carried through (and the result is
+  /// asserted unreordered). Callers needing parent ids keep their own
+  /// `vertices` array as the mapping.
   Result<Graph> InducedSubgraph(std::span<const VertexId> vertices) const;
 
   /// Raw CSR arrays, exposed for engines that shard the graph.
+  /// `targets()` is empty when IsCompressed() — sharding code that walks
+  /// rows should go through ForEachOutNeighbor/NeighborsInto instead.
   const std::vector<EdgeId>& offsets() const { return offsets_; }
   const std::vector<VertexId>& targets() const { return targets_; }
 
@@ -195,6 +316,16 @@ class Graph {
   /// Bytes used by the CSR arrays and labels.
   size_t MemoryBytes() const;
 
+  /// Bytes of the adjacency payload alone: the raw targets array, or the
+  /// varint byte stream when compressed (offsets are excluded — both
+  /// layouts carry one per-vertex offset array). Numerator of the
+  /// bytes/edge metric the benches report.
+  size_t AdjacencyBytes() const {
+    return compressed_ != nullptr
+               ? compressed_->bytes.size()
+               : targets_.size() * sizeof(VertexId);
+  }
+
   /// "Graph(|V|=..., |E|=..., directed=...)".
   std::string ToString() const;
 
@@ -218,6 +349,11 @@ class Graph {
   ReorderMode reorder_mode_ = ReorderMode::kNone;
   std::shared_ptr<const std::vector<VertexId>> to_original_;
   std::shared_ptr<const std::vector<VertexId>> to_internal_;
+  /// Delta-varint adjacency blocks (CompressionMode::kDeltaVarint);
+  /// when set, targets_ is empty and offsets_ still carries degrees.
+  /// Shared (immutable) with copies, like the reorder maps.
+  CompressionMode compression_mode_ = CompressionMode::kNone;
+  std::shared_ptr<const CompressedCsr> compressed_;
   std::shared_ptr<ViewCache> views_ = std::make_shared<ViewCache>();
 };
 

@@ -135,4 +135,59 @@ std::vector<VertexId> Intersect(std::span<const VertexId> a,
   return out;
 }
 
+bool IntersectAny(std::span<const VertexId> a, std::span<const VertexId> b) {
+  // Gallop when lopsided (candidate-set vs hub-adjacency probes),
+  // otherwise an early-exit merge. Purely existential, so no SIMD
+  // variant is needed for parity — every path stops at the first hit.
+  if (PreferGallop(a.size(), b.size())) {
+    if (a.size() > b.size()) std::swap(a, b);
+    size_t pos = 0;
+    for (const VertexId x : a) {
+      size_t bound = 1;
+      while (pos + bound < b.size() && b[pos + bound] < x) bound <<= 1;
+      pos = static_cast<size_t>(
+          std::lower_bound(b.begin() + pos + bound / 2,
+                           b.begin() + std::min(pos + bound, b.size()), x) -
+          b.begin());
+      if (pos < b.size() && b[pos] == x) return true;
+      if (pos >= b.size()) return false;
+    }
+    return false;
+  }
+  size_t i = 0;
+  size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (a[i] > b[j]) {
+      ++j;
+    } else {
+      return true;
+    }
+  }
+  return false;
+}
+
+uint64_t IntersectCount(const Graph& g, VertexId u, VertexId v,
+                        NeighborScratch& scratch, uint64_t* ops) {
+  return IntersectCount(g.NeighborsInto(u, scratch.a),
+                        g.NeighborsInto(v, scratch.b), ops);
+}
+
+uint64_t IntersectCount(std::span<const VertexId> a, const Graph& g,
+                        VertexId v, NeighborScratch& scratch, uint64_t* ops) {
+  return IntersectCount(a, g.NeighborsInto(v, scratch.b), ops);
+}
+
+void IntersectInto(std::span<const VertexId> a, const Graph& g, VertexId v,
+                   std::vector<VertexId>& out, NeighborScratch& scratch,
+                   uint64_t* ops) {
+  IntersectInto(a, g.NeighborsInto(v, scratch.b), out, ops);
+}
+
+bool IntersectAny(std::span<const VertexId> a, const Graph& g, VertexId v,
+                  NeighborScratch& scratch) {
+  return IntersectAny(a, g.NeighborsInto(v, scratch.b));
+}
+
 }  // namespace gal

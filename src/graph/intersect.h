@@ -40,6 +40,48 @@ void IntersectInto(std::span<const VertexId> a, std::span<const VertexId> b,
 std::vector<VertexId> Intersect(std::span<const VertexId> a,
                                 std::span<const VertexId> b);
 
+/// True iff a and b share at least one element (early-exit merge; no
+/// ops accounting — the membership-probe form matching uses for witness
+/// checks where only existence matters).
+bool IntersectAny(std::span<const VertexId> a, std::span<const VertexId> b);
+
+// --- decode-into-scratch forms (compressed CSR) ----------------------------
+//
+// When the graph stores its adjacency delta-varint compressed
+// (GraphOptions::compression), rows are not spans; these overloads
+// decode the needed row(s) into caller-owned scratch and then run the
+// exact same scalar/galloping/AVX2 kernels above. On an uncompressed
+// graph NeighborsInto returns the raw CSR row and the scratch is never
+// touched, so the overloads cost nothing extra — call sites can be
+// written once, compression-obliviously.
+
+/// Two decode rows for intersection-style call sites that hold two
+/// adjacency lists live at once. Reused across calls (steady-state
+/// zero-allocation); one per worker/thread — never share across threads.
+struct NeighborScratch {
+  std::vector<VertexId> a;
+  std::vector<VertexId> b;
+};
+
+/// |N(u) ∩ N(v)| over graph rows.
+uint64_t IntersectCount(const Graph& g, VertexId u, VertexId v,
+                        NeighborScratch& scratch, uint64_t* ops = nullptr);
+
+/// |a ∩ N(v)| — one materialized side, one graph row.
+uint64_t IntersectCount(std::span<const VertexId> a, const Graph& g,
+                        VertexId v, NeighborScratch& scratch,
+                        uint64_t* ops = nullptr);
+
+/// out = a ∩ N(v). `out` must not alias scratch.b (it may be scratch.a's
+/// sibling in a different NeighborScratch).
+void IntersectInto(std::span<const VertexId> a, const Graph& g, VertexId v,
+                   std::vector<VertexId>& out, NeighborScratch& scratch,
+                   uint64_t* ops = nullptr);
+
+/// True iff a ∩ N(v) is non-empty.
+bool IntersectAny(std::span<const VertexId> a, const Graph& g, VertexId v,
+                  NeighborScratch& scratch);
+
 }  // namespace gal
 
 #endif  // GAL_GRAPH_INTERSECT_H_

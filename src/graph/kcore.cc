@@ -61,10 +61,10 @@ PeelState Peel(const Graph& g) {
     state.order.push_back(v);
     state.peel_degree[v] = degree[v];
     state.true_degree[v] = remaining_degree[v];
-    for (VertexId u : g.Neighbors(v)) {
-      if (removed[u]) continue;
+    g.ForEachOutNeighbor(v, [&](VertexId u) {
+      if (removed[u]) return;
       --remaining_degree[u];
-      if (degree[u] <= degree[v]) continue;
+      if (degree[u] <= degree[v]) return;
       // Swap u with the first vertex of its bucket, then shrink u's
       // degree so it joins the bucket below.
       const uint32_t du = degree[u];
@@ -78,7 +78,7 @@ PeelState Peel(const Graph& g) {
       }
       ++bucket_head[du];
       --degree[u];
-    }
+    });
   }
   return state;
 }

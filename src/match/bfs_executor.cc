@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/timer.h"
+#include "graph/intersect.h"
 
 namespace gal {
 namespace {
@@ -13,6 +14,12 @@ struct JoinContext {
   const CandidateSets* candidates;
   BfsMatchResult* result;
   bool induced = false;
+  // Reused across ExtendPartial calls: decode rows for the adaptive
+  // intersection plus the cand ∩ N(anchor) result. The executor is
+  // serial, and `joined` is fully consumed before any nested extension,
+  // so one of each is enough.
+  NeighborScratch scratch;
+  std::vector<VertexId> joined;
 };
 
 uint64_t PartialBytes(size_t depth) {
@@ -32,7 +39,7 @@ bool RestrictionsOk(const MatchPlan& plan,
 }
 
 /// Emits the valid extensions of `partial` at `position`.
-void ExtendPartial(const JoinContext& ctx,
+void ExtendPartial(JoinContext& ctx,
                    const std::vector<VertexId>& partial, uint32_t position,
                    std::vector<VertexId>& out) {
   out.clear();
@@ -55,9 +62,13 @@ void ExtendPartial(const JoinContext& ctx,
     for (VertexId v : cand) accept(v);
     return;
   }
+  // cand ∩ N(anchor) through the shared adaptive intersection (merge or
+  // gallop by skew) instead of per-neighbor binary_search. Members come
+  // out ascending, so accept() sees the same vertices in the same order
+  // and search_nodes stays bit-identical.
   const VertexId anchor = partial[backward[0]];
-  for (VertexId v : ctx.data->Neighbors(anchor)) {
-    if (!std::binary_search(cand.begin(), cand.end(), v)) continue;
+  IntersectInto(cand, *ctx.data, anchor, ctx.joined, ctx.scratch);
+  for (VertexId v : ctx.joined) {
     bool joins = true;
     for (size_t b = 1; b < backward.size(); ++b) {
       if (!ctx.data->HasEdge(partial[backward[b]], v)) {
@@ -70,7 +81,7 @@ void ExtendPartial(const JoinContext& ctx,
 }
 
 /// DFS completion of one partial match (hybrid fallback).
-void DfsFinish(const JoinContext& ctx, std::vector<VertexId>& partial,
+void DfsFinish(JoinContext& ctx, std::vector<VertexId>& partial,
                uint32_t position) {
   const uint32_t k = static_cast<uint32_t>(ctx.plan->order.size());
   if (position == k) {

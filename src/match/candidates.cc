@@ -3,12 +3,14 @@
 #include <algorithm>
 #include <map>
 
+#include "graph/intersect.h"
+
 namespace gal {
 namespace {
 
 std::map<Label, uint32_t> NeighborLabelCounts(const Graph& g, VertexId v) {
   std::map<Label, uint32_t> counts;
-  for (VertexId u : g.Neighbors(v)) ++counts[g.LabelOf(u)];
+  g.ForEachOutNeighbor(v, [&](VertexId u) { ++counts[g.LabelOf(u)]; });
   return counts;
 }
 
@@ -62,24 +64,26 @@ RefineStats RefineCandidates(const Graph& data, const Graph& query,
                              CandidateSets* sets, uint32_t max_rounds) {
   RefineStats stats;
   const VertexId k = query.NumVertices();
+  // The witness probe is an existence test between two sorted sets —
+  // the shared adaptive intersection (early-exit merge, galloping for
+  // hub-vs-candidate-list shapes) replaces the per-element
+  // binary_search loop. Candidate lists are built ascending, so both
+  // sides qualify. `query_scratch` decodes query rows (they can be
+  // compressed too); `scratch` decodes data rows.
+  NeighborScratch scratch;
+  std::vector<VertexId> query_scratch;
   for (uint32_t round = 0; round < max_rounds; ++round) {
     bool changed = false;
     for (VertexId u = 0; u < k; ++u) {
       std::vector<VertexId>& cand = sets->candidates[u];
       std::vector<VertexId> kept;
       kept.reserve(cand.size());
+      const auto query_nbrs = query.NeighborsInto(u, query_scratch);
       for (VertexId v : cand) {
         bool consistent = true;
-        for (VertexId uq : query.Neighbors(u)) {
+        for (VertexId uq : query_nbrs) {
           const std::vector<VertexId>& cq = sets->candidates[uq];
-          bool witness = false;
-          for (VertexId w : data.Neighbors(v)) {
-            if (std::binary_search(cq.begin(), cq.end(), w)) {
-              witness = true;
-              break;
-            }
-          }
-          if (!witness) {
+          if (!IntersectAny(cq, data, v, scratch)) {
             consistent = false;
             break;
           }

@@ -5,6 +5,7 @@
 #include <mutex>
 
 #include "common/timer.h"
+#include "graph/intersect.h"
 
 namespace gal {
 namespace {
@@ -30,6 +31,12 @@ struct SearchShared {
 /// Per-thread DFS state: the partial mapping (by plan position).
 struct SearchState {
   std::vector<VertexId> mapped;
+  // cand ∩ N(anchor) per plan position. The loop over it spans the
+  // recursive extend calls, so each depth owns its buffer; the decode
+  // scratch is fully consumed inside IntersectInto (no recursion there),
+  // so one per state suffices.
+  std::vector<std::vector<VertexId>> joined_at;
+  NeighborScratch scratch;
 };
 
 /// A shippable unit of search: the mapped plan-position prefix, with the
@@ -126,12 +133,16 @@ void Backtrack(SearchShared& shared, SearchState& state, uint32_t position,
     return;
   }
 
-  // Local candidates: neighbors of the first mapped backward vertex,
-  // checked against the other predicates and the filtered set.
+  // Local candidates: cand ∩ N(anchor) via the shared adaptive
+  // intersection (merge or gallop by skew) instead of scanning every
+  // anchor neighbor through binary_search. Members arrive ascending, so
+  // extend() fires on the same vertices in the same order and
+  // search_nodes stays deterministic.
   const VertexId anchor = state.mapped[backward[0]];
-  for (VertexId v : data.Neighbors(anchor)) {
+  std::vector<VertexId>& joined = state.joined_at[position];
+  IntersectInto(cand, data, anchor, joined, state.scratch);
+  for (VertexId v : joined) {
     if (shared.LimitReached()) return;
-    if (!std::binary_search(cand.begin(), cand.end(), v)) continue;
     bool joins = true;
     for (size_t b = 1; b < backward.size(); ++b) {
       if (!data.HasEdge(state.mapped[backward[b]], v)) {
@@ -181,6 +192,7 @@ MatchResult SubgraphMatch(const Graph& data, const Graph& query,
         if (shared.LimitReached()) return;
         SearchState state;
         state.mapped.assign(k, kInvalidVertex);
+        state.joined_at.resize(k);
         const uint32_t position = static_cast<uint32_t>(prefix.size()) - 1;
         for (uint32_t j = 0; j < position; ++j) state.mapped[j] = prefix[j];
         TryVertex(shared, state, position, prefix[position], ctx);

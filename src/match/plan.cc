@@ -20,8 +20,9 @@ VertexId PickNext(const Graph& query, const std::vector<uint8_t>& placed,
     if (placed[u]) continue;
     // Connectivity: must touch the placed prefix (unless nothing placed).
     bool connected = false;
-    for (VertexId w : query.Neighbors(u)) {
-      if (placed[w]) {
+    for (Graph::NeighborCursor cur = query.OutNeighbors(u); cur.Valid();
+         cur.Next()) {
+      if (placed[cur.Get()]) {
         connected = true;
         break;
       }
@@ -62,7 +63,7 @@ MatchPlan BuildPlan(const Graph& query, const CandidateSets& candidates,
   };
   auto mapped_neighbor_count = [&](VertexId u) {
     uint32_t c = 0;
-    for (VertexId w : query.Neighbors(u)) c += placed[w];
+    query.ForEachOutNeighbor(u, [&](VertexId w) { c += placed[w]; });
     return c;
   };
 
@@ -122,12 +123,12 @@ MatchPlan BuildPlan(const Graph& query, const CandidateSets& candidates,
   plan.backward_nonneighbors.resize(k);
   for (uint32_t i = 0; i < k; ++i) {
     std::vector<uint8_t> adjacent(i, 0);
-    for (VertexId w : query.Neighbors(plan.order[i])) {
+    query.ForEachOutNeighbor(plan.order[i], [&](VertexId w) {
       if (position[w] < i) {
         plan.backward_neighbors[i].push_back(position[w]);
         adjacent[position[w]] = 1;
       }
-    }
+    });
     std::sort(plan.backward_neighbors[i].begin(),
               plan.backward_neighbors[i].end());
     for (uint32_t j = 0; j < i; ++j) {

@@ -80,9 +80,11 @@ Matrix GatModel::Forward(const Matrix& features) {
     const uint64_t avg_fan =
         1 + graph_->NumAdjacencyEntries() / std::max<uint64_t>(1, n);
     ctx.ParallelFor1D(n, avg_fan * d, [&](size_t v_begin, size_t v_end) {
+    // Shard-local adjacency decode buffer (compressed layouts).
+    std::vector<VertexId> nbr_scratch;
     for (VertexId i = static_cast<VertexId>(v_begin);
          i < static_cast<VertexId>(v_end); ++i) {
-      const auto nbrs = graph_->Neighbors(i);
+      const auto nbrs = graph_->NeighborsInto(i, nbr_scratch);
       const size_t fan = nbrs.size() + 1;  // self first
       std::vector<float>& raw = e_raw_[l][i];
       std::vector<float>& att = alpha_[l][i];
@@ -129,10 +131,9 @@ void GatModel::EnsureInEdgeCache() {
   slot_offsets_.assign(n + 1, 0);
   std::vector<uint64_t> indeg(n, 0);
   for (VertexId i = 0; i < n; ++i) {
-    const auto nbrs = graph_->Neighbors(i);
-    slot_offsets_[i + 1] = slot_offsets_[i] + nbrs.size() + 1;
+    slot_offsets_[i + 1] = slot_offsets_[i] + graph_->Degree(i) + 1;
     ++indeg[i];  // the self slot targets i
-    for (const VertexId t : nbrs) ++indeg[t];
+    graph_->ForEachOutNeighbor(i, [&](VertexId t) { ++indeg[t]; });
   }
   in_edge_offsets_.assign(n + 1, 0);
   for (VertexId t = 0; t < n; ++t) {
@@ -150,13 +151,13 @@ void GatModel::EnsureInEdgeCache() {
     in_edge_src_[cursor[i]] = i;
     in_edge_slot_[cursor[i]] = 0;
     ++cursor[i];
-    const auto nbrs = graph_->Neighbors(i);
-    for (size_t j = 0; j < nbrs.size(); ++j) {
-      const VertexId t = nbrs[j];
+    uint32_t j = 0;
+    graph_->ForEachOutNeighbor(i, [&](VertexId t) {
       in_edge_src_[cursor[t]] = i;
-      in_edge_slot_[cursor[t]] = static_cast<uint32_t>(j + 1);
+      in_edge_slot_[cursor[t]] = j + 1;
+      ++j;
       ++cursor[t];
-    }
+    });
   }
 }
 
@@ -195,9 +196,10 @@ std::vector<Matrix> GatModel::Backward(const Matrix& grad_logits) {
     ctx.ParallelFor1D(n, (2 * avg_fan + 2) * d, [&](size_t v_begin,
                                                     size_t v_end) {
       std::vector<float> dalpha;
+      std::vector<VertexId> nbr_scratch;
       for (VertexId i = static_cast<VertexId>(v_begin);
            i < static_cast<VertexId>(v_end); ++i) {
-        const auto nbrs = graph_->Neighbors(i);
+        const auto nbrs = graph_->NeighborsInto(i, nbr_scratch);
         const size_t fan = nbrs.size() + 1;
         const std::vector<float>& att = alpha_[l][i];
         const std::vector<float>& raw = e_raw_[l][i];

@@ -89,9 +89,9 @@ VertexPartition LdgPartition(const Graph& g, uint32_t num_parts,
   std::vector<uint32_t> neighbor_count(num_parts, 0);
   for (VertexId v : order) {
     std::fill(neighbor_count.begin(), neighbor_count.end(), 0);
-    for (VertexId u : g.Neighbors(v)) {
+    g.ForEachOutNeighbor(v, [&](VertexId u) {
       if (p.assignment[u] < num_parts) ++neighbor_count[p.assignment[u]];
-    }
+    });
     double best_score = -1.0;
     uint32_t best_part = 0;
     for (uint32_t part = 0; part < num_parts; ++part) {
@@ -137,13 +137,13 @@ CoarseLevel Coarsen(const Graph& g, const std::vector<uint32_t>& weight,
     if (match[v] != kInvalidVertex) continue;
     VertexId best = kInvalidVertex;
     uint32_t best_weight = std::numeric_limits<uint32_t>::max();
-    for (VertexId u : g.Neighbors(v)) {
-      if (match[u] != kInvalidVertex || u == v) continue;
+    g.ForEachOutNeighbor(v, [&](VertexId u) {
+      if (match[u] != kInvalidVertex || u == v) return;
       if (weight[u] < best_weight) {
         best_weight = weight[u];
         best = u;
       }
-    }
+    });
     if (best == kInvalidVertex) {
       match[v] = v;  // unmatched: singleton super-vertex
     } else {
@@ -216,12 +216,12 @@ std::vector<uint32_t> InitialPartition(const Graph& g,
     while (grown < target && !frontier.empty()) {
       const VertexId v = frontier.front();
       frontier.pop_front();
-      for (VertexId u : g.Neighbors(v)) {
-        if (part[u] != num_parts || grown >= target) continue;
+      g.ForEachOutNeighbor(v, [&](VertexId u) {
+        if (part[u] != num_parts || grown >= target) return;
         part[u] = k;
         grown += weight[u];
         frontier.push_back(u);
-      }
+      });
       // If the region is exhausted but under target, jump to a random
       // unassigned vertex (disconnected graphs).
       if (frontier.empty() && grown < target) {
@@ -272,7 +272,7 @@ void Refine(const Graph& g, const std::vector<uint32_t>& weight,
     bool moved = false;
     for (VertexId v = 0; v < n; ++v) {
       std::fill(gain.begin(), gain.end(), 0);
-      for (VertexId u : g.Neighbors(v)) ++gain[part[u]];
+      g.ForEachOutNeighbor(v, [&](VertexId u) { ++gain[part[u]]; });
       const uint32_t from = part[v];
       uint32_t best = from;
       int32_t best_gain = gain[from];
@@ -367,11 +367,11 @@ VertexPartition BfsVoronoiPartition(const Graph& g, uint32_t num_parts,
   while (!frontier.empty()) {
     const VertexId v = frontier.front();
     frontier.pop_front();
-    for (VertexId u : g.Neighbors(v)) {
-      if (block[u] != kUnassigned) continue;
+    g.ForEachOutNeighbor(v, [&](VertexId u) {
+      if (block[u] != kUnassigned) return;
       block[u] = block[v];
       frontier.push_back(u);
-    }
+    });
   }
   // Vertices unreachable from any seed form singleton blocks.
   for (VertexId v = 0; v < n; ++v) {

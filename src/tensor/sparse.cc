@@ -166,21 +166,23 @@ SparseMatrix NormalizedAdjacency(const Graph& g, AdjNorm norm) {
     }
     for (VertexId v = 0; v < n; ++v) {
       triplets.emplace_back(v, v, inv_sqrt[v] * inv_sqrt[v]);
-      for (VertexId u : g.Neighbors(v)) {
+      g.ForEachOutNeighbor(v, [&](VertexId u) {
         triplets.emplace_back(v, u, inv_sqrt[v] * inv_sqrt[u]);
-      }
+      });
     }
   } else if (norm == AdjNorm::kRowMean) {
     for (VertexId v = 0; v < n; ++v) {
       const float inv = 1.0f / (static_cast<float>(g.Degree(v)) + 1.0f);
       triplets.emplace_back(v, v, inv);
-      for (VertexId u : g.Neighbors(v)) triplets.emplace_back(v, u, inv);
+      g.ForEachOutNeighbor(
+          v, [&](VertexId u) { triplets.emplace_back(v, u, inv); });
     }
   } else {  // kNeighborMean
     for (VertexId v = 0; v < n; ++v) {
       if (g.Degree(v) == 0) continue;
       const float inv = 1.0f / static_cast<float>(g.Degree(v));
-      for (VertexId u : g.Neighbors(v)) triplets.emplace_back(v, u, inv);
+      g.ForEachOutNeighbor(
+          v, [&](VertexId u) { triplets.emplace_back(v, u, inv); });
     }
   }
   return SparseMatrix::FromTriplets(n, n, std::move(triplets));

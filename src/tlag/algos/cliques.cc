@@ -55,12 +55,14 @@ struct BkShared {
 };
 
 /// Chooses the pivot maximizing |P ∩ N(u)| over u in P ∪ X (Tomita).
+/// `scratch` is the calling thread's decode buffer (compressed layouts).
 VertexId ChoosePivot(const Graph& g, const std::vector<VertexId>& p,
-                     const std::vector<VertexId>& x) {
+                     const std::vector<VertexId>& x,
+                     NeighborScratch& scratch) {
   VertexId pivot = kInvalidVertex;
   size_t best = 0;
   auto consider = [&](VertexId u) {
-    const uint64_t overlap = IntersectCount(p, g.Neighbors(u));
+    const uint64_t overlap = IntersectCount(p, g, u, scratch);
     if (pivot == kInvalidVertex || overlap > best) {
       best = overlap;
       pivot = u;
@@ -71,7 +73,7 @@ VertexId ChoosePivot(const Graph& g, const std::vector<VertexId>& p,
   return pivot;
 }
 
-void BkRecurse(BkTask& task, BkShared& shared,
+void BkRecurse(BkTask& task, BkShared& shared, NeighborScratch& scratch,
                TaskEngine<BkTask>::Context& ctx) {
   const Graph& g = *shared.g;
   if (task.p.empty() && task.x.empty()) {
@@ -80,15 +82,18 @@ void BkRecurse(BkTask& task, BkShared& shared,
   }
   if (task.p.empty()) return;
 
-  const VertexId pivot = ChoosePivot(g, task.p, task.x);
-  const auto pivot_nbrs = g.Neighbors(pivot);
+  const VertexId pivot = ChoosePivot(g, task.p, task.x, scratch);
+  const auto pivot_nbrs = g.NeighborsInto(pivot, scratch.a);
   // Branch on P \ N(pivot).
   std::vector<VertexId> branch_vertices;
   std::set_difference(task.p.begin(), task.p.end(), pivot_nbrs.begin(),
                       pivot_nbrs.end(), std::back_inserter(branch_vertices));
 
   for (VertexId v : branch_vertices) {
-    const auto nbrs = g.Neighbors(v);
+    // pivot_nbrs is consumed; scratch.a is free for v's row. The row is
+    // re-decoded per iteration because the recursion below reuses the
+    // scratch — correctness over decode thrift at branch nodes.
+    const auto nbrs = g.NeighborsInto(v, scratch.a);
     BkTask child;
     child.r = task.r;
     child.r.push_back(v);
@@ -101,7 +106,7 @@ void BkRecurse(BkTask& task, BkShared& shared,
     if (child.depth <= shared.options->split_depth && ctx.StealPressure()) {
       ctx.Spawn(std::move(child));
     } else {
-      BkRecurse(child, shared, ctx);
+      BkRecurse(child, shared, scratch, ctx);
     }
     // Move v from P to X.
     task.p.erase(std::lower_bound(task.p.begin(), task.p.end(), v));
@@ -139,14 +144,18 @@ struct McShared {
 /// the largest clique inside P. Returns per-vertex color (1-based),
 /// aligned with p's order.
 uint32_t ColorBound(const Graph& g, const std::vector<VertexId>& p,
-                    std::vector<uint32_t>& colors) {
+                    std::vector<uint32_t>& colors, NeighborScratch& scratch) {
   colors.assign(p.size(), 0);
   uint32_t num_colors = 0;
   for (size_t i = 0; i < p.size(); ++i) {
-    // Lowest color not used by earlier neighbors.
+    // Lowest color not used by earlier neighbors. One row decode per i
+    // (instead of an O(d) HasEdge probe per (i,j) pair on compressed
+    // layouts); membership stays a binary search either way.
+    const auto nbrs = g.NeighborsInto(p[i], scratch.b);
     uint64_t used = 0;  // bitmask for first 64 colors
     for (size_t j = 0; j < i; ++j) {
-      if (colors[j] <= 64 && g.HasEdge(p[i], p[j])) {
+      if (colors[j] <= 64 &&
+          std::binary_search(nbrs.begin(), nbrs.end(), p[j])) {
         used |= uint64_t{1} << (colors[j] - 1);
       }
     }
@@ -158,7 +167,7 @@ uint32_t ColorBound(const Graph& g, const std::vector<VertexId>& p,
   return num_colors;
 }
 
-void McRecurse(McTask& task, McShared& shared,
+void McRecurse(McTask& task, McShared& shared, NeighborScratch& scratch,
                TaskEngine<McTask>::Context& ctx) {
   const Graph& g = *shared.g;
   shared.branches.fetch_add(1, std::memory_order_relaxed);
@@ -167,7 +176,7 @@ void McRecurse(McTask& task, McShared& shared,
     return;
   }
   std::vector<uint32_t> colors;
-  ColorBound(g, task.p, colors);
+  ColorBound(g, task.p, colors, scratch);
   // Process candidates in decreasing color: classic Tomita ordering —
   // once r.size() + color <= best, every remaining candidate is pruned.
   std::vector<size_t> order(task.p.size());
@@ -185,12 +194,12 @@ void McRecurse(McTask& task, McShared& shared,
     McTask child;
     child.r = task.r;
     child.r.push_back(v);
-    child.p = Intersect(p, g.Neighbors(v));
+    IntersectInto(p, g, v, child.p, scratch);
     if (child.r.size() + child.p.size() > shared.best_size.load()) {
       if (child.p.empty()) {
         shared.Offer(child.r);
       } else {
-        McRecurse(child, shared, ctx);
+        McRecurse(child, shared, scratch, ctx);
       }
     } else {
       shared.pruned.fetch_add(1, std::memory_order_relaxed);
@@ -222,20 +231,24 @@ MaximalCliqueResult MaximalCliques(const Graph& g,
   for (VertexId v : degen.order) {
     BkTask t;
     t.r = {v};
-    for (VertexId u : g.Neighbors(v)) {
+    g.ForEachOutNeighbor(v, [&](VertexId u) {
       (pos[u] > pos[v] ? t.p : t.x).push_back(u);
-    }
+    });
     std::sort(t.p.begin(), t.p.end());
     std::sort(t.x.begin(), t.x.end());
     t.depth = 1;
     roots.push_back(std::move(t));
   }
 
+  // One decode scratch per engine thread (compressed layouts); a task
+  // only ever touches its own thread's buffers.
+  std::vector<NeighborScratch> scratch(
+      ResolveTaskThreads(options.engine.num_threads));
   TaskEngine<BkTask> engine(options.engine);
   TaskEngineStats stats = engine.Run(
       std::move(roots),
-      [&shared](BkTask& task, TaskEngine<BkTask>::Context& ctx) {
-        BkRecurse(task, shared, ctx);
+      [&shared, &scratch](BkTask& task, TaskEngine<BkTask>::Context& ctx) {
+        BkRecurse(task, shared, scratch[ctx.thread_id()], ctx);
       });
 
   MaximalCliqueResult result;
@@ -262,23 +275,24 @@ MaximumCliqueResult MaximumClique(const Graph& g,
   for (VertexId v : degen.order) {
     McTask t;
     t.r = {v};
-    for (VertexId u : g.Neighbors(v)) {
+    g.ForEachOutNeighbor(v, [&](VertexId u) {
       if (pos[u] > pos[v]) t.p.push_back(u);
-    }
+    });
     std::sort(t.p.begin(), t.p.end());
     roots.push_back(std::move(t));
   }
 
+  std::vector<NeighborScratch> scratch(ResolveTaskThreads(config.num_threads));
   TaskEngine<McTask> engine(config);
   TaskEngineStats stats = engine.Run(
-      std::move(roots), [&shared](McTask& task,
-                                  TaskEngine<McTask>::Context& ctx) {
+      std::move(roots), [&shared, &scratch](McTask& task,
+                                            TaskEngine<McTask>::Context& ctx) {
         // Root-level bound: skip tasks that cannot beat the incumbent.
         if (task.r.size() + task.p.size() <= shared.best_size.load()) {
           shared.pruned.fetch_add(1, std::memory_order_relaxed);
           return;
         }
-        McRecurse(task, shared, ctx);
+        McRecurse(task, shared, scratch[ctx.thread_id()], ctx);
       });
 
   MaximumCliqueResult result;

@@ -37,12 +37,13 @@ KTrussResult KTrussDecomposition(const Graph& g) {
   }
 
   // Initial supports: triangles through each edge, via the shared
-  // sorted intersection.
+  // sorted intersection (graph-row form: decodes through `scratch` when
+  // the adjacency is compressed, zero-copy otherwise).
+  NeighborScratch scratch;
   std::vector<uint32_t> support(m, 0);
   for (uint32_t e = 0; e < m; ++e) {
     support[e] = static_cast<uint32_t>(
-        IntersectCount(g.Neighbors(result.edges[e].src),
-                       g.Neighbors(result.edges[e].dst)));
+        IntersectCount(g, result.edges[e].src, result.edges[e].dst, scratch));
   }
 
   // Peel edges in increasing support; when edge (u,v) is removed, the
@@ -65,7 +66,7 @@ KTrussResult KTrussDecomposition(const Graph& g) {
 
     const VertexId u = result.edges[e].src;
     const VertexId v = result.edges[e].dst;
-    IntersectInto(g.Neighbors(u), g.Neighbors(v), common);
+    IntersectInto(g.NeighborsInto(u, scratch.a), g, v, common, scratch);
     for (const VertexId w : common) {
       const uint32_t e1 = idx.Of(u, w);
       const uint32_t e2 = idx.Of(v, w);

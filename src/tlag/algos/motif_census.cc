@@ -32,7 +32,12 @@ struct CensusShared {
 
   void Record(const std::vector<VertexId>& s) {
     enumerated.fetch_add(1, std::memory_order_relaxed);
-    Result<Graph> induced = g->InducedSubgraph(s);
+    // ESU walks the internal layout; InducedSubgraph takes original
+    // ids. The census is structural, so the mapping changes nothing for
+    // unordered builds and fixes reordered ones.
+    std::vector<VertexId> original(s);
+    for (VertexId& v : original) v = g->OriginalId(v);
+    Result<Graph> induced = g->InducedSubgraph(original);
     GAL_CHECK(induced.ok()) << induced.status();
     // Census is structural: strip labels before canonicalization.
     Graph plain = std::move(induced.value());
@@ -64,12 +69,12 @@ void Extend(CensusShared& shared, std::vector<VertexId>& subgraph,
     }
     std::vector<VertexId> child = remaining;
     std::vector<VertexId> newly_closed;
-    for (VertexId u : g.Neighbors(w)) {
-      if (u <= subgraph.front() || in_closure[u]) continue;
+    g.ForEachOutNeighbor(w, [&](VertexId u) {
+      if (u <= subgraph.front() || in_closure[u]) return;
       child.push_back(u);
       in_closure[u] = 1;
       newly_closed.push_back(u);
-    }
+    });
     subgraph.push_back(w);
     Extend(shared, subgraph, child, in_closure);
     subgraph.pop_back();
@@ -97,12 +102,12 @@ MotifCensus RunCensus(const Graph& g, uint32_t k, double retention,
         std::vector<VertexId> subgraph = {root};
         std::vector<VertexId> pool;
         in_closure[root] = 1;
-        for (VertexId u : g.Neighbors(root)) {
+        g.ForEachOutNeighbor(root, [&](VertexId u) {
           if (u > root) {
             pool.push_back(u);
             in_closure[u] = 1;
           }
-        }
+        });
         Extend(shared, subgraph, pool, in_closure);
       });
 

@@ -44,13 +44,13 @@ void Extend(EnumShared& shared, std::vector<VertexId>& subgraph,
     pool.pop_back();
     std::vector<VertexId> child_ext = pool;
     std::vector<VertexId> newly_closed;
-    for (VertexId u : g.Neighbors(w)) {
-      if (u <= subgraph.front()) continue;  // root-minimality
-      if (in_closure[u]) continue;
+    g.ForEachOutNeighbor(w, [&](VertexId u) {
+      if (u <= subgraph.front()) return;  // root-minimality
+      if (in_closure[u]) return;
       child_ext.push_back(u);
       in_closure[u] = 1;
       newly_closed.push_back(u);
-    }
+    });
     subgraph.push_back(w);
     Extend(shared, subgraph, child_ext, in_closure);
     subgraph.pop_back();
@@ -82,12 +82,12 @@ SubgraphEnumStats EnumerateConnectedSubgraphs(
         std::vector<VertexId> subgraph = {task.root};
         std::vector<VertexId> extension;
         in_closure[task.root] = 1;
-        for (VertexId u : g.Neighbors(task.root)) {
+        g.ForEachOutNeighbor(task.root, [&](VertexId u) {
           if (u > task.root) {
             extension.push_back(u);
             in_closure[u] = 1;
           }
-        }
+        });
         Extend(shared, subgraph, extension, in_closure);
       });
 

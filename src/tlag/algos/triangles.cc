@@ -20,10 +20,10 @@ std::vector<std::vector<VertexId>> OrientByDegree(const Graph& g) {
   std::vector<std::vector<VertexId>> out(n);
   for (VertexId v = 0; v < n; ++v) {
     const uint32_t dv = g.Degree(v);
-    for (VertexId u : g.Neighbors(v)) {
+    g.ForEachOutNeighbor(v, [&](VertexId u) {
       const uint32_t du = g.Degree(u);
       if (du > dv || (du == dv && u > v)) out[v].push_back(u);
-    }
+    });
   }
   return out;
 }

@@ -30,18 +30,18 @@ SvWccResult SvWcc(const Graph& g) {
     // proposed against the snapshot.
     for (VertexId v = 0; v < n; ++v) proposal[v] = parent[v];
     for (VertexId u = 0; u < n; ++u) {
-      for (VertexId v : g.Neighbors(u)) {
+      g.ForEachOutNeighbor(u, [&](VertexId v) {
         ++result.work;
         const VertexId ru = parent[u];
         const VertexId rv = parent[v];
-        if (ru == rv) continue;
+        if (ru == rv) return;
         // Hook only roots (parent[r] == r) to preserve forest shape.
         if (ru < rv && parent[rv] == rv) {
           proposal[rv] = std::min(proposal[rv], ru);
         } else if (rv < ru && parent[ru] == ru) {
           proposal[ru] = std::min(proposal[ru], rv);
         }
-      }
+      });
     }
     for (VertexId v = 0; v < n; ++v) {
       if (proposal[v] != parent[v]) {
@@ -95,12 +95,12 @@ BlockWccResult BlockWcc(const Graph& g, uint32_t num_blocks,
     return v;
   };
   for (VertexId u = 0; u < n; ++u) {
-    for (VertexId v : g.Neighbors(u)) {
-      if (blocks.assignment[u] != blocks.assignment[v]) continue;
+    g.ForEachOutNeighbor(u, [&](VertexId v) {
+      if (blocks.assignment[u] != blocks.assignment[v]) return;
       const VertexId ru = find(u);
       const VertexId rv = find(v);
       if (ru != rv) local_root[std::max(ru, rv)] = std::min(ru, rv);
-    }
+    });
   }
   for (VertexId v = 0; v < n; ++v) local_root[v] = find(v);
 
@@ -119,14 +119,14 @@ BlockWccResult BlockWcc(const Graph& g, uint32_t num_blocks,
   }
   std::vector<Edge> quotient_edges;
   for (VertexId u = 0; u < n; ++u) {
-    for (VertexId v : g.Neighbors(u)) {
-      if (blocks.assignment[u] == blocks.assignment[v]) continue;
+    g.ForEachOutNeighbor(u, [&](VertexId v) {
+      if (blocks.assignment[u] == blocks.assignment[v]) return;
       const VertexId qu = quotient_id[local_root[u]];
       const VertexId qv = quotient_id[local_root[v]];
       if (qu != qv) {
         quotient_edges.push_back({std::min(qu, qv), std::max(qu, qv)});
       }
-    }
+    });
   }
   Result<Graph> quotient = Graph::FromEdges(
       static_cast<VertexId>(quotient_rep.size()), std::move(quotient_edges),

@@ -256,9 +256,13 @@ class TlavEngine {
   };
 
   /// Per-worker counters a worker updates without synchronization,
-  /// cache-line separated.
+  /// cache-line separated. `decode_scratch` is the worker's adjacency
+  /// decode buffer for compressed graphs: exactly one VertexHandle is
+  /// live per worker at a time, so the span VertexHandle::Neighbors()
+  /// returns over it stays valid for the duration of a Compute call.
   struct alignas(64) WorkerCounters {
     uint64_t edge_scans = 0;
+    std::vector<VertexId> decode_scratch;
   };
 
   void Send(uint32_t src_worker, VertexId dst, const M& message,
@@ -268,17 +272,20 @@ class TlavEngine {
   }
 
   /// SendToAllNeighbors with Pregel+ mirroring for eligible hubs: one
-  /// wire message per remote worker that hosts any neighbor.
+  /// wire message per remote worker that hosts any neighbor. Streams the
+  /// adjacency (decoding in-register when compressed) without touching
+  /// the worker's decode scratch, so a span a Compute call still holds
+  /// from VertexHandle::Neighbors() stays valid across a send.
   void Broadcast(uint32_t src_worker, VertexId src, const M& message) {
-    const auto nbrs = graph_->Neighbors(src);
     const bool mirror = config_.mirror_degree_threshold > 0 &&
-                        nbrs.size() >= config_.mirror_degree_threshold;
+                        graph_->Degree(src) >= config_.mirror_degree_threshold;
     if (!mirror) {
-      for (VertexId u : nbrs) Send(src_worker, u, message);
+      graph_->ForEachOutNeighbor(
+          src, [&](VertexId u) { Send(src_worker, u, message); });
       return;
     }
     std::vector<uint8_t> worker_touched(config_.num_workers, 0);
-    for (VertexId u : nbrs) {
+    graph_->ForEachOutNeighbor(src, [&](VertexId u) {
       const uint32_t w = partition_.assignment[u];
       if (!worker_touched[w]) {
         worker_touched[w] = 1;
@@ -287,7 +294,7 @@ class TlavEngine {
         channel_->NoteMirroredDelivery(src_worker);
       }
       Send(src_worker, u, message, /*mirrored=*/true);
-    }
+    });
   }
 
   const Graph* graph_;
@@ -334,9 +341,12 @@ VertexId VertexHandle<V, M>::num_vertices() const {
 
 template <typename V, typename M>
 std::span<const VertexId> VertexHandle<V, M>::Neighbors() const {
-  engine_->worker_counters_[worker_].edge_scans +=
-      engine_->graph_->Degree(id_);
-  return engine_->graph_->Neighbors(id_);
+  auto& counters = engine_->worker_counters_[worker_];
+  counters.edge_scans += engine_->graph_->Degree(id_);
+  // Raw layout: a direct span into the CSR. Compressed: decoded into
+  // this worker's scratch, valid until the worker's next Neighbors()
+  // call (i.e. for the rest of this Compute invocation).
+  return engine_->graph_->NeighborsInto(id_, counters.decode_scratch);
 }
 
 template <typename V, typename M>

@@ -116,9 +116,15 @@ TEST(CacheTest, LargerCacheHigherHitRate) {
   StaticFeatureCache small(g, parts, 0.02);
   StaticFeatureCache big(g, parts, 0.4);
   Rng rng(3);
+  // Degree-biased access pattern: sample adjacency slots (decoded up
+  // front so the sampling works on compressed graphs too).
+  std::vector<VertexId> slots;
+  slots.reserve(g.NumAdjacencyEntries());
+  for (VertexId u = 0; u < g.NumVertices(); ++u) {
+    g.ForEachOutNeighbor(u, [&](VertexId w) { slots.push_back(w); });
+  }
   for (int i = 0; i < 20000; ++i) {
-    // Degree-biased access pattern: sample an adjacency slot.
-    const VertexId v = g.targets()[rng.Uniform(g.targets().size())];
+    const VertexId v = slots[rng.Uniform(slots.size())];
     const uint32_t w = static_cast<uint32_t>(rng.Uniform(4));
     small.Fetch(w, v);
     big.Fetch(w, v);

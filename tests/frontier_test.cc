@@ -148,12 +148,12 @@ std::vector<uint32_t> SerialBfs(const Graph& g, VertexId source) {
   while (!q.empty()) {
     VertexId v = q.front();
     q.pop();
-    for (VertexId u : g.Neighbors(v)) {
+    g.ForEachOutNeighbor(v, [&](VertexId u) {
       if (dist[u] == kFrontierUnreachable) {
         dist[u] = dist[v] + 1;
         q.push(u);
       }
-    }
+    });
   }
   return dist;
 }

@@ -114,8 +114,9 @@ TEST(GatTest, AttentionDownweightsNoiseNeighbors) {
 
   double intra = 0, inter = 0;
   uint64_t intra_n = 0, inter_n = 0;
+  std::vector<VertexId> row;
   for (VertexId v = 0; v < ds.graph.NumVertices(); ++v) {
-    const auto nbrs = ds.graph.Neighbors(v);
+    const auto nbrs = ds.graph.NeighborsInto(v, row);
     const auto& att = model.attention(0)[v];
     for (size_t j = 0; j < nbrs.size(); ++j) {
       if (ds.labels[v] == ds.labels[nbrs[j]]) {

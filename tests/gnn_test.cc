@@ -23,10 +23,12 @@ TEST(FeaturesTest, PerVertexTrianglesSumsToThreeTimesTotal) {
   for (uint64_t c : per_vertex) sum += c;
   // Each triangle credited at all three corners.
   uint64_t brute = 0;
+  std::vector<VertexId> row;
   for (VertexId v = 0; v < g.NumVertices(); ++v) {
-    for (VertexId u : g.Neighbors(v)) {
+    const auto nv = g.NeighborsInto(v, row);
+    for (VertexId u : nv) {
       if (u <= v) continue;
-      for (VertexId w : g.Neighbors(v)) {
+      for (VertexId w : nv) {
         if (w <= u) continue;
         brute += g.HasEdge(u, w);
       }

@@ -61,7 +61,8 @@ TEST(GraphTest, DuplicatesCollapsedByDefault) {
 
 TEST(GraphTest, NeighborsAreSorted) {
   Graph g = MustBuild(5, {{2, 4}, {2, 0}, {2, 3}, {2, 1}});
-  auto nbrs = g.Neighbors(2);
+  std::vector<VertexId> row;
+  const auto nbrs = g.NeighborsInto(2, row);
   EXPECT_TRUE(std::is_sorted(nbrs.begin(), nbrs.end()));
   EXPECT_EQ(nbrs.size(), 4u);
 }
@@ -96,9 +97,10 @@ TEST(GraphTest, ReversedOfUndirectedIsIdentical) {
   Graph g = MustBuild(4, {{0, 1}, {1, 2}, {2, 3}});
   Graph r = g.Reversed();
   EXPECT_EQ(r.NumEdges(), g.NumEdges());
+  std::vector<VertexId> row_a, row_b;
   for (VertexId v = 0; v < 4; ++v) {
-    auto a = g.Neighbors(v);
-    auto b = r.Neighbors(v);
+    const auto a = g.NeighborsInto(v, row_a);
+    const auto b = r.NeighborsInto(v, row_b);
     EXPECT_TRUE(std::equal(a.begin(), a.end(), b.begin(), b.end()));
   }
 }
@@ -238,10 +240,12 @@ TEST(GeneratorsTest, WattsStrogatzClusteringDropsWithBeta) {
   // The small-world signature: rewiring destroys triangles.
   auto triangles = [](const Graph& g) {
     uint64_t count = 0;
+    std::vector<VertexId> row;
     for (VertexId v = 0; v < g.NumVertices(); ++v) {
-      for (VertexId u : g.Neighbors(v)) {
+      const auto nv = g.NeighborsInto(v, row);
+      for (VertexId u : nv) {
         if (u <= v) continue;
-        for (VertexId w : g.Neighbors(v)) {
+        for (VertexId w : nv) {
           if (w <= u) continue;
           count += g.HasEdge(u, w);
         }
@@ -336,7 +340,7 @@ TEST(KCoreTest, DegeneracyOrderPropertyHolds) {
   for (uint32_t i = 0; i < res.order.size(); ++i) pos[res.order[i]] = i;
   for (VertexId v = 0; v < g.NumVertices(); ++v) {
     uint32_t later = 0;
-    for (VertexId u : g.Neighbors(v)) later += (pos[u] > pos[v]);
+    g.ForEachOutNeighbor(v, [&](VertexId u) { later += (pos[u] > pos[v]); });
     EXPECT_LE(later, res.degeneracy);
   }
 }

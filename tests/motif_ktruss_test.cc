@@ -64,9 +64,9 @@ TEST(KTrussTest, KTrussSubgraphPropertyHolds) {
   };
   for (const auto& [u, v] : kept) {
     uint32_t closed = 0;
-    for (VertexId w : g.Neighbors(u)) {
+    g.ForEachOutNeighbor(u, [&](VertexId w) {
       if (w != v && has(u, w) && has(v, w)) ++closed;
-    }
+    });
     EXPECT_GE(closed, k - 2) << u << "-" << v;
   }
 }

@@ -93,10 +93,10 @@ TEST(PartitionTest, BfsVoronoiKeepsSeedNeighborhoodsLocal) {
   uint64_t local = 0;
   uint64_t total = 0;
   for (VertexId s : seeds) {
-    for (VertexId u : g.Neighbors(s)) {
+    g.ForEachOutNeighbor(s, [&](VertexId u) {
       ++total;
       local += (p.PartOf(u) == p.PartOf(s));
-    }
+    });
   }
   EXPECT_GT(static_cast<double>(local) / total, 0.6);
 }

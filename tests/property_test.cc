@@ -62,12 +62,12 @@ TEST_P(TlavInvarianceTest, WccAndBfsMatchSerialReferences) {
     while (!q.empty()) {
       VertexId v = q.front();
       q.pop();
-      for (VertexId u : g.Neighbors(v)) {
+      g.ForEachOutNeighbor(v, [&](VertexId u) {
         if (ref[u] == kInvalidVertex) {
           ref[u] = s;
           q.push(u);
         }
-      }
+      });
     }
   }
   WccResult wcc = Wcc(g, config);
@@ -80,12 +80,12 @@ TEST_P(TlavInvarianceTest, WccAndBfsMatchSerialReferences) {
   while (!q.empty()) {
     VertexId v = q.front();
     q.pop();
-    for (VertexId u : g.Neighbors(v)) {
+    g.ForEachOutNeighbor(v, [&](VertexId u) {
       if (bfs_ref[u] == kUnreachable) {
         bfs_ref[u] = bfs_ref[v] + 1;
         q.push(u);
       }
-    }
+    });
   }
   EXPECT_EQ(TlavBfs(g, 0, config).distance, bfs_ref) << GraphName(kind);
 }
@@ -140,8 +140,8 @@ TEST_P(EngineEquivalenceTest, CliqueCountsEqualAcrossEngines) {
   bfs.Run(
       roots, k,
       [&g](const Embedding& e, std::vector<VertexId>& out) {
-        for (VertexId u : g.Neighbors(e.back())) {
-          if (u <= e.back()) continue;
+        g.ForEachOutNeighbor(e.back(), [&](VertexId u) {
+          if (u <= e.back()) return;
           bool ok = true;
           for (size_t i = 0; i + 1 < e.size(); ++i) {
             if (!g.HasEdge(e[i], u)) {
@@ -150,7 +150,7 @@ TEST_P(EngineEquivalenceTest, CliqueCountsEqualAcrossEngines) {
             }
           }
           if (ok) out.push_back(u);
-        }
+        });
       },
       [&bfs_count](const Embedding&) { bfs_count++; });
   // Matching with symmetry breaking.

@@ -1,10 +1,13 @@
 // Parity suite for the cache-layout and SIMD pass: vertex reordering
-// (GraphOptions::reorder) and the vector kernels (common/simd.h) are
-// pure performance knobs — every algorithm result must be bit-identical
-// to the scalar run on the unordered layout, across thread counts and
-// simulated-worker counts. The scalar/unordered path is the reference;
-// these tests are what keeps the fast paths honest (they also run under
-// TSan and once with GAL_SIMD=0 via scripts/check.sh).
+// (GraphOptions::reorder), adjacency compression
+// (GraphOptions::compression), and the vector kernels (common/simd.h)
+// are pure performance knobs — every algorithm result must be
+// bit-identical to the scalar run on the unordered, uncompressed
+// layout, across thread counts and simulated-worker counts. The
+// scalar/unordered path is the reference; these tests are what keeps
+// the fast paths honest (they also run under TSan, once with
+// GAL_SIMD=0, and once with GAL_GRAPH_COMPRESSION=1 via
+// scripts/check.sh).
 
 #include <algorithm>
 #include <cstdlib>
@@ -35,6 +38,9 @@ namespace {
 const ReorderMode kAllModes[] = {ReorderMode::kNone, ReorderMode::kDegreeDesc,
                                  ReorderMode::kHubCluster};
 
+const CompressionMode kAllCompression[] = {CompressionMode::kNone,
+                                           CompressionMode::kDeltaVarint};
+
 /// Scoped SIMD on/off switch; restores the previous setting on exit.
 struct SimdGuard {
   explicit SimdGuard(bool on) : prev(simd::SetEnabled(on)) {}
@@ -54,12 +60,14 @@ void SetHostThreads(uint32_t t) {
   setenv("GAL_TASK_THREADS", std::to_string(t).c_str(), 1);
 }
 
-/// Rebuilds `g`'s edge list under a reordering mode. The input graph is
-/// the caller's original-id ground truth.
-Graph Rebuild(const Graph& g, ReorderMode mode) {
+/// Rebuilds `g`'s edge list under a reordering / compression mode. The
+/// input graph is the caller's original-id ground truth.
+Graph Rebuild(const Graph& g, ReorderMode mode,
+              CompressionMode compression = CompressionMode::kNone) {
   GraphOptions options;
   options.directed = g.directed();
   options.reorder = mode;
+  options.compression = compression;
   Result<Graph> r = Graph::FromEdges(g.NumVertices(), g.CollectEdges(), options);
   EXPECT_TRUE(r.ok()) << r.status();
   return std::move(r.value());
@@ -69,24 +77,27 @@ Graph Rebuild(const Graph& g, ReorderMode mode) {
 
 TEST(GraphReorderTest, PermutationIsABijectionPreservingAdjacency) {
   const Graph g = BarabasiAlbert(300, 3, 7);
+  std::vector<VertexId> want_row;
   for (ReorderMode mode : {ReorderMode::kDegreeDesc, ReorderMode::kHubCluster}) {
-    const Graph r = Rebuild(g, mode);
-    ASSERT_TRUE(r.IsReordered());
-    EXPECT_EQ(r.reorder_mode(), mode);
-    EXPECT_EQ(r.NumVertices(), g.NumVertices());
-    EXPECT_EQ(r.NumEdges(), g.NumEdges());
-    for (VertexId v = 0; v < g.NumVertices(); ++v) {
-      EXPECT_EQ(r.OriginalId(r.InternalId(v)), v);
-      EXPECT_EQ(r.Degree(r.InternalId(v)), g.Degree(v));
-      // The neighborhood, mapped back to original ids, must match.
-      std::vector<VertexId> nbrs;
-      for (VertexId u : r.Neighbors(r.InternalId(v))) {
-        nbrs.push_back(r.OriginalId(u));
+    for (CompressionMode compression : kAllCompression) {
+      const Graph r = Rebuild(g, mode, compression);
+      ASSERT_TRUE(r.IsReordered());
+      EXPECT_EQ(r.reorder_mode(), mode);
+      EXPECT_EQ(r.NumVertices(), g.NumVertices());
+      EXPECT_EQ(r.NumEdges(), g.NumEdges());
+      for (VertexId v = 0; v < g.NumVertices(); ++v) {
+        EXPECT_EQ(r.OriginalId(r.InternalId(v)), v);
+        EXPECT_EQ(r.Degree(r.InternalId(v)), g.Degree(v));
+        // The neighborhood, mapped back to original ids, must match.
+        std::vector<VertexId> nbrs;
+        r.ForEachOutNeighbor(r.InternalId(v), [&](VertexId u) {
+          nbrs.push_back(r.OriginalId(u));
+        });
+        std::sort(nbrs.begin(), nbrs.end());
+        const auto want = g.NeighborsInto(v, want_row);
+        ASSERT_EQ(nbrs.size(), want.size()) << "vertex " << v;
+        EXPECT_TRUE(std::equal(nbrs.begin(), nbrs.end(), want.begin()));
       }
-      std::sort(nbrs.begin(), nbrs.end());
-      const auto want = g.Neighbors(v);
-      ASSERT_EQ(nbrs.size(), want.size()) << "vertex " << v;
-      EXPECT_TRUE(std::equal(nbrs.begin(), nbrs.end(), want.begin()));
     }
   }
 }
@@ -125,27 +136,30 @@ TEST(GraphReorderTest, LabelsStayInOriginalSpaceAndViewsShareMaps) {
 
 TEST(GraphReorderTest, EdgeCasesEmptyOneVertexHubStar) {
   for (ReorderMode mode : kAllModes) {
-    GraphOptions options;
-    options.reorder = mode;
-    const Graph empty = Graph::FromEdges(0, {}, options).value();
-    EXPECT_EQ(empty.NumVertices(), 0u);
-    const Graph one = Graph::FromEdges(1, {}, options).value();
-    EXPECT_EQ(one.NumVertices(), 1u);
-    EXPECT_EQ(one.OriginalId(one.InternalId(0)), 0u);
+    for (CompressionMode compression : kAllCompression) {
+      GraphOptions options;
+      options.reorder = mode;
+      options.compression = compression;
+      const Graph empty = Graph::FromEdges(0, {}, options).value();
+      EXPECT_EQ(empty.NumVertices(), 0u);
+      const Graph one = Graph::FromEdges(1, {}, options).value();
+      EXPECT_EQ(one.NumVertices(), 1u);
+      EXPECT_EQ(one.OriginalId(one.InternalId(0)), 0u);
 
-    // Hub-star: vertex 0 has degree 63, everything else degree 1 — the
-    // extreme case both orderings exist for.
-    const Graph star = Rebuild(Star(64), mode);
-    EXPECT_EQ(star.NumEdges(), 63u);
-    EXPECT_EQ(star.Degree(star.InternalId(0)), 63u);
-    if (mode != ReorderMode::kNone) {
-      EXPECT_EQ(star.InternalId(0), 0u) << "hub must be placed first";
+      // Hub-star: vertex 0 has degree 63, everything else degree 1 — the
+      // extreme case both orderings exist for.
+      const Graph star = Rebuild(Star(64), mode, compression);
+      EXPECT_EQ(star.NumEdges(), 63u);
+      EXPECT_EQ(star.Degree(star.InternalId(0)), 63u);
+      if (mode != ReorderMode::kNone) {
+        EXPECT_EQ(star.InternalId(0), 0u) << "hub must be placed first";
+      }
+      const BfsResult bfs = TlavBfs(star, 5);
+      ASSERT_TRUE(bfs.status.ok());
+      EXPECT_EQ(bfs.distance[5], 0u);
+      EXPECT_EQ(bfs.distance[0], 1u);
+      EXPECT_EQ(bfs.distance[63], 2u);
     }
-    const BfsResult bfs = TlavBfs(star, 5);
-    ASSERT_TRUE(bfs.status.ok());
-    EXPECT_EQ(bfs.distance[5], 0u);
-    EXPECT_EQ(bfs.distance[0], 1u);
-    EXPECT_EQ(bfs.distance[63], 2u);
   }
 }
 
@@ -175,29 +189,33 @@ TEST(ReorderSimdParityTest, TraversalAndPageRankBitIdentical) {
   }
 
   for (ReorderMode mode : kAllModes) {
-    const Graph r = Rebuild(g, mode);
-    for (bool simd_on : {false, true}) {
-      SimdGuard simd_guard(simd_on);
-      for (uint32_t workers : {1u, 4u}) {
-        for (uint32_t threads : {1u, 8u}) {
-          SetHostThreads(threads);
-          TlavConfig config;
-          config.num_workers = workers;
-          const std::string what =
-              "mode=" + std::to_string(static_cast<int>(mode)) +
-              " simd=" + std::to_string(simd_on) +
-              " workers=" + std::to_string(workers) +
-              " threads=" + std::to_string(threads);
-          EXPECT_EQ(ref_bfs, TlavBfs(r, source, config).distance) << what;
-          EXPECT_EQ(ref_sssp, TlavSssp(r, source, config).distance) << what;
-          EXPECT_EQ(ref_wcc, Wcc(r, config).component) << what;
-          PageRankOptions pr;
-          pr.engine = config;
-          const std::vector<double> ranks = PageRank(r, pr).ranks;
-          ASSERT_EQ(ranks.size(), ref_pr.size()) << what;
-          for (size_t v = 0; v < ranks.size(); ++v) {
-            // Exact: fixed-point messages make the reduction integer.
-            ASSERT_EQ(ranks[v], ref_pr[v]) << what << " vertex " << v;
+    for (CompressionMode compression : kAllCompression) {
+      const Graph r = Rebuild(g, mode, compression);
+      for (bool simd_on : {false, true}) {
+        SimdGuard simd_guard(simd_on);
+        for (uint32_t workers : {1u, 4u}) {
+          for (uint32_t threads : {1u, 8u}) {
+            SetHostThreads(threads);
+            TlavConfig config;
+            config.num_workers = workers;
+            const std::string what =
+                "mode=" + std::to_string(static_cast<int>(mode)) +
+                " compression=" +
+                std::to_string(static_cast<int>(compression)) +
+                " simd=" + std::to_string(simd_on) +
+                " workers=" + std::to_string(workers) +
+                " threads=" + std::to_string(threads);
+            EXPECT_EQ(ref_bfs, TlavBfs(r, source, config).distance) << what;
+            EXPECT_EQ(ref_sssp, TlavSssp(r, source, config).distance) << what;
+            EXPECT_EQ(ref_wcc, Wcc(r, config).component) << what;
+            PageRankOptions pr;
+            pr.engine = config;
+            const std::vector<double> ranks = PageRank(r, pr).ranks;
+            ASSERT_EQ(ranks.size(), ref_pr.size()) << what;
+            for (size_t v = 0; v < ranks.size(); ++v) {
+              // Exact: fixed-point messages make the reduction integer.
+              ASSERT_EQ(ranks[v], ref_pr[v]) << what << " vertex " << v;
+            }
           }
         }
       }
@@ -223,11 +241,13 @@ TEST(ReorderSimdParityTest, SubgraphAlgorithmsBitIdentical) {
   }
 
   for (ReorderMode mode : kAllModes) {
-    const Graph r = Rebuild(g, mode);
+    for (CompressionMode compression : kAllCompression) {
+    const Graph r = Rebuild(g, mode, compression);
     for (bool simd_on : {false, true}) {
       SimdGuard simd_guard(simd_on);
       const std::string what =
           "mode=" + std::to_string(static_cast<int>(mode)) +
+          " compression=" + std::to_string(static_cast<int>(compression)) +
           " simd=" + std::to_string(simd_on);
 
       const TriangleCountResult serial = SerialTriangleCount(r);
@@ -268,6 +288,7 @@ TEST(ReorderSimdParityTest, SubgraphAlgorithmsBitIdentical) {
         return k;
       };
       EXPECT_EQ(keyed(truss), keyed(ref_truss)) << what;
+    }
     }
   }
 }
@@ -312,6 +333,21 @@ TEST(ReorderSimdParityTest, GemmAndSpmmBitIdenticalAcrossSimdAndThreads) {
       expect_same(ref_mm, Matmul(a, b), "Matmul " + what);
       expect_same(ref_spmm, adj.Multiply(h), "SpMM " + what);
       expect_same(ref_spmm_t, adj.TransposeMultiply(h), "SpMM^T " + what);
+      // The SpMM operator gathers rows through the graph; building it
+      // from a compressed layout must produce the bit-identical
+      // operator. (Reorder is deliberately not swept here: the operator
+      // is layout-space by design, so a permuted build changes float
+      // accumulation order — callers remap at the boundary instead.)
+      for (CompressionMode compression : kAllCompression) {
+        const Graph r = Rebuild(g, ReorderMode::kNone, compression);
+        SparseMatrix adj_r = NormalizedAdjacency(r, AdjNorm::kSymmetric);
+        const std::string layout =
+            what +
+            " compression=" + std::to_string(static_cast<int>(compression));
+        expect_same(ref_spmm, adj_r.Multiply(h), "SpMM layout " + layout);
+        expect_same(ref_spmm_t, adj_r.TransposeMultiply(h),
+                    "SpMM^T layout " + layout);
+      }
     }
   }
 }

@@ -274,8 +274,8 @@ TEST(TaskEngineTest, StatsSurfaceStealAndParkSpans) {
 BfsExtensionEngine::ExtendFn CliqueExtend(const Graph& g) {
   return [&g](const Embedding& e, std::vector<VertexId>& out) {
     const VertexId last = e.back();
-    for (VertexId u : g.Neighbors(last)) {
-      if (u <= last) continue;
+    g.ForEachOutNeighbor(last, [&](VertexId u) {
+      if (u <= last) return;
       bool adjacent_to_all = true;
       for (VertexId v : e) {
         if (v != last && !g.HasEdge(u, v)) {
@@ -284,7 +284,7 @@ BfsExtensionEngine::ExtendFn CliqueExtend(const Graph& g) {
         }
       }
       if (adjacent_to_all) out.push_back(u);
-    }
+    });
   };
 }
 
@@ -387,10 +387,12 @@ TEST(BfsEngineTest, HybridPolicyMatchesCountWithBoundedMemory) {
 
 uint64_t BruteTriangles(const Graph& g) {
   uint64_t count = 0;
+  std::vector<VertexId> row;
   for (VertexId v = 0; v < g.NumVertices(); ++v) {
-    for (VertexId u : g.Neighbors(v)) {
+    const auto nv = g.NeighborsInto(v, row);
+    for (VertexId u : nv) {
       if (u <= v) continue;
-      for (VertexId w : g.Neighbors(v)) {
+      for (VertexId w : nv) {
         if (w <= u) continue;
         count += g.HasEdge(u, w);
       }

@@ -31,12 +31,12 @@ std::vector<VertexId> SerialComponents(const Graph& g) {
     while (!q.empty()) {
       VertexId v = q.front();
       q.pop();
-      for (VertexId u : g.Neighbors(v)) {
+      g.ForEachOutNeighbor(v, [&](VertexId u) {
         if (comp[u] == kInvalidVertex) {
           comp[u] = s;
           q.push(u);
         }
-      }
+      });
     }
   }
   return comp;
@@ -50,12 +50,12 @@ std::vector<uint32_t> SerialBfs(const Graph& g, VertexId s) {
   while (!q.empty()) {
     VertexId v = q.front();
     q.pop();
-    for (VertexId u : g.Neighbors(v)) {
+    g.ForEachOutNeighbor(v, [&](VertexId u) {
       if (dist[u] == kUnreachable) {
         dist[u] = dist[v] + 1;
         q.push(u);
       }
-    }
+    });
   }
   return dist;
 }
@@ -71,21 +71,22 @@ std::vector<uint64_t> SerialDijkstra(const Graph& g, VertexId s) {
     auto [d, v] = pq.top();
     pq.pop();
     if (d != dist[v]) continue;
-    for (VertexId u : g.Neighbors(v)) {
+    g.ForEachOutNeighbor(v, [&](VertexId u) {
       const uint64_t nd = d + SyntheticEdgeWeight(v, u);
       if (nd < dist[u]) {
         dist[u] = nd;
         pq.push({nd, u});
       }
-    }
+    });
   }
   return dist;
 }
 
 uint64_t SerialTriangles(const Graph& g) {
   uint64_t count = 0;
+  std::vector<VertexId> row;
   for (VertexId v = 0; v < g.NumVertices(); ++v) {
-    const auto nv = g.Neighbors(v);
+    const auto nv = g.NeighborsInto(v, row);
     for (VertexId u : nv) {
       if (u <= v) continue;
       for (VertexId w : nv) {
@@ -360,9 +361,9 @@ TEST(WccTest, MatchesSerialReference) {
   std::set<VertexId> distinct(r.component.begin(), r.component.end());
   EXPECT_EQ(distinct.size(), r.num_components);
   for (VertexId u = 0; u < g.NumVertices(); ++u) {
-    for (VertexId v : g.Neighbors(u)) {
+    g.ForEachOutNeighbor(u, [&](VertexId v) {
       EXPECT_EQ(r.component[u], r.component[v]);
-    }
+    });
   }
   std::set<VertexId> ref_distinct(ref.begin(), ref.end());
   EXPECT_EQ(r.num_components, ref_distinct.size());
