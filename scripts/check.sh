@@ -44,6 +44,34 @@ cmake --build build-tsan --target gal_tests -j "${JOBS}"
     --gtest_filter='PipelineTest.*:ThreadPoolTest.*:TaskEngineTest.*:WorkDequeTest.*:MatchDeterminismTest.*:KernelContextTest.*:KernelParityTest.*:TensorTest.*:MatrixTest.*:SparseTest.*:CoreBudgetTest.*:TrafficLedgerTest.*:VirtualClockTest.*:ClusterRuntimeTest.*:ExchangeChannelTest.*:ClusterExchangeTest.*:FrontierBitmapTest.*:SlidingQueueTest.*:VertexFrontierTest.*:Workers/FrontierParityTest.*:FrontierTraversalTest.*:GraphReorderTest.*:ReorderSimdParityTest.*:IntersectTest.*:SimdTest.*:CompressedCsrTest.*:DistGcnTest.OverlapReducesSimulatedTime:DistGcnTest.ReportExposesTracesAndOverlapOccupancy:DistGcnTest.CommChannelsRelieveCommBoundOverlap'
 
 echo
+echo "== ooc: out-of-core shard substrate (ctest label) =="
+# The quick gate for src/ooc/ changes: writer/reader roundtrips,
+# corrupt-file Status behavior, ShardCache LRU/budget/pin units, and
+# the in-memory-vs-out-of-core bit-identity sweeps.
+(cd build && ctest -L ooc --output-on-failure -j "${JOBS}")
+
+echo
+echo "== tsan: shard-cache suites =="
+# The shard cache is the one genuinely concurrent piece of src/ooc/:
+# blocking Acquire under a full budget, LRU eviction racing pins, and
+# the engines' one-pin-per-thread discipline. The parity suites run the
+# three out-of-core engines at 1 and 8 threads, so TSan watches the
+# atomic accumulators (fetch_add rank mass, CAS label min, per-thread
+# tallies) against concurrent shard loads/evictions.
+./build-tsan/tests/gal_tests \
+    --gtest_filter='ShardCacheTest.*:OocParityTest.*'
+
+echo
+echo "== forced tiny budget: every shard evicted between touches =="
+# The out-of-core kill switch: GAL_OOC_BUDGET_BYTES=1 clamps every open
+# to a single-largest-shard budget and GAL_OOC_SHARD_BYTES=512 makes
+# shards tiny, so each superstep churns the whole cache. Only the
+# parity suites run here — they assert results and budget-respect, not
+# exact load/eviction counts (which these knobs deliberately change).
+GAL_OOC_BUDGET_BYTES=1 GAL_OOC_SHARD_BYTES=512 ./build/tests/gal_tests \
+    --gtest_filter='OocParityTest.*'
+
+echo
 echo "== tsan + forced compression: parity suites with GAL_GRAPH_COMPRESSION=1 =="
 # Forces every FromEdges in the parity suites onto the delta-varint
 # layout, so the streaming decode paths (cursors, per-worker scratch)

@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <fstream>
+#include <istream>
 #include <sstream>
 #include <unordered_map>
 
@@ -23,11 +24,10 @@ class IdRemapper {
   VertexId next_ = 0;
 };
 
-}  // namespace
-
-Result<Graph> ParseEdgeList(const std::string& text,
-                            const GraphOptions& options) {
-  std::istringstream in(text);
+/// Shared line-by-line parser: only the current line is ever held in
+/// memory, so LoadEdgeListFile reads straight off the ifstream instead
+/// of slurping the whole file into a buffer first.
+Result<Graph> ParseEdgeStream(std::istream& in, const GraphOptions& options) {
   std::string line;
   std::vector<Edge> edges;
   IdRemapper remap;
@@ -48,13 +48,19 @@ Result<Graph> ParseEdgeList(const std::string& text,
   return Graph::FromEdges(remap.size(), std::move(edges), options);
 }
 
+}  // namespace
+
+Result<Graph> ParseEdgeList(const std::string& text,
+                            const GraphOptions& options) {
+  std::istringstream in(text);
+  return ParseEdgeStream(in, options);
+}
+
 Result<Graph> LoadEdgeListFile(const std::string& path,
                                const GraphOptions& options) {
   std::ifstream in(path);
   if (!in) return Status::IOError("cannot open " + path);
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  return ParseEdgeList(buffer.str(), options);
+  return ParseEdgeStream(in, options);
 }
 
 Status SaveEdgeListFile(const Graph& g, const std::string& path) {

@@ -1,0 +1,100 @@
+#ifndef GAL_OOC_OOC_ALGOS_H_
+#define GAL_OOC_OOC_ALGOS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/metrics.h"
+#include "ooc/sharded_graph.h"
+#include "tlag/task_engine.h"
+
+namespace gal {
+
+/// What one out-of-core run cost: the cache traffic it caused (deltas
+/// over the store's counters, so back-to-back runs on one store don't
+/// bleed into each other), host wall time, and the modeled time the
+/// store's disk-priced VirtualClock charged — `modeled_io_seconds` is
+/// the bytes/bandwidth + latency·loads share, the number that grows as
+/// the budget shrinks while results stay bit-identical.
+struct OocStats {
+  uint32_t supersteps = 0;
+  uint64_t shard_loads = 0;
+  uint64_t shard_load_bytes = 0;
+  uint64_t cache_hits = 0;
+  uint64_t evictions = 0;
+  uint64_t shards_skipped = 0;       // frontier-aware skips (WCC)
+  uint64_t peak_resident_bytes = 0;  // store-lifetime gauge; never > budget
+  uint64_t budget_bytes = 0;         // 0 = unlimited
+  double wall_seconds = 0.0;
+  double modeled_io_seconds = 0.0;
+  double modeled_seconds = 0.0;      // compute + modeled I/O
+  StageTimingStat load_timings;      // store-lifetime shard-load spans
+};
+
+struct OocPageRankOptions {
+  uint32_t iterations = 20;
+  double damping = 0.85;
+  uint32_t num_threads = 0;  // 0 = ResolveTaskThreads default
+};
+
+struct OocPageRankResult {
+  std::vector<double> ranks;  // original-id order, sums to ~1
+  OocStats stats;
+};
+
+/// PageRank over the sharded store: one out-shard sweep per superstep
+/// (scatter fixed-point rank/degree contributions shard-at-a-time, then
+/// a shard-free gather over vertex state). Arithmetic replicates the
+/// TLAV program exactly — 2^-50 fixed-point contributions summed with
+/// associative integer adds — so ranks are bit-identical to
+/// PageRank(g) at any memory budget and thread count.
+OocPageRankResult OocPageRank(const ShardedGraph& g,
+                              const OocPageRankOptions& options = {});
+
+struct OocWccOptions {
+  uint32_t num_threads = 0;
+  uint32_t max_supersteps = UINT32_MAX;
+};
+
+struct OocWccResult {
+  std::vector<VertexId> component;  // original-id order, canonical labels
+  uint32_t num_components = 0;
+  OocStats stats;
+};
+
+/// Hash-min WCC in frontier Jacobi form: double-buffered labels, active
+/// vertices push their label to neighbors with an atomic fetch-min, one
+/// out-shard sweep per superstep. Shards whose range holds no active
+/// vertex are skipped entirely (never loaded) — the frontier-aware
+/// scheduling that makes late, sparse supersteps cheap. Converged
+/// labels are each component's minimum id — schedule-independent — then
+/// canonicalized to min original id exactly like Wcc(), so components
+/// are bit-identical to the in-memory run at any budget/thread count.
+/// Requires an undirected shard set (write the UndirectedView).
+OocWccResult OocWcc(const ShardedGraph& g, const OocWccOptions& options = {});
+
+struct OocTriangleOptions {
+  TaskEngineConfig engine;
+};
+
+struct OocTriangleResult {
+  uint64_t triangles = 0;
+  uint64_t intersection_ops = 0;
+  OocStats stats;
+  TaskEngineStats task_stats;
+};
+
+/// Degree-ordered triangle counting on the task engine, one task per
+/// shard: pin the shard once and flatten its degree-oriented rows into
+/// thread-local scratch, release, then intersect against target rows
+/// fetched through transient pins (each thread holds at most one pin at
+/// any instant, so a one-shard budget cannot deadlock). Produces the
+/// same triangle count AND the same intersection_ops diagnostic as
+/// TaskTriangleCount, because every IntersectCount call sees the same
+/// operand rows.
+OocTriangleResult OocTriangleCount(const ShardedGraph& g,
+                                   const OocTriangleOptions& options = {});
+
+}  // namespace gal
+
+#endif  // GAL_OOC_OOC_ALGOS_H_

@@ -1,0 +1,142 @@
+#include "ooc/shard_format.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+namespace gal {
+namespace {
+
+uint32_t ReadU32(const uint8_t* p) {
+  return static_cast<uint32_t>(p[0]) | static_cast<uint32_t>(p[1]) << 8 |
+         static_cast<uint32_t>(p[2]) << 16 | static_cast<uint32_t>(p[3]) << 24;
+}
+
+uint64_t ReadU64(const uint8_t* p) {
+  return static_cast<uint64_t>(ReadU32(p)) |
+         static_cast<uint64_t>(ReadU32(p + 4)) << 32;
+}
+
+}  // namespace
+
+std::string ManifestFileName(const std::string& base_path) {
+  return base_path + ".manifest";
+}
+
+std::string ShardFileName(const std::string& base_path, uint32_t shard) {
+  char suffix[32];
+  std::snprintf(suffix, sizeof(suffix), ".shard%05u", shard);
+  return base_path + suffix;
+}
+
+void AppendU32(std::vector<uint8_t>& out, uint32_t v) {
+  out.push_back(static_cast<uint8_t>(v));
+  out.push_back(static_cast<uint8_t>(v >> 8));
+  out.push_back(static_cast<uint8_t>(v >> 16));
+  out.push_back(static_cast<uint8_t>(v >> 24));
+}
+
+void AppendU64(std::vector<uint8_t>& out, uint64_t v) {
+  AppendU32(out, static_cast<uint32_t>(v));
+  AppendU32(out, static_cast<uint32_t>(v >> 32));
+}
+
+Status ReadShardFile(const std::string& path, uint32_t expected_index,
+                     const ShardInfo& expected, std::vector<uint8_t>* bytes,
+                     std::vector<uint32_t>* row_offsets) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) return Status::IOError("cannot open shard file " + path);
+  const uint64_t file_size = static_cast<uint64_t>(in.tellg());
+  const uint64_t offsets_bytes =
+      (static_cast<uint64_t>(expected.NumVertices()) + 1) * sizeof(uint32_t);
+  const uint64_t want_size =
+      expected.adj_bytes + offsets_bytes + kOocShardFooterBytes;
+  if (file_size != want_size) {
+    return Status::IOError(path + ": size " + std::to_string(file_size) +
+                           " != expected " + std::to_string(want_size) +
+                           " (truncated or foreign file)");
+  }
+  std::vector<uint8_t> raw(file_size);
+  in.seekg(0);
+  if (!in.read(reinterpret_cast<char*>(raw.data()),
+               static_cast<std::streamsize>(file_size))) {
+    return Status::IOError("short read on shard file " + path);
+  }
+
+  const uint8_t* footer = raw.data() + file_size - kOocShardFooterBytes;
+  if (std::memcmp(footer, kOocShardMagic, sizeof(kOocShardMagic)) != 0) {
+    return Status::IOError(path + ": bad shard magic");
+  }
+  const uint32_t version = ReadU32(footer + 8);
+  if (version != kOocFormatVersion) {
+    return Status::IOError(path + ": unsupported shard format version " +
+                           std::to_string(version));
+  }
+  const uint32_t index = ReadU32(footer + 12);
+  const VertexId begin = ReadU32(footer + 16);
+  const VertexId end = ReadU32(footer + 20);
+  const uint64_t adj_bytes = ReadU64(footer + 24);
+  const uint64_t checksum = ReadU64(footer + 32);
+  if (index != expected_index || begin != expected.begin ||
+      end != expected.end || adj_bytes != expected.adj_bytes) {
+    return Status::IOError(path + ": footer disagrees with manifest (index " +
+                           std::to_string(index) + ", range [" +
+                           std::to_string(begin) + "," + std::to_string(end) +
+                           "), " + std::to_string(adj_bytes) + " bytes)");
+  }
+  const uint64_t payload_len = expected.adj_bytes + offsets_bytes;
+  const uint64_t computed = Fnv1a(raw.data(), payload_len);
+  if (checksum != expected.checksum || computed != checksum) {
+    return Status::IOError(path + ": checksum mismatch (payload corrupt)");
+  }
+
+  if (bytes != nullptr) {
+    bytes->assign(raw.begin(), raw.begin() + expected.adj_bytes);
+  }
+  if (row_offsets != nullptr) {
+    const size_t n = expected.NumVertices() + 1;
+    row_offsets->resize(n);
+    const uint8_t* p = raw.data() + expected.adj_bytes;
+    for (size_t i = 0; i < n; ++i) (*row_offsets)[i] = ReadU32(p + i * 4);
+    if (row_offsets->back() != expected.adj_bytes) {
+      return Status::IOError(path + ": row offsets do not span the stream");
+    }
+  }
+  return Status::Ok();
+}
+
+Status WriteShardFile(const std::string& path, uint32_t shard_index,
+                      const std::vector<uint8_t>& stream,
+                      const std::vector<uint32_t>& row_offsets,
+                      ShardInfo& info) {
+  std::vector<uint8_t> offsets_bytes;
+  offsets_bytes.reserve(row_offsets.size() * sizeof(uint32_t));
+  for (uint32_t off : row_offsets) AppendU32(offsets_bytes, off);
+  info.checksum =
+      Fnv1a(offsets_bytes.data(), offsets_bytes.size(),
+            Fnv1a(stream.data(), stream.size()));
+
+  std::vector<uint8_t> footer;
+  footer.reserve(kOocShardFooterBytes);
+  footer.insert(footer.end(), kOocShardMagic,
+                kOocShardMagic + sizeof(kOocShardMagic));
+  AppendU32(footer, kOocFormatVersion);
+  AppendU32(footer, shard_index);
+  AppendU32(footer, info.begin);
+  AppendU32(footer, info.end);
+  AppendU64(footer, info.adj_bytes);
+  AppendU64(footer, info.checksum);
+
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  out.write(reinterpret_cast<const char*>(stream.data()),
+            static_cast<std::streamsize>(stream.size()));
+  out.write(reinterpret_cast<const char*>(offsets_bytes.data()),
+            static_cast<std::streamsize>(offsets_bytes.size()));
+  out.write(reinterpret_cast<const char*>(footer.data()),
+            static_cast<std::streamsize>(footer.size()));
+  if (!out) return Status::IOError("write failed for " + path);
+  return Status::Ok();
+}
+
+}  // namespace gal

@@ -1,5 +1,6 @@
 #include <algorithm>
 #include <filesystem>
+#include <fstream>
 #include <numeric>
 #include <set>
 
@@ -294,6 +295,41 @@ TEST(IoTest, LoadMissingFileIsIOError) {
   Result<Graph> g = LoadEdgeListFile("/nonexistent/gal/file.txt");
   ASSERT_FALSE(g.ok());
   EXPECT_EQ(g.status().code(), StatusCode::kIOError);
+}
+
+TEST(IoTest, LoadStreamsCommentsBlanksAndMissingTrailingNewline) {
+  // The streaming loader must keep ParseEdgeList's exact semantics:
+  // '#'/'%' comments and blank lines skipped (but still counted for
+  // line numbers), and a final line without '\n' still parsed.
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "gal_io_stream_test.txt")
+          .string();
+  {
+    std::ofstream out(path);
+    out << "# header comment\n\n10 20\n% matrix-market style\n\n20 30\n10 30";
+  }
+  Result<Graph> g = LoadEdgeListFile(path);
+  ASSERT_TRUE(g.ok()) << g.status();
+  EXPECT_EQ(g->NumVertices(), 3u);
+  EXPECT_EQ(g->NumEdges(), 3u);
+  std::filesystem::remove(path);
+}
+
+TEST(IoTest, LoadReportsMalformedLineWithItsNumber) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "gal_io_malformed_test.txt")
+          .string();
+  {
+    std::ofstream out(path);
+    out << "# comment\n1 2\nbogus line\n3 4\n";
+  }
+  Result<Graph> g = LoadEdgeListFile(path);
+  ASSERT_FALSE(g.ok());
+  EXPECT_EQ(g.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(g.status().message().find("line 3"), std::string::npos)
+      << g.status();
+  EXPECT_NE(g.status().message().find("bogus line"), std::string::npos);
+  std::filesystem::remove(path);
 }
 
 // ---------------------------------------------------------------------------
