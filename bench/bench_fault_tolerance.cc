@@ -1,20 +1,24 @@
 // Ablation (survey §7 context: the presenters' LWCP line of work —
-// lightweight fault tolerance in Pregel-like systems): checkpoint-
-// interval sweep on a long-running TLAV job, with one injected failure.
-// The classic trade-off: frequent checkpoints cost bytes every interval
-// but bound the recomputation a failure causes.
-
-#include <thread>
+// lightweight fault tolerance in Pregel-like systems), now driven by the
+// shared elastic cluster runtime (cluster/fault.h):
+//   1. checkpoint-interval sweep on a long-running TLAV job with one
+//      injected failure — frequent checkpoints cost bytes every interval
+//      but bound the recomputation a failure causes;
+//   2. straggler injection on PageRank, with and without live
+//      rebalancing — a slow worker stretches every BSP round until the
+//      runtime sheds its load onto the others.
 
 #include "bench_util.h"
 #include "graph/generators.h"
+#include "tlav/algos/pagerank.h"
 #include "tlav/algos/wcc.h"
 
 int main() {
   using namespace gal;
   using namespace gal::bench;
-  Banner("FT", "LWCP checkpointing: overhead vs recovery cost");
+  Banner("FT", "elastic cluster runtime: checkpoints, failures, stragglers");
 
+  // --- 1. checkpoint-interval sweep -----------------------------------
   // A path graph gives hash-min WCC a long superstep schedule (~|V|),
   // the regime where fault tolerance matters.
   Graph g = Path(1500);
@@ -30,8 +34,8 @@ int main() {
   for (uint32_t interval : {500u, 200u, 50u, 10u}) {
     TlavConfig config;
     config.num_workers = 2;
-    config.checkpoint_every = interval;
-    config.fail_at_superstep = kFailAt;
+    config.faults = FaultPlan{}.CheckpointEvery(interval).FailWorkerAt(
+        0, kFailAt);
     WccResult r = Wcc(g, config);
     GAL_CHECK(r.component == clean.component);
     const uint64_t total_run =
@@ -51,5 +55,60 @@ int main() {
               "bound recomputation at the cost of snapshot volume — the "
               "interval is the knob LWCP tunes, with its lightweight\n"
               "checkpoints shrinking the per-snapshot cost term.\n");
+
+  // --- 2. straggler injection vs live rebalancing ---------------------
+  // One worker of four computes `factor` x slower for the whole job. The
+  // BSP barrier makes every round wait for it, so the compute makespan
+  // (Σ rounds max-worker compute, read off the VirtualClock — the wire
+  // term is factor-independent) scales with the factor — unless the
+  // runtime detects the sustained straggler and migrates half its
+  // vertices away.
+  Graph rmat = Rmat(13, 8, 42);
+  PageRankOptions pr;
+  pr.iterations = 30;
+  pr.engine.num_workers = 4;
+  auto compute_makespan = [](const ClusterRuntime& cluster) {
+    double seconds = 0.0;
+    for (const ClusterRound& round : cluster.clock().RoundsSince(0)) {
+      seconds += round.compute_seconds;
+    }
+    return seconds;
+  };
+  ClusterRuntime clean_cluster(ClusterOptions{4, {}});
+  PageRankOptions clean_pr = pr;
+  clean_pr.engine.cluster = &clean_cluster;
+  PageRankResult baseline = PageRank(rmat, clean_pr);
+  const double clean_makespan = compute_makespan(clean_cluster);
+  std::printf("\njob: 30-iteration PageRank on rmat-13 (4 workers), worker 0 "
+              "slowed for the whole run\n\n");
+
+  Table straggle({"slowdown", "rebalance", "compute makespan ms", "vs clean",
+                  "migrations", "migrated vertices", "migration MB"});
+  for (double factor : {1.0, 2.0, 4.0, 8.0}) {
+    for (bool rebalance : {false, true}) {
+      ClusterRuntime cluster(ClusterOptions{4, {}});
+      PageRankOptions options = pr;
+      options.engine.cluster = &cluster;
+      options.engine.faults = FaultPlan{}.SlowWorker(0, factor);
+      if (rebalance) options.engine.faults.Rebalance(RebalanceConfig{});
+      PageRankResult r = PageRank(rmat, options);
+      GAL_CHECK(r.ranks == baseline.ranks);
+      const double makespan = compute_makespan(cluster);
+      straggle.AddRow(
+          {Fmt("%.0fx", factor), rebalance ? "on" : "off",
+           Fmt("%.2f", makespan * 1e3),
+           Fmt("%.2fx", makespan / std::max(clean_makespan, 1e-12)),
+           Fmt("%u", r.stats.rebalances),
+           Fmt("%llu",
+               static_cast<unsigned long long>(r.stats.migrated_vertices)),
+           Fmt("%.2f", r.stats.migration_bytes / 1e6)});
+    }
+  }
+  straggle.Print();
+  std::printf("\nShape check: without rebalancing the compute makespan tracks "
+              "the slowdown factor (the barrier waits for the straggler);\n"
+              "with it the runtime sheds the slow worker's vertices after a "
+              "few sustained rounds, and the ranks stay bit-identical\n"
+              "either way — migration moves state, not semantics.\n");
   return 0;
 }

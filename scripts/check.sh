@@ -95,4 +95,29 @@ GAL_SIMD=0 GAL_GRAPH_COMPRESSION=1 ./build/tests/gal_tests \
     --gtest_filter='GraphReorderTest.*:ReorderSimdParityTest.*:IntersectTest.*:SimdTest.*:CompressedCsrTest.*'
 
 echo
+echo "== fault: elastic cluster runtime (ctest label) =="
+# The quick gate for cluster/fault.h + cluster/checkpoint.h changes:
+# FaultPlan env/seed resolution, checkpoint ring accounting, the
+# recovery session's failure/straggler machinery, and the cross-engine
+# bit-identity sweeps (TLAV PageRank/WCC, dist-GCN, TLAG triangles).
+(cd build && ctest -L fault --output-on-failure -j "${JOBS}")
+
+echo
+echo "== tsan: recovery-parity + rebalance suites =="
+# Recovery serializes/restores engine state while host-thread pools run
+# the supersteps, and rebalancing rewrites the partition mid-run — the
+# sweeps rerun under TSan so a rollback racing a worker pool shows up.
+./build-tsan/tests/gal_tests \
+    --gtest_filter='FaultParityTest.*:RebalanceTest.*'
+
+echo
+echo "== forced fault schedule: parity suites with an injected failure =="
+# The env kill-switch end of the fault substrate: every TLAV job in the
+# reorder/SIMD parity suites picks up a checkpoint-every-2 schedule with
+# worker 0 failing at superstep 3, and all the bit-identity assertions
+# must still hold — recovery is invisible to results by construction.
+GAL_CLUSTER_FAULT_CHECKPOINT=2 GAL_CLUSTER_FAULT_FAIL=0@3 ./build/tests/gal_tests \
+    --gtest_filter='GraphReorderTest.*:ReorderSimdParityTest.*:IntersectTest.*:SimdTest.*:CompressedCsrTest.*'
+
+echo
 echo "check.sh: all green"

@@ -1,44 +1,95 @@
 #ifndef GAL_CLUSTER_CLUSTER_H_
 #define GAL_CLUSTER_CLUSTER_H_
 
+#include <atomic>
 #include <cstdint>
 #include <cstdlib>
+#include <string>
 #include <thread>
 
 #include "cluster/ledger.h"
 #include "cluster/network.h"
 #include "cluster/virtual_clock.h"
 #include "common/logging.h"
+#include "common/status.h"
 #include "partition/partition.h"
 
 namespace gal {
+namespace internal {
+
+/// Strict full-string parse of a positive integer: "12abc", "", "-3" and
+/// "0" are all malformed (the old atoi-based resolution silently
+/// accepted prefixes and fell through on garbage).
+inline bool ParsePositiveEnvInt(const char* text, uint32_t* out) {
+  if (text == nullptr || *text == '\0') return false;
+  char* end = nullptr;
+  const long v = std::strtol(text, &end, 10);
+  if (*end != '\0' || v <= 0 || v > static_cast<long>(UINT32_MAX)) {
+    return false;
+  }
+  *out = static_cast<uint32_t>(v);
+  return true;
+}
+
+/// One process-wide warning per env variable; repeated resolutions of
+/// the same malformed value stay quiet.
+inline void WarnOnceBadEnv(std::atomic<bool>& warned, const char* var,
+                           const char* value, uint32_t fallback) {
+  if (warned.exchange(true)) return;
+  GAL_LOG(Warning) << var << "=\"" << value
+                   << "\" is not a positive integer; using " << fallback;
+}
+
+}  // namespace internal
 
 /// Worker-thread count for engines that execute simulated workers on
 /// host threads: an explicit request wins, else the GAL_TASK_THREADS
 /// environment variable, else all hardware threads. (Host threads are an
-/// execution detail — results are bit-identical at any count.)
+/// execution detail — results are bit-identical at any count.) A
+/// malformed env value warns once and falls through.
 inline uint32_t ResolveTaskThreads(uint32_t requested) {
   if (requested != 0) return requested;
-  if (const char* env = std::getenv("GAL_TASK_THREADS")) {
-    const int v = std::atoi(env);
-    if (v > 0) return static_cast<uint32_t>(v);
-  }
   const unsigned hw = std::thread::hardware_concurrency();
-  return hw == 0 ? 1 : hw;
+  const uint32_t fallback = hw == 0 ? 1 : hw;
+  if (const char* env = std::getenv("GAL_TASK_THREADS")) {
+    uint32_t v = 0;
+    if (internal::ParsePositiveEnvInt(env, &v)) return v;
+    static std::atomic<bool> warned{false};
+    internal::WarnOnceBadEnv(warned, "GAL_TASK_THREADS", env, fallback);
+  }
+  return fallback;
 }
 
 /// Simulated-cluster width: an explicit request wins, else the
 /// GAL_CLUSTER_WORKERS environment variable, else 4 (the default width
 /// every engine config also defaults to). Unlike host threads, the
 /// worker count is semantically visible — it decides the partition and
-/// therefore what traffic crosses the wire.
+/// therefore what traffic crosses the wire. A malformed env value warns
+/// once and falls through to the default.
 inline uint32_t ResolveClusterWorkers(uint32_t requested) {
   if (requested != 0) return requested;
   if (const char* env = std::getenv("GAL_CLUSTER_WORKERS")) {
-    const int v = std::atoi(env);
-    if (v > 0) return static_cast<uint32_t>(v);
+    uint32_t v = 0;
+    if (internal::ParsePositiveEnvInt(env, &v)) return v;
+    static std::atomic<bool> warned{false};
+    internal::WarnOnceBadEnv(warned, "GAL_CLUSTER_WORKERS", env, 4);
   }
   return 4;
+}
+
+/// Strict variant for callers that want malformed GAL_CLUSTER_WORKERS to
+/// be an error instead of a warn-and-default (CLI front ends, tests).
+inline Result<uint32_t> ResolveClusterWorkersStrict(uint32_t requested) {
+  if (requested != 0) return requested;
+  if (const char* env = std::getenv("GAL_CLUSTER_WORKERS")) {
+    uint32_t v = 0;
+    if (!internal::ParsePositiveEnvInt(env, &v)) {
+      return Status::InvalidArgument(std::string("GAL_CLUSTER_WORKERS=\"") +
+                                     env + "\" is not a positive integer");
+    }
+    return v;
+  }
+  return 4u;
 }
 
 struct ClusterOptions {

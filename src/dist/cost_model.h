@@ -41,6 +41,11 @@ struct CostReport {
   /// Epochs per dollar, normalized so the CPU baseline is 1.0 —
   /// Dorylus's "value" metric.
   double value = 0.0;
+  /// $/result accounting: completed training runs (results) one dollar
+  /// buys under this deployment — the elastic-runtime counterpart of
+  /// `value`, fed by VirtualClock modeled seconds instead of a static
+  /// epoch estimate. 0 when not computed by the modeled path.
+  double results_per_dollar = 0.0;
 };
 
 /// Computes time and cost of a training job under a deployment, given
@@ -54,6 +59,34 @@ inline CostReport EvaluateDeployment(const CloudDeployment& d,
   const double cpu_cost =
       cpu_epoch_seconds / 3600.0 * CloudDeployment::CpuServer().dollars_per_hour;
   r.value = cpu_cost / r.dollars_per_epoch;
+  return r;
+}
+
+/// Modeled-seconds variant, fed from a real training run's VirtualClock
+/// split (dist_gcn.h report.compute_seconds / comm_seconds): faster
+/// hardware scales the *compute* share by `relative_speed` but the wire
+/// time stays — which is exactly why Dorylus's cheap burst compute wins
+/// on value for comm-bound GNN jobs while the GPU wins on raw epoch
+/// time. `epochs` converts the per-run totals into $/result
+/// (results_per_dollar = how many completed runs a dollar buys).
+inline CostReport EvaluateDeploymentModeled(const CloudDeployment& d,
+                                            double compute_seconds,
+                                            double comm_seconds,
+                                            uint32_t epochs) {
+  CostReport r;
+  r.name = d.name;
+  const double run_seconds = compute_seconds / d.relative_speed + comm_seconds;
+  r.epoch_seconds = epochs > 0 ? run_seconds / epochs : run_seconds;
+  r.dollars_per_epoch = r.epoch_seconds / 3600.0 * d.dollars_per_hour;
+  const double cpu_run_seconds = compute_seconds + comm_seconds;
+  const double cpu_epoch_seconds =
+      epochs > 0 ? cpu_run_seconds / epochs : cpu_run_seconds;
+  const double cpu_cost = cpu_epoch_seconds / 3600.0 *
+                          CloudDeployment::CpuServer().dollars_per_hour;
+  r.value = r.dollars_per_epoch > 0.0 ? cpu_cost / r.dollars_per_epoch : 0.0;
+  const double dollars_per_run = run_seconds / 3600.0 * d.dollars_per_hour;
+  r.results_per_dollar =
+      dollars_per_run > 0.0 ? 1.0 / dollars_per_run : 0.0;
   return r;
 }
 

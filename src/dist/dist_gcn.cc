@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <cmath>
 #include <memory>
+#include <span>
 #include <sstream>
 #include <unordered_set>
 
+#include "cluster/checkpoint.h"
 #include "common/logging.h"
 #include "common/metrics.h"
 #include "common/timer.h"
@@ -156,7 +158,7 @@ DistGcnReport TrainDistGcn(const NodeClassificationDataset& dataset,
   VertexPartition parts = MakePartition(g, config.partition, num_workers,
                                         dataset.TrainVertices());
   report.edge_cut = EvaluatePartition(g, parts).edge_cut;
-  const std::vector<std::vector<VertexId>> halos = ComputeHalos(g, parts);
+  std::vector<std::vector<VertexId>> halos = ComputeHalos(g, parts);
   uint64_t halo_rows_per_exchange = 0;
   for (const auto& h : halos) halo_rows_per_exchange += h.size();
 
@@ -186,6 +188,66 @@ DistGcnReport TrainDistGcn(const NodeClassificationDataset& dataset,
   }
 
   uint32_t epoch = 0;
+
+  // --- elastic cluster runtime: checkpoint serialization ----------------
+  // The recovery-relevant trainer state is the model weights, the Adam
+  // step count + moments, and every stale channel (its receiver-view
+  // matrix, initialized flag, and — under EC — the codec's carried
+  // residual). Training is epoch-deterministic given that state, so a
+  // rollback + replay reproduces the failure-free run bit-for-bit.
+  auto write_matrix = [](BlobWriter& w, const Matrix& m) {
+    w.Pod<uint32_t>(m.rows());
+    w.Pod<uint32_t>(m.cols());
+    w.Vec(m.data());
+  };
+  auto read_matrix = [](BlobReader& r) {
+    const uint32_t rows = r.Pod<uint32_t>();
+    const uint32_t cols = r.Pod<uint32_t>();
+    Matrix m(rows, cols);
+    std::vector<float> data = r.Vec<float>();
+    GAL_CHECK(data.size() == m.size()) << "checkpoint matrix shape mismatch";
+    m.data() = std::move(data);
+    return m;
+  };
+  auto serialize_state = [&]() {
+    BlobWriter w;
+    for (const Matrix* p : model.Parameters()) write_matrix(w, *p);
+    w.Pod<uint64_t>(opt.step_count());
+    w.Pod<uint64_t>(opt.first_moments().size());
+    for (const Matrix& m : opt.first_moments()) write_matrix(w, m);
+    for (const Matrix& m : opt.second_moments()) write_matrix(w, m);
+    auto write_channels = [&](const std::vector<StaleChannel>& channels) {
+      for (const StaleChannel& ch : channels) {
+        w.Pod<uint8_t>(ch.initialized ? 1 : 0);
+        write_matrix(w, ch.stale);
+        if (ch.codec != nullptr) write_matrix(w, ch.codec->residual());
+      }
+    };
+    write_channels(forward_channels);
+    write_channels(backward_channels);
+    return std::move(w).Take();
+  };
+  auto restore_state = [&](const std::vector<uint8_t>& blob) {
+    BlobReader r(blob);
+    for (Matrix* p : model.Parameters()) *p = read_matrix(r);
+    const uint64_t t = r.Pod<uint64_t>();
+    const uint64_t moments = r.Pod<uint64_t>();
+    std::vector<Matrix> m(moments);
+    std::vector<Matrix> v(moments);
+    for (Matrix& mm : m) mm = read_matrix(r);
+    for (Matrix& vv : v) vv = read_matrix(r);
+    opt.RestoreState(t, std::move(m), std::move(v));
+    auto read_channels = [&](std::vector<StaleChannel>& channels) {
+      for (StaleChannel& ch : channels) {
+        ch.initialized = r.Pod<uint8_t>() != 0;
+        ch.stale = read_matrix(r);
+        if (ch.codec != nullptr) ch.codec->set_residual(read_matrix(r));
+      }
+    };
+    read_channels(forward_channels);
+    read_channels(backward_channels);
+    GAL_CHECK(r.exhausted()) << "trailing bytes in dist-GCN checkpoint";
+  };
 
   // Charges one cluster-wide halo exchange of `mat` to the ledger.
   auto charge_exchange = [&](uint32_t cols) {
@@ -290,7 +352,22 @@ DistGcnReport TrainDistGcn(const NodeClassificationDataset& dataset,
   // (ModelClusterOverlap) after the loop and also kept on the report as
   // traces for benches.
   TrafficSnapshot prev = run_start;
-  for (epoch = 0; epoch < config.epochs; ++epoch) {
+  // The fault-tolerance driver (cluster/checkpoint.h). Rebalancing is
+  // applied only when migrating vertices cannot change the math: under
+  // staleness, lossy wires, EC residuals, or P3's dimension split, the
+  // set of values crossing the wire depends on the partition, so a
+  // migration would perturb training — those configs keep their
+  // partition and rely on checkpoints alone.
+  RecoverySession session(cluster, config.faults);
+  const bool can_rebalance = config.sync == SyncMode::kBsp &&
+                             config.quantization == Quantization::kNone &&
+                             !config.error_compensation &&
+                             !config.p3_feature_split;
+  if (session.WantsInitialCheckpoint()) {
+    session.Commit(RecoverySession::kInitialRound, serialize_state());
+    prev = ledger.Snapshot();
+  }
+  while (epoch < config.epochs) {
     Timer compute_timer;
     Matrix logits = [&] {
       ScopedSpan span(&forward_hist);
@@ -307,8 +384,12 @@ DistGcnReport TrainDistGcn(const NodeClassificationDataset& dataset,
       opt.Step(grads);
     }
     // Data-parallel compute: each worker handles ~1/W of the rows.
+    // Scheduled stragglers stretch their worker's share before the
+    // round hits the clock (the span-form AdvanceRound takes the max).
     const double epoch_compute =
         compute_timer.ElapsedSeconds() / std::max(1u, num_workers);
+    std::vector<double> worker_compute(num_workers, epoch_compute);
+    session.ScaleCompute(epoch, std::span<double>(worker_compute));
 
     SoftmaxXentResult test =
         SoftmaxCrossEntropy(logits, dataset.labels, dataset.test_mask);
@@ -323,9 +404,73 @@ DistGcnReport TrainDistGcn(const NodeClassificationDataset& dataset,
     // One BSP round on the shared clock. Messages floor at 1 so an
     // epoch always pays at least one latency envelope, matching the
     // pre-cluster accounting.
-    cluster->clock().AdvanceRound(epoch_compute, epoch_bytes,
+    cluster->clock().AdvanceRound(std::span<const double>(worker_compute),
+                                  epoch_bytes,
                                   std::max<uint64_t>(epoch_msgs, 1));
+
+    // Checkpoint / failure / rebalance barrier. The session charges its
+    // own ledger bytes and clock rounds, so `prev` re-snapshots after
+    // any commit or restore — checkpoint traffic must not leak into the
+    // next epoch's halo-exchange delta.
+    if (session.ShouldCheckpoint(epoch)) {
+      session.Commit(epoch, serialize_state());
+      prev = ledger.Snapshot();
+    }
+    uint32_t resume_epoch = 0;
+    if (const std::vector<uint8_t>* blob =
+            session.OnFailure(epoch, &resume_epoch)) {
+      restore_state(*blob);
+      report.epoch_loss.resize(resume_epoch);
+      report.epoch_test_accuracy.resize(resume_epoch);
+      epoch = resume_epoch;
+      prev = ledger.Snapshot();
+      continue;
+    }
+    if (can_rebalance && config.faults.rebalance().enabled &&
+        num_workers > 1) {
+      std::vector<double> worker_load(num_workers, 0.0);
+      for (VertexId v = 0; v < g.NumVertices(); ++v) {
+        worker_load[parts.assignment[v]] += 1.0;
+      }
+      const uint32_t straggler = session.RebalanceCandidate(
+          epoch, std::span<const double>(worker_load));
+      if (straggler != RecoverySession::kNoWorker) {
+        std::vector<VertexId> moved;
+        parts = RebalanceAway(g, parts, straggler,
+                              config.faults.rebalance().migrate_fraction,
+                              &moved);
+        // Moved state on the wire: each vertex's raw feature row ships
+        // to its new owner (embeddings are recomputed, not shipped).
+        const uint64_t row_bytes =
+            static_cast<uint64_t>(dataset.features.cols()) * sizeof(float);
+        std::vector<uint64_t> dst_bytes(num_workers, 0);
+        for (VertexId v : moved) dst_bytes[parts.assignment[v]] += row_bytes;
+        std::vector<std::pair<uint32_t, uint64_t>> per_dst;
+        for (uint32_t w = 0; w < num_workers; ++w) {
+          if (dst_bytes[w] > 0) per_dst.emplace_back(w, dst_bytes[w]);
+        }
+        session.CommitMigration(straggler, per_dst, moved.size());
+        halos = ComputeHalos(g, parts);
+        halo_rows_per_exchange = 0;
+        for (const auto& h : halos) halo_rows_per_exchange += h.size();
+        SplitAdjacency(g, parts, AdjNorm::kSymmetric, &adj_local,
+                       &adj_remote);
+        cluster->InstallPartition(parts);
+        report.edge_cut = EvaluatePartition(g, parts).edge_cut;
+        prev = ledger.Snapshot();
+      }
+    }
+    ++epoch;
   }
+
+  const FaultStats& fault_stats = session.stats();
+  report.checkpoints_taken = fault_stats.checkpoints_taken;
+  report.checkpoint_bytes = fault_stats.checkpoint_bytes;
+  report.restored_bytes = fault_stats.restored_bytes;
+  report.failures_recovered = fault_stats.failures_recovered;
+  report.recomputed_epochs = fault_stats.recomputed_rounds;
+  report.rebalances = fault_stats.rebalances;
+  report.migration_bytes = fault_stats.migration_bytes;
 
   report.stage_timings = {
       StageTimingStat::FromHistogram("forward", forward_hist),

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "cluster/cluster.h"
+#include "cluster/fault.h"
 #include "common/metrics.h"
 #include "dist/quantization.h"
 #include "gnn/dataset.h"
@@ -66,6 +67,17 @@ struct DistGcnConfig {
   /// its VirtualClock one round per epoch, and installs the job's
   /// partition on it. When null the trainer owns a private runtime.
   ClusterRuntime* cluster = nullptr;
+
+  /// Shared fault-tolerance schedule (cluster/fault.h), driven at the
+  /// epoch barrier: checkpoints snapshot model weights, Adam moments,
+  /// and every stale channel (matrix + EC residual); a worker failure
+  /// rolls the trainer back to the last checkpoint and replays, with
+  /// checkpoint/restore bytes on the ledger and their transfer time on
+  /// the clock. Training is epoch-deterministic, so a recovered run's
+  /// losses and accuracy are bit-identical to the failure-free run.
+  /// Rebalancing applies only under semantics-preserving configs (BSP +
+  /// fp32, no EC/P3) — see DESIGN.md.
+  FaultPlan faults = FaultPlan::FromEnvOrWarn();
 };
 
 struct DistGcnReport {
@@ -78,6 +90,17 @@ struct DistGcnReport {
   uint64_t broadcasts_skipped = 0;  // Sancus / staleness savings
   uint64_t broadcasts_sent = 0;
   uint64_t edge_cut = 0;            // of the chosen partition
+
+  /// Fault-tolerance accounting of this run (cluster/checkpoint.h):
+  /// checkpoint/restore volume, recovered failures, replayed epochs,
+  /// and straggler-triggered migrations.
+  uint32_t checkpoints_taken = 0;
+  uint64_t checkpoint_bytes = 0;
+  uint64_t restored_bytes = 0;
+  uint32_t failures_recovered = 0;
+  uint32_t recomputed_epochs = 0;
+  uint32_t rebalances = 0;
+  uint64_t migration_bytes = 0;
 
   double compute_seconds = 0.0;       // measured math time
   double comm_seconds = 0.0;          // modeled wire time

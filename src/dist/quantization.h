@@ -41,6 +41,9 @@ class ErrorCompensatedCodec {
   Matrix Transmit(const Matrix& m);
 
   const Matrix& residual() const { return residual_; }
+  /// Checkpoint restore of the carried residual (elastic cluster
+  /// runtime): replayed transmissions must fold the same error state.
+  void set_residual(Matrix r) { residual_ = std::move(r); }
 
  private:
   Quantization scheme_;

@@ -38,6 +38,19 @@ class Adam : public Optimizer {
   void Attach(std::vector<Matrix*> params) override;
   void Step(const std::vector<Matrix>& grads) override;
 
+  /// Checkpoint access for the elastic cluster runtime: the step count
+  /// and moment estimates are part of trainer state, so rollback must
+  /// restore them bit-exactly for replayed epochs to match.
+  uint64_t step_count() const { return t_; }
+  const std::vector<Matrix>& first_moments() const { return m_; }
+  const std::vector<Matrix>& second_moments() const { return v_; }
+  void RestoreState(uint64_t t, std::vector<Matrix> m,
+                    std::vector<Matrix> v) {
+    t_ = t;
+    m_ = std::move(m);
+    v_ = std::move(v);
+  }
+
  private:
   float lr_;
   float beta1_;

@@ -75,6 +75,20 @@ VertexPartition BfsVoronoiPartition(const Graph& g, uint32_t num_parts,
                                     const std::vector<VertexId>& seeds,
                                     uint64_t seed = 1);
 
+/// --- Live rebalancing -------------------------------------------------
+
+/// Sheds load from an overloaded part: reassigns ~`fraction` of part
+/// `from`'s vertices (the tail of its ascending-id list — a contiguous
+/// range under range partitions, deterministic under any) to the other
+/// parts using LdgPartition's greedy rule — most already-placed
+/// neighbors, damped by a capacity penalty — with `from` excluded as a
+/// destination. The elastic-cluster runtime calls this on sustained
+/// straggler detection. `moved` (optional) receives the reassigned
+/// vertices in ascending id order.
+VertexPartition RebalanceAway(const Graph& g, const VertexPartition& current,
+                              uint32_t from, double fraction,
+                              std::vector<VertexId>* moved = nullptr);
+
 /// --- Vertex-cut (edge) partitioning ----------------------------------
 
 /// An assignment of *edges* to parts; vertices incident to edges on

@@ -1,8 +1,10 @@
 #include "tlag/algos/triangles.h"
 
 #include <algorithm>
+#include <span>
 #include <vector>
 
+#include "cluster/checkpoint.h"
 #include "cluster/cluster.h"
 #include "common/timer.h"
 #include "graph/intersect.h"
@@ -77,50 +79,156 @@ TriangleCountResult TaskTriangleCount(const Graph& g,
     clock_mark = cluster->clock().rounds();
   }
 
-  std::vector<VertexId> tasks(g.NumVertices());
-  for (VertexId v = 0; v < g.NumVertices(); ++v) tasks[v] = v;
+  const auto process = [&](VertexId& v, TaskEngine<VertexId>::Context& ctx) {
+    WorkerTally& tally = tallies[ctx.thread_id()];
+    if (parts != nullptr) {
+      ctx.TouchPartition(parts->assignment[v],
+                         oriented[v].size() * sizeof(VertexId));
+    }
+    for (VertexId u : oriented[v]) {
+      if (parts != nullptr) {
+        ctx.TouchPartition(parts->assignment[u],
+                           oriented[u].size() * sizeof(VertexId));
+      }
+      tally.triangles += IntersectCount(oriented[v], oriented[u], &tally.ops);
+    }
+  };
 
-  TaskEngine<VertexId> engine(config);
-  result.task_stats = engine.Run(
-      std::move(tasks), [&](VertexId& v, TaskEngine<VertexId>::Context& ctx) {
-        WorkerTally& tally = tallies[ctx.thread_id()];
-        if (parts != nullptr) {
-          ctx.TouchPartition(parts->assignment[v],
-                             oriented[v].size() * sizeof(VertexId));
-        }
-        for (VertexId u : oriented[v]) {
-          if (parts != nullptr) {
-            ctx.TouchPartition(parts->assignment[u],
-                               oriented[u].size() * sizeof(VertexId));
-          }
-          tally.triangles +=
-              IntersectCount(oriented[v], oriented[u], &tally.ops);
-        }
-      });
-  for (const WorkerTally& tally : tallies) {
-    result.triangles += tally.triangles;
-    result.intersection_ops += tally.ops;
+  if (cluster == nullptr || config.faults.empty()) {
+    // Fast path: one work-stealing pass over all vertex tasks.
+    std::vector<VertexId> tasks(g.NumVertices());
+    for (VertexId v = 0; v < g.NumVertices(); ++v) tasks[v] = v;
+    TaskEngine<VertexId> engine(config);
+    result.task_stats = engine.Run(std::move(tasks), process);
+    for (const WorkerTally& tally : tallies) {
+      result.triangles += tally.triangles;
+      result.intersection_ops += tally.ops;
+    }
+    result.wall_seconds = timer.ElapsedSeconds();
+
+    if (cluster != nullptr) {
+      // Fold host-thread busy time onto simulated workers (thread t ran
+      // worker t mod W) and close the job as one BSP round on the shared
+      // clock.
+      std::vector<double> worker_compute(cluster->num_workers(), 0.0);
+      for (size_t t = 0; t < result.task_stats.busy_seconds.size(); ++t) {
+        worker_compute[t % cluster->num_workers()] +=
+            result.task_stats.busy_seconds[t];
+      }
+      const TrafficSnapshot after = cluster->ledger().Snapshot();
+      const uint64_t cross_bytes = after.cross_bytes - before.cross_bytes;
+      const uint64_t cross_msgs = after.cross_messages - before.cross_messages;
+      cluster->clock().AdvanceRound(worker_compute, cross_bytes, cross_msgs);
+      result.migrated_bytes = cross_bytes;
+      result.data_touched_bytes =
+          cross_bytes + (after.local_bytes - before.local_bytes);
+      result.modeled_seconds = cluster->clock().SecondsSince(clock_mark);
+    }
+    return result;
   }
+
+  // Elastic fault-tolerant path: the vertex-task list is sliced into
+  // chunk-rounds so the run has BSP barriers for the shared
+  // RecoverySession to checkpoint at, inject failures into, and stretch
+  // with stragglers — the same hooks TLAV supersteps and dist-GCN epochs
+  // use. The checkpointed state is the folded {triangles, ops} running
+  // totals: a worker failure replays only the chunks since the last
+  // checkpoint, and the order-independent sum makes the recovered counts
+  // bit-identical to the failure-free run. (No rebalancing here —
+  // work-stealing already balances within each chunk.)
+  const uint32_t num_workers = cluster->num_workers();
+  RecoverySession session(cluster, config.faults);
+  uint64_t done_triangles = 0;
+  uint64_t done_ops = 0;
+  auto snapshot_totals = [&]() {
+    BlobWriter w;
+    w.Pod<uint64_t>(done_triangles);
+    w.Pod<uint64_t>(done_ops);
+    return std::move(w).Take();
+  };
+  if (session.WantsInitialCheckpoint()) {
+    session.Commit(RecoverySession::kInitialRound, snapshot_totals());
+  }
+
+  constexpr VertexId kChunkRounds = 16;
+  const VertexId n = g.NumVertices();
+  const VertexId chunk = (n + kChunkRounds - 1) / kChunkRounds;
+  const uint32_t num_rounds =
+      chunk == 0 ? 0 : static_cast<uint32_t>((n + chunk - 1) / chunk);
+  result.task_stats.busy_seconds.assign(ResolveTaskThreads(config.num_threads),
+                                        0.0);
+  TrafficSnapshot prev = before;
+  uint32_t round = 0;
+  while (round < num_rounds) {
+    const VertexId begin = round * chunk;
+    const VertexId end = std::min<VertexId>(n, begin + chunk);
+    std::vector<VertexId> tasks;
+    tasks.reserve(end - begin);
+    for (VertexId v = begin; v < end; ++v) tasks.push_back(v);
+    for (WorkerTally& tally : tallies) tally = WorkerTally{};
+
+    TaskEngine<VertexId> engine(config);
+    const TaskEngineStats round_stats = engine.Run(std::move(tasks), process);
+    for (const WorkerTally& tally : tallies) {
+      done_triangles += tally.triangles;
+      done_ops += tally.ops;
+    }
+    result.task_stats.tasks_executed += round_stats.tasks_executed;
+    result.task_stats.tasks_spawned += round_stats.tasks_spawned;
+    result.task_stats.steals += round_stats.steals;
+    result.task_stats.failed_steal_attempts +=
+        round_stats.failed_steal_attempts;
+    result.task_stats.parks += round_stats.parks;
+    result.task_stats.wall_seconds += round_stats.wall_seconds;
+    for (size_t t = 0; t < round_stats.busy_seconds.size(); ++t) {
+      result.task_stats.busy_seconds[t] += round_stats.busy_seconds[t];
+    }
+
+    std::vector<double> worker_compute(num_workers, 0.0);
+    for (size_t t = 0; t < round_stats.busy_seconds.size(); ++t) {
+      worker_compute[t % num_workers] += round_stats.busy_seconds[t];
+    }
+    session.ScaleCompute(round, std::span<double>(worker_compute));
+    const TrafficSnapshot after = cluster->ledger().Snapshot();
+    cluster->clock().AdvanceRound(
+        std::span<const double>(worker_compute),
+        after.cross_bytes - prev.cross_bytes,
+        after.cross_messages - prev.cross_messages);
+    prev = after;
+
+    if (session.ShouldCheckpoint(round)) {
+      session.Commit(round, snapshot_totals());
+      prev = cluster->ledger().Snapshot();
+    }
+    uint32_t resume_round = 0;
+    if (const std::vector<uint8_t>* blob =
+            session.OnFailure(round, &resume_round)) {
+      BlobReader r(*blob);
+      done_triangles = r.Pod<uint64_t>();
+      done_ops = r.Pod<uint64_t>();
+      GAL_CHECK(r.exhausted());
+      round = resume_round;
+      prev = cluster->ledger().Snapshot();
+      continue;
+    }
+    ++round;
+  }
+
+  result.triangles = done_triangles;
+  result.intersection_ops = done_ops;
   result.wall_seconds = timer.ElapsedSeconds();
 
-  if (cluster != nullptr) {
-    // Fold host-thread busy time onto simulated workers (thread t ran
-    // worker t mod W) and close the job as one BSP round on the shared
-    // clock.
-    std::vector<double> worker_compute(cluster->num_workers(), 0.0);
-    for (size_t t = 0; t < result.task_stats.busy_seconds.size(); ++t) {
-      worker_compute[t % cluster->num_workers()] +=
-          result.task_stats.busy_seconds[t];
-    }
-    const TrafficSnapshot after = cluster->ledger().Snapshot();
-    const uint64_t cross_bytes = after.cross_bytes - before.cross_bytes;
-    const uint64_t cross_msgs = after.cross_messages - before.cross_messages;
-    cluster->clock().AdvanceRound(worker_compute, cross_bytes, cross_msgs);
-    result.migrated_bytes = cross_bytes;
-    result.data_touched_bytes =
-        cross_bytes + (after.local_bytes - before.local_bytes);
-    result.modeled_seconds = cluster->clock().SecondsSince(clock_mark);
-  }
+  const TrafficSnapshot after = cluster->ledger().Snapshot();
+  result.migrated_bytes = after.cross_bytes - before.cross_bytes;
+  result.data_touched_bytes = result.migrated_bytes +
+                              (after.local_bytes - before.local_bytes);
+  result.modeled_seconds = cluster->clock().SecondsSince(clock_mark);
+  const FaultStats& fault_stats = session.stats();
+  result.checkpoints_taken = fault_stats.checkpoints_taken;
+  result.checkpoint_bytes = fault_stats.checkpoint_bytes;
+  result.restored_bytes = fault_stats.restored_bytes;
+  result.failures_recovered = fault_stats.failures_recovered;
+  result.recomputed_rounds = fault_stats.recomputed_rounds;
   return result;
 }
 

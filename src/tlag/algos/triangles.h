@@ -29,6 +29,18 @@ struct TriangleCountResult {
   uint64_t data_touched_bytes = 0;
   uint64_t migrated_bytes = 0;
   double modeled_seconds = 0.0;
+
+  /// Fault-tolerance accounting (cluster/checkpoint.h), populated when
+  /// the config carries an active FaultPlan and a cluster: the vertex
+  /// tasks run as chunk-rounds with the folded {triangles, ops} totals
+  /// checkpointed between chunks, so an injected worker failure replays
+  /// only the chunks since the last checkpoint and the final counts stay
+  /// bit-identical to the failure-free run.
+  uint32_t checkpoints_taken = 0;
+  uint64_t checkpoint_bytes = 0;
+  uint64_t restored_bytes = 0;
+  uint32_t failures_recovered = 0;
+  uint32_t recomputed_rounds = 0;
 };
 
 /// Single-threaded external-memory-style pass (Chu & Cheng's serial

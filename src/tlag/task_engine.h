@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "cluster/cluster.h"
+#include "cluster/fault.h"
 #include "common/core_budget.h"
 #include "common/logging.h"
 #include "common/metrics.h"
@@ -86,6 +87,13 @@ struct TaskEngineConfig {
   /// TLAV and dist-GNN engines. Non-owning; the engine never mutates the
   /// runtime beyond ledger charges.
   ClusterRuntime* cluster = nullptr;
+  /// Shared fault-tolerance schedule (cluster/fault.h). The task engine
+  /// itself is a single work-stealing pass with no rounds; algorithms
+  /// that want checkpoint/recovery (e.g. TaskTriangleCount) slice their
+  /// task list into chunk-rounds and drive a RecoverySession across the
+  /// chunks. Ignored when `cluster` is null — fault injection is a
+  /// property of the simulated cluster, not of host threads.
+  FaultPlan faults = FaultPlan::FromEnvOrWarn();
 };
 
 // ResolveTaskThreads — the explicit > GAL_TASK_THREADS > hardware

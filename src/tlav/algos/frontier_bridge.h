@@ -13,12 +13,13 @@ namespace internal {
 /// through the frontier substrate. Forced push keeps the original
 /// message engine (the Quegel-style baseline batched queries compare
 /// against), as do engine features the substrate does not model:
-/// Pregel+ mirroring, LWCP checkpointing, and fault injection.
+/// Pregel+ mirroring and any active FaultPlan (checkpointing, failure
+/// injection, slowdowns, rebalancing) — results are identical either
+/// way.
 inline bool UseFrontierPath(const TlavConfig& engine,
                             const DirectionConfig& direction) {
   return direction.mode != DirectionMode::kPushOnly &&
-         engine.mirror_degree_threshold == 0 && engine.checkpoint_every == 0 &&
-         engine.fail_at_superstep == UINT32_MAX;
+         engine.mirror_degree_threshold == 0 && engine.faults.empty();
 }
 
 inline FrontierEngineOptions ToFrontierOptions(const TlavConfig& engine,

@@ -12,8 +12,10 @@
 #include <string>
 #include <vector>
 
+#include "cluster/checkpoint.h"
 #include "cluster/cluster.h"
 #include "cluster/exchange.h"
+#include "cluster/fault.h"
 #include "common/logging.h"
 #include "common/metrics.h"
 #include "common/threadpool.h"
@@ -57,11 +59,17 @@ struct TlavStats {
   // Beamer heuristic flipped direction.
   uint32_t pull_supersteps = 0;
   uint32_t direction_switches = 0;
-  // Fault-tolerance accounting (LWCP-style checkpointing).
+  // Fault-tolerance accounting, read back from the shared
+  // RecoverySession (cluster/checkpoint.h) this run drove.
   uint32_t checkpoints_taken = 0;
   uint64_t checkpoint_bytes = 0;
+  uint64_t restored_bytes = 0;
   uint32_t failures_recovered = 0;
   uint32_t recomputed_supersteps = 0;
+  // Live rebalancing (straggler mitigation).
+  uint32_t rebalances = 0;
+  uint64_t migrated_vertices = 0;
+  uint64_t migration_bytes = 0;
 
   struct PerStep {
     uint64_t active_vertices = 0;
@@ -145,15 +153,14 @@ struct TlavConfig {
   /// (0 = off). Only affects SendToAllNeighbors, and only the wire
   /// accounting — logical deliveries are unchanged.
   uint32_t mirror_degree_threshold = 0;
-  /// Lightweight checkpointing (LWCP-style): snapshot vertex state and
-  /// in-flight messages every N supersteps (0 = off). Checkpoint cost
-  /// is accounted in TlavStats.
-  uint32_t checkpoint_every = 0;
-  /// Fault injection for recovery testing: the named superstep "fails"
-  /// after its compute phase and the engine rolls back to the last
-  /// checkpoint, recomputing from there (UINT32_MAX = never). Requires
-  /// checkpoint_every > 0. The failure fires once.
-  uint32_t fail_at_superstep = UINT32_MAX;
+  /// The shared fault-tolerance schedule (cluster/fault.h): checkpoint
+  /// cadence, worker failures, straggler slowdowns, and live
+  /// rebalancing, all driven through one RecoverySession per run. The
+  /// default resolves GAL_CLUSTER_FAULT_* (empty plan when unset).
+  /// Checkpoint/restore/migration traffic is charged to the runtime's
+  /// ledger and clock; results stay bit-identical to the fault-free run
+  /// for order-independent programs (all shipped ones).
+  FaultPlan faults = FaultPlan::FromEnvOrWarn();
   /// Shared simulated-cluster substrate. When set, the engine adopts its
   /// worker count, charges cross-worker traffic to its ledger, advances
   /// its VirtualClock one round per superstep, and installs the job's
@@ -316,17 +323,82 @@ class TlavEngine {
   uint32_t superstep_ = 0;
   TlavStats stats_;
 
-  /// A consistent cut taken at the superstep barrier.
-  struct Checkpoint {
-    uint32_t superstep = 0;
-    std::vector<V> values;
-    std::vector<uint8_t> halted;
-    std::vector<std::vector<M>> inbox;
-    std::map<std::string, Aggregator> aggregators;
-    size_t per_step_size = 0;
-  };
-  Checkpoint checkpoint_;
-  bool have_checkpoint_ = false;
+  /// A consistent cut at the superstep barrier for the shared
+  /// CheckpointStore: vertex values, halt flags, the delivered inbox
+  /// (the in-flight messages of the next superstep), aggregator state,
+  /// and the per-step stats length to truncate back to on rollback.
+  std::vector<uint8_t> SerializeState() const {
+    static_assert(std::is_trivially_copyable_v<V> &&
+                      std::is_trivially_copyable_v<M>,
+                  "TLAV checkpointing snapshots V/M by bytes");
+    BlobWriter w;
+    w.Vec(values_);
+    w.Vec(halted_);
+    w.Pod<uint64_t>(inbox_.size());
+    for (const std::vector<M>& box : inbox_) w.Vec(box);
+    w.Pod<uint64_t>(aggregators_.size());
+    for (const auto& [name, agg] : aggregators_) {
+      w.Str(name);
+      w.Pod(agg.op);
+      w.Pod(agg.initial);
+      w.Pod(agg.current);
+      w.Pod(agg.previous);
+    }
+    w.Pod<uint64_t>(stats_.per_step.size());
+    return std::move(w).Take();
+  }
+
+  void RestoreState(const std::vector<uint8_t>& blob) {
+    BlobReader r(blob);
+    values_ = r.template Vec<V>();
+    halted_ = r.template Vec<uint8_t>();
+    const uint64_t boxes = r.template Pod<uint64_t>();
+    GAL_CHECK(boxes == inbox_.size());
+    for (std::vector<M>& box : inbox_) box = r.template Vec<M>();
+    const uint64_t num_aggregators = r.template Pod<uint64_t>();
+    aggregators_.clear();
+    for (uint64_t i = 0; i < num_aggregators; ++i) {
+      const std::string name = r.Str();
+      Aggregator agg;
+      agg.op = r.template Pod<AggregateOp>();
+      agg.initial = r.template Pod<double>();
+      agg.current = r.template Pod<double>();
+      agg.previous = r.template Pod<double>();
+      aggregators_[name] = agg;
+    }
+    stats_.per_step.resize(r.template Pod<uint64_t>());
+    GAL_CHECK(r.exhausted());
+  }
+
+  /// Live rebalancing: sheds migrate_fraction of the straggler's
+  /// vertices via RebalanceAway, reinstalls the partition, and books
+  /// the moved state (value + halt flag + queued inbox messages per
+  /// vertex) through the session. Shipped programs fold messages
+  /// order-independently, so moving a vertex's home mid-run changes
+  /// traffic and timing but never results.
+  void MigrateAway(uint32_t from, RecoverySession& session) {
+    std::vector<VertexId> moved;
+    VertexPartition next =
+        RebalanceAway(*graph_, partition_, from,
+                      config_.faults.rebalance().migrate_fraction, &moved);
+    if (moved.empty()) return;
+    std::vector<uint64_t> dst_bytes(config_.num_workers, 0);
+    for (VertexId v : moved) {
+      dst_bytes[next.assignment[v]] +=
+          sizeof(V) + 1 + inbox_[v].size() * sizeof(M);
+    }
+    std::vector<std::pair<uint32_t, uint64_t>> per_dst;
+    for (uint32_t w = 0; w < config_.num_workers; ++w) {
+      if (dst_bytes[w] > 0) per_dst.emplace_back(w, dst_bytes[w]);
+    }
+    partition_ = std::move(next);
+    cluster_->InstallPartition(partition_);
+    for (std::vector<VertexId>& list : worker_vertices_) list.clear();
+    for (VertexId v = 0; v < graph_->NumVertices(); ++v) {
+      worker_vertices_[partition_.assignment[v]].push_back(v);
+    }
+    session.CommitMigration(from, per_dst, moved.size());
+  }
 };
 
 // --- implementation --------------------------------------------------------
@@ -402,8 +474,18 @@ TlavStats TlavEngine<V, M>::Run(VertexProgram<V, M>& program) {
   const size_t clock_start = cluster_->clock().rounds();
   std::vector<double> compute_seconds(workers, 0.0);
 
+  // The shared fault-tolerance driver: checkpoints, injected failures,
+  // straggler slowdowns, and rebalancing all flow through this session
+  // against the runtime's ledger and clock.
+  RecoverySession session(cluster_, config_.faults);
+  if (session.WantsInitialCheckpoint()) {
+    session.Commit(RecoverySession::kInitialRound, SerializeState());
+  }
+  std::vector<double> worker_load(workers, 0.0);
+
   uint64_t pending_messages = 0;
-  for (superstep_ = 0; superstep_ < config_.max_supersteps; ++superstep_) {
+  superstep_ = 0;
+  while (superstep_ < config_.max_supersteps) {
     // Compute phase: each simulated worker processes its own vertices
     // (host threads pick up whole workers, so outbox lanes stay
     // single-writer).
@@ -424,6 +506,9 @@ TlavStats TlavEngine<V, M>::Run(VertexProgram<V, M>& program) {
       active_count.fetch_add(active);
       compute_seconds[w] = worker_timer.ElapsedSeconds();
     });
+    // Straggler injection: scheduled slowdown factors scale the modeled
+    // per-worker compute before the round is priced.
+    session.ScaleCompute(superstep_, std::span<double>(compute_seconds));
 
     // Message delivery phase (the BSP barrier): the exchange channel
     // charges the step's wire traffic to the cluster ledger and routes
@@ -464,36 +549,33 @@ TlavStats TlavEngine<V, M>::Run(VertexProgram<V, M>& program) {
     }
     stats_.per_step.push_back({active_count.load(), step_messages});
 
-    // --- LWCP checkpointing & failure injection -----------------------
-    if (config_.checkpoint_every > 0 &&
-        (superstep_ + 1) % config_.checkpoint_every == 0) {
-      checkpoint_.superstep = superstep_;
-      checkpoint_.values = values_;
-      checkpoint_.halted = halted_;
-      checkpoint_.inbox = inbox_;  // messages already delivered for next step
-      checkpoint_.aggregators = aggregators_;
-      checkpoint_.per_step_size = stats_.per_step.size();
-      have_checkpoint_ = true;
-      ++stats_.checkpoints_taken;
-      uint64_t bytes = values_.size() * sizeof(V) + halted_.size();
-      for (const auto& box : inbox_) bytes += box.size() * sizeof(M);
-      stats_.checkpoint_bytes += bytes;
+    // --- shared checkpoint / recovery / rebalance hooks ---------------
+    // The snapshot lands at the superstep barrier: values, halt flags,
+    // and the just-delivered inbox (the in-flight messages of the next
+    // superstep). Its bytes ride the ledger, its transfer time the clock.
+    if (session.ShouldCheckpoint(superstep_)) {
+      session.Commit(superstep_, SerializeState());
     }
-    if (superstep_ == config_.fail_at_superstep) {
-      config_.fail_at_superstep = UINT32_MAX;  // fail once
-      GAL_CHECK(have_checkpoint_)
-          << "failure injected before any checkpoint exists";
-      ++stats_.failures_recovered;
-      stats_.recomputed_supersteps += superstep_ - checkpoint_.superstep;
-      values_ = checkpoint_.values;
-      halted_ = checkpoint_.halted;
-      inbox_ = checkpoint_.inbox;
-      aggregators_ = checkpoint_.aggregators;
+    uint32_t resume_superstep = 0;
+    if (const std::vector<uint8_t>* blob =
+            session.OnFailure(superstep_, &resume_superstep)) {
+      RestoreState(*blob);
       for (auto& box : next_inbox_) box.clear();
       channel_->Clear();
-      stats_.per_step.resize(checkpoint_.per_step_size);
-      superstep_ = checkpoint_.superstep;
-      continue;  // re-execute from the superstep after the checkpoint
+      superstep_ = resume_superstep;
+      continue;  // replay from the superstep after the checkpoint
+    }
+    if (config_.faults.rebalance().enabled) {
+      // Deterministic load signal: owned vertices, scaled inside the
+      // session by each worker's scheduled slowdown.
+      for (uint32_t w = 0; w < workers; ++w) {
+        worker_load[w] = static_cast<double>(worker_vertices_[w].size());
+      }
+      const uint32_t straggler = session.RebalanceCandidate(
+          superstep_, std::span<const double>(worker_load));
+      if (straggler != RecoverySession::kNoWorker) {
+        MigrateAway(straggler, session);
+      }
     }
 
     pending_messages = step_messages;
@@ -512,6 +594,7 @@ TlavStats TlavEngine<V, M>::Run(VertexProgram<V, M>& program) {
         break;
       }
     }
+    ++superstep_;
   }
 
   stats_.supersteps = superstep_ + (superstep_ < config_.max_supersteps ? 1 : 0);
@@ -529,6 +612,15 @@ TlavStats TlavEngine<V, M>::Run(VertexProgram<V, M>& program) {
       ledger_end.cross_messages - ledger_start.cross_messages;
   stats_.cross_worker_bytes = ledger_end.cross_bytes - ledger_start.cross_bytes;
   stats_.modeled_seconds = cluster_->clock().SecondsSince(clock_start);
+  const FaultStats& fault_stats = session.stats();
+  stats_.checkpoints_taken = fault_stats.checkpoints_taken;
+  stats_.checkpoint_bytes = fault_stats.checkpoint_bytes;
+  stats_.restored_bytes = fault_stats.restored_bytes;
+  stats_.failures_recovered = fault_stats.failures_recovered;
+  stats_.recomputed_supersteps = fault_stats.recomputed_rounds;
+  stats_.rebalances = fault_stats.rebalances;
+  stats_.migrated_vertices = fault_stats.migrated_vertices;
+  stats_.migration_bytes = fault_stats.migration_bytes;
   return stats_;
 }
 

@@ -1,0 +1,587 @@
+// The elastic fault-tolerant cluster runtime (cluster/fault.h,
+// cluster/checkpoint.h): deterministic fault schedules, checkpoint
+// ledger/clock accounting, the recovery session's failure and straggler
+// machinery, and the cross-engine contract — an injected mid-run worker
+// failure (or straggler-triggered migration) leaves TLAV PageRank/WCC,
+// dist-GCN training, and TLAG triangle counts bit-identical to their
+// failure-free runs at any worker x host-thread combination. The parity
+// and rebalance suites are also run under ThreadSanitizer by
+// scripts/check.sh.
+
+#include <cstdlib>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cluster/checkpoint.h"
+#include "cluster/cluster.h"
+#include "cluster/fault.h"
+#include "dist/dist_gcn.h"
+#include "gnn/dataset.h"
+#include "graph/generators.h"
+#include "tlag/algos/triangles.h"
+#include "tlav/algos/pagerank.h"
+#include "tlav/algos/wcc.h"
+
+namespace gal {
+namespace {
+
+// --- FaultPlan --------------------------------------------------------------
+
+TEST(FaultPlanTest, BuildersAndQueries) {
+  FaultPlan plan;
+  EXPECT_TRUE(plan.empty());
+  EXPECT_FALSE(plan.active());
+
+  plan.CheckpointEvery(5).FailWorkerAt(1, 7).SlowWorker(0, 2.0, 3, 9);
+  EXPECT_TRUE(plan.active());
+  EXPECT_EQ(plan.checkpoint_every(), 5u);
+  ASSERT_EQ(plan.failures().size(), 1u);
+  EXPECT_EQ(plan.failures()[0].worker, 1u);
+  EXPECT_EQ(plan.failures()[0].round, 7u);
+  ASSERT_EQ(plan.slowdowns().size(), 1u);
+  EXPECT_FALSE(plan.rebalance().enabled);
+
+  RebalanceConfig rb;
+  rb.threshold = 3.0;
+  plan.Rebalance(rb);  // builder forces enabled
+  EXPECT_TRUE(plan.rebalance().enabled);
+  EXPECT_DOUBLE_EQ(plan.rebalance().threshold, 3.0);
+}
+
+TEST(FaultPlanTest, SlowdownWindowsCompose) {
+  FaultPlan plan;
+  plan.SlowWorker(2, 3.0, 4, 8).SlowWorker(2, 2.0, 6, 10).SlowWorker(1, 5.0);
+  EXPECT_DOUBLE_EQ(plan.SlowdownFactor(2, 3), 1.0);   // before both
+  EXPECT_DOUBLE_EQ(plan.SlowdownFactor(2, 4), 3.0);   // first only
+  EXPECT_DOUBLE_EQ(plan.SlowdownFactor(2, 7), 6.0);   // overlap multiplies
+  EXPECT_DOUBLE_EQ(plan.SlowdownFactor(2, 8), 2.0);   // second only
+  EXPECT_DOUBLE_EQ(plan.SlowdownFactor(2, 10), 1.0);  // after both
+  EXPECT_DOUBLE_EQ(plan.SlowdownFactor(1, 0), 5.0);   // open-ended window
+  EXPECT_DOUBLE_EQ(plan.SlowdownFactor(0, 5), 1.0);   // unlisted worker
+}
+
+TEST(FaultPlanTest, RandomIsDeterministicAndInBounds) {
+  FaultPlan::RandomOptions options;
+  options.seed = 42;
+  options.num_workers = 3;
+  options.horizon_rounds = 12;
+  options.failures = 2;
+  options.stragglers = 2;
+  const FaultPlan a = FaultPlan::Random(options);
+  const FaultPlan b = FaultPlan::Random(options);
+
+  ASSERT_EQ(a.failures().size(), 2u);
+  ASSERT_EQ(a.slowdowns().size(), 2u);
+  EXPECT_EQ(a.checkpoint_every(), options.checkpoint_every);
+  for (size_t i = 0; i < a.failures().size(); ++i) {
+    EXPECT_EQ(a.failures()[i].worker, b.failures()[i].worker);
+    EXPECT_EQ(a.failures()[i].round, b.failures()[i].round);
+    EXPECT_LT(a.failures()[i].worker, options.num_workers);
+    EXPECT_GE(a.failures()[i].round, 1u);
+    EXPECT_LT(a.failures()[i].round, options.horizon_rounds);
+  }
+  for (size_t i = 0; i < a.slowdowns().size(); ++i) {
+    EXPECT_EQ(a.slowdowns()[i].worker, b.slowdowns()[i].worker);
+    EXPECT_DOUBLE_EQ(a.slowdowns()[i].factor, b.slowdowns()[i].factor);
+    EXPECT_EQ(a.slowdowns()[i].from_round, b.slowdowns()[i].from_round);
+    EXPECT_GE(a.slowdowns()[i].factor, options.min_slowdown);
+    EXPECT_LE(a.slowdowns()[i].factor, options.max_slowdown);
+  }
+}
+
+// --- env resolution ---------------------------------------------------------
+
+class FaultEnvTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    unsetenv("GAL_CLUSTER_FAULT_CHECKPOINT");
+    unsetenv("GAL_CLUSTER_FAULT_FAIL");
+    unsetenv("GAL_CLUSTER_FAULT_SLOW");
+    unsetenv("GAL_CLUSTER_FAULT_SEED");
+    unsetenv("GAL_CLUSTER_FAULT_REBALANCE");
+    unsetenv("GAL_CLUSTER_WORKERS");
+  }
+};
+
+TEST_F(FaultEnvTest, FromEnvParsesFullSpec) {
+  ASSERT_EQ(setenv("GAL_CLUSTER_FAULT_CHECKPOINT", "5", 1), 0);
+  ASSERT_EQ(setenv("GAL_CLUSTER_FAULT_FAIL", "1@7,0@9", 1), 0);
+  ASSERT_EQ(setenv("GAL_CLUSTER_FAULT_SLOW", "2:3.5@4-9,0:2", 1), 0);
+  ASSERT_EQ(setenv("GAL_CLUSTER_FAULT_REBALANCE", "1", 1), 0);
+  Result<FaultPlan> plan = FaultPlan::FromEnv();
+  ASSERT_TRUE(plan.ok()) << plan.status().message();
+  EXPECT_EQ(plan->checkpoint_every(), 5u);
+  ASSERT_EQ(plan->failures().size(), 2u);
+  EXPECT_EQ(plan->failures()[1].worker, 0u);
+  EXPECT_EQ(plan->failures()[1].round, 9u);
+  ASSERT_EQ(plan->slowdowns().size(), 2u);
+  EXPECT_DOUBLE_EQ(plan->slowdowns()[0].factor, 3.5);
+  EXPECT_EQ(plan->slowdowns()[0].from_round, 4u);
+  EXPECT_EQ(plan->slowdowns()[0].until_round, 9u);
+  EXPECT_EQ(plan->slowdowns()[1].until_round, UINT32_MAX);
+  EXPECT_TRUE(plan->rebalance().enabled);
+}
+
+TEST_F(FaultEnvTest, FromEnvRejectsMalformedValues) {
+  const std::pair<const char*, const char*> cases[] = {
+      {"GAL_CLUSTER_FAULT_CHECKPOINT", "5x"},
+      {"GAL_CLUSTER_FAULT_FAIL", "1@"},
+      {"GAL_CLUSTER_FAULT_FAIL", "nope"},
+      {"GAL_CLUSTER_FAULT_SLOW", "0:0.5"},   // factor < 1
+      {"GAL_CLUSTER_FAULT_SLOW", "0:2@9-4"}, // empty window
+      {"GAL_CLUSTER_FAULT_SEED", "abc"},
+      {"GAL_CLUSTER_FAULT_REBALANCE", "yes"},
+  };
+  for (const auto& [var, value] : cases) {
+    ASSERT_EQ(setenv(var, value, 1), 0);
+    Result<FaultPlan> plan = FaultPlan::FromEnv();
+    ASSERT_FALSE(plan.ok()) << var << "=" << value;
+    EXPECT_NE(plan.status().message().find(var), std::string::npos);
+    EXPECT_NE(plan.status().message().find(value), std::string::npos);
+    // The warn-once path degrades to an empty plan instead of failing.
+    EXPECT_TRUE(FaultPlan::FromEnvOrWarn().empty());
+    ASSERT_EQ(unsetenv(var), 0);
+  }
+}
+
+TEST_F(FaultEnvTest, SeedFillsInUnspecifiedEvents) {
+  ASSERT_EQ(setenv("GAL_CLUSTER_FAULT_SEED", "7", 1), 0);
+  Result<FaultPlan> seeded = FaultPlan::FromEnv();
+  ASSERT_TRUE(seeded.ok());
+  EXPECT_EQ(seeded->failures().size(), 1u);
+  EXPECT_EQ(seeded->slowdowns().size(), 1u);
+  EXPECT_GT(seeded->checkpoint_every(), 0u);
+
+  // Explicit FAIL wins: the seed only draws the straggler.
+  ASSERT_EQ(setenv("GAL_CLUSTER_FAULT_FAIL", "0@3", 1), 0);
+  Result<FaultPlan> mixed = FaultPlan::FromEnv();
+  ASSERT_TRUE(mixed.ok());
+  ASSERT_EQ(mixed->failures().size(), 1u);
+  EXPECT_EQ(mixed->failures()[0].round, 3u);
+  EXPECT_EQ(mixed->slowdowns().size(), 1u);
+}
+
+TEST_F(FaultEnvTest, ResolveClusterWorkersStrict) {
+  ASSERT_EQ(setenv("GAL_CLUSTER_WORKERS", "6", 1), 0);
+  Result<uint32_t> six = ResolveClusterWorkersStrict(0);
+  ASSERT_TRUE(six.ok());
+  EXPECT_EQ(six.value(), 6u);
+
+  ASSERT_EQ(setenv("GAL_CLUSTER_WORKERS", "12abc", 1), 0);
+  Result<uint32_t> bad = ResolveClusterWorkersStrict(0);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().message().find("GAL_CLUSTER_WORKERS"),
+            std::string::npos);
+
+  // Explicit request short-circuits the env entirely.
+  Result<uint32_t> explicit_width = ResolveClusterWorkersStrict(3);
+  ASSERT_TRUE(explicit_width.ok());
+  EXPECT_EQ(explicit_width.value(), 3u);
+
+  ASSERT_EQ(unsetenv("GAL_CLUSTER_WORKERS"), 0);
+  Result<uint32_t> fallback = ResolveClusterWorkersStrict(0);
+  ASSERT_TRUE(fallback.ok());
+  EXPECT_EQ(fallback.value(), 4u);
+}
+
+// --- CheckpointStore --------------------------------------------------------
+
+TEST(CheckpointStoreTest, RingChargeIsExactAndOnTheClock) {
+  ClusterRuntime cluster(ClusterOptions{4, {}});
+  CheckpointStore store(&cluster);
+  const size_t rounds_before = cluster.clock().rounds();
+
+  store.Save(3, std::vector<uint8_t>(103, 0xAB));  // 103 = 4*25 + 3 remainder
+  TrafficSnapshot snap = cluster.ledger().Snapshot();
+  EXPECT_EQ(snap.cross_bytes, 103u);  // every ring hop is cross at W=4
+  EXPECT_EQ(snap.local_bytes, 0u);
+  EXPECT_EQ(cluster.clock().rounds(), rounds_before + 1);
+  EXPECT_EQ(store.checkpoints_taken(), 1u);
+  EXPECT_EQ(store.checkpoint_bytes(), 103u);
+  EXPECT_TRUE(store.has_checkpoint());
+  EXPECT_EQ(store.round(), 3u);
+
+  const std::vector<uint8_t>& blob = store.Restore();
+  EXPECT_EQ(blob.size(), 103u);
+  snap = cluster.ledger().Snapshot();
+  EXPECT_EQ(snap.cross_bytes, 206u);  // restore reverses the ring, same bytes
+  EXPECT_EQ(cluster.clock().rounds(), rounds_before + 2);
+  EXPECT_EQ(store.restored_bytes(), 103u);
+}
+
+TEST(CheckpointStoreTest, SingleWorkerCheckpointsAreLocal) {
+  ClusterRuntime cluster(ClusterOptions{1, {}});
+  CheckpointStore store(&cluster);
+  store.Save(0, std::vector<uint8_t>(64, 1));
+  store.Restore();
+  TrafficSnapshot snap = cluster.ledger().Snapshot();
+  EXPECT_EQ(snap.cross_bytes, 0u);  // w -> w: off the wire
+  EXPECT_EQ(snap.local_bytes, 128u);
+}
+
+// --- RecoverySession --------------------------------------------------------
+
+TEST(RecoverySessionTest, CheckpointCadenceAndScaling) {
+  ClusterRuntime cluster(ClusterOptions{2, {}});
+  RecoverySession session(
+      &cluster, FaultPlan{}.CheckpointEvery(3).SlowWorker(1, 4.0, 2, 5));
+  EXPECT_FALSE(session.WantsInitialCheckpoint());  // no failures scheduled
+  EXPECT_FALSE(session.ShouldCheckpoint(0));
+  EXPECT_FALSE(session.ShouldCheckpoint(1));
+  EXPECT_TRUE(session.ShouldCheckpoint(2));
+  EXPECT_TRUE(session.ShouldCheckpoint(5));
+  EXPECT_FALSE(session.ShouldCheckpoint(6));
+
+  std::vector<double> seconds = {1.0, 1.0};
+  session.ScaleCompute(3, std::span<double>(seconds));
+  EXPECT_DOUBLE_EQ(seconds[0], 1.0);
+  EXPECT_DOUBLE_EQ(seconds[1], 4.0);
+  session.ScaleCompute(5, std::span<double>(seconds));  // window [2,5) closed
+  EXPECT_DOUBLE_EQ(seconds[1], 4.0);
+}
+
+TEST(RecoverySessionTest, FailureRollsBackAndIsConsumedOnce) {
+  ClusterRuntime cluster(ClusterOptions{2, {}});
+  RecoverySession session(&cluster,
+                          FaultPlan{}.CheckpointEvery(2).FailWorkerAt(0, 3));
+  EXPECT_TRUE(session.WantsInitialCheckpoint());
+  session.Commit(RecoverySession::kInitialRound, {1, 2, 3});
+  EXPECT_FALSE(session.WantsInitialCheckpoint());
+  session.Commit(1, {4, 5, 6, 7});
+
+  uint32_t resume = 99;
+  EXPECT_EQ(session.OnFailure(2, &resume), nullptr);  // wrong round
+  const std::vector<uint8_t>* blob = session.OnFailure(3, &resume);
+  ASSERT_NE(blob, nullptr);
+  EXPECT_EQ(blob->size(), 4u);
+  EXPECT_EQ(resume, 2u);  // checkpoint at 1 -> re-execute from 2
+  EXPECT_EQ(session.stats().failures_recovered, 1u);
+  EXPECT_EQ(session.stats().recomputed_rounds, 2u);  // rounds 2 and 3
+  EXPECT_EQ(session.stats().restored_bytes, 4u);
+  // Consumed: the replayed round 3 completes cleanly.
+  EXPECT_EQ(session.OnFailure(3, &resume), nullptr);
+}
+
+TEST(RecoverySessionTest, FailureBeforeFirstCheckpointRestartsFromInitial) {
+  ClusterRuntime cluster(ClusterOptions{2, {}});
+  RecoverySession session(&cluster,
+                          FaultPlan{}.CheckpointEvery(10).FailWorkerAt(1, 2));
+  session.Commit(RecoverySession::kInitialRound, {9});
+  uint32_t resume = 99;
+  ASSERT_NE(session.OnFailure(2, &resume), nullptr);
+  EXPECT_EQ(resume, 0u);
+  EXPECT_EQ(session.stats().recomputed_rounds, 3u);  // rounds 0..2
+}
+
+TEST(RecoverySessionTest, OutOfRangeFailureIsInert) {
+  ClusterRuntime cluster(ClusterOptions{2, {}});
+  RecoverySession session(&cluster, FaultPlan{}.FailWorkerAt(7, 3));
+  EXPECT_FALSE(session.WantsInitialCheckpoint());
+  uint32_t resume = 0;
+  EXPECT_EQ(session.OnFailure(3, &resume), nullptr);
+  EXPECT_EQ(session.stats().failures_recovered, 0u);
+}
+
+TEST(RecoverySessionTest, StragglerDetectionSustainAndCooldown) {
+  ClusterRuntime cluster(ClusterOptions{4, {}});
+  // Default rebalance policy: threshold 2, sustain 3, cooldown 4. The
+  // load signal is flat; worker 0's 8x slowdown makes it the straggler.
+  RecoverySession session(
+      &cluster, FaultPlan{}.SlowWorker(0, 8.0).Rebalance(RebalanceConfig{}));
+  const std::vector<double> load = {10, 10, 10, 10};
+  const std::span<const double> span(load);
+  EXPECT_EQ(session.RebalanceCandidate(0, span), RecoverySession::kNoWorker);
+  EXPECT_EQ(session.RebalanceCandidate(1, span), RecoverySession::kNoWorker);
+  EXPECT_EQ(session.RebalanceCandidate(2, span), 0u);  // 3rd sustained round
+
+  // Books the migration: ledger bytes, stats, and the cooldown window.
+  const std::vector<std::pair<uint32_t, uint64_t>> moved = {{1, 300},
+                                                            {2, 200}};
+  session.CommitMigration(0, std::span<const std::pair<uint32_t, uint64_t>>(
+                                 moved),
+                          25);
+  EXPECT_EQ(session.stats().rebalances, 1u);
+  EXPECT_EQ(session.stats().migrated_vertices, 25u);
+  EXPECT_EQ(session.stats().migration_bytes, 500u);
+  EXPECT_EQ(cluster.ledger().Snapshot().cross_bytes, 500u);
+
+  // Cooldown (rounds 3..6) suppresses detection; then sustain restarts.
+  for (uint32_t round = 3; round <= 8; ++round) {
+    EXPECT_EQ(session.RebalanceCandidate(round, span),
+              RecoverySession::kNoWorker)
+        << "round " << round;
+  }
+  EXPECT_EQ(session.RebalanceCandidate(9, span), 0u);
+}
+
+TEST(RecoverySessionTest, MaxMigrationsCapsRebalancing) {
+  ClusterRuntime cluster(ClusterOptions{2, {}});
+  RebalanceConfig rb;
+  rb.sustain_rounds = 1;
+  rb.cooldown_rounds = 0;
+  rb.max_migrations = 1;
+  RecoverySession session(&cluster,
+                          FaultPlan{}.SlowWorker(0, 8.0).Rebalance(rb));
+  const std::vector<double> load = {10, 10};
+  ASSERT_EQ(session.RebalanceCandidate(0, std::span<const double>(load)), 0u);
+  session.CommitMigration(0, {}, 5);
+  for (uint32_t round = 1; round < 6; ++round) {
+    EXPECT_EQ(session.RebalanceCandidate(round, std::span<const double>(load)),
+              RecoverySession::kNoWorker);
+  }
+}
+
+// --- cross-engine bit-identity under fault schedules ------------------------
+
+// The three schedules every parity sweep runs: nothing, a mid-run
+// failure, and a failure plus a straggler window.
+std::vector<FaultPlan> ParitySchedules() {
+  std::vector<FaultPlan> schedules;
+  schedules.push_back(FaultPlan{});
+  schedules.push_back(FaultPlan{}.CheckpointEvery(4).FailWorkerAt(1, 7));
+  schedules.push_back(FaultPlan{}
+                          .CheckpointEvery(3)
+                          .FailWorkerAt(0, 8)
+                          .SlowWorker(0, 3.0, 2, 12));
+  return schedules;
+}
+
+TEST(FaultParityTest, PageRankBitIdenticalAcrossWorkersThreadsAndFaults) {
+  Graph g = ErdosRenyi(300, 0.02, 7);
+  PageRankOptions baseline_options;
+  baseline_options.iterations = 15;
+  const PageRankResult baseline = PageRank(g, baseline_options);
+
+  for (const char* threads : {"1", "8"}) {
+    ASSERT_EQ(setenv("GAL_TASK_THREADS", threads, 1), 0);
+    for (uint32_t workers : {1u, 2u, 4u}) {
+      for (const FaultPlan& plan : ParitySchedules()) {
+        PageRankOptions options;
+        options.iterations = 15;
+        options.engine.num_workers = workers;
+        options.engine.faults = plan;
+        const PageRankResult r = PageRank(g, options);
+        EXPECT_EQ(r.ranks, baseline.ranks)
+            << "W=" << workers << " threads=" << threads
+            << " failures=" << plan.failures().size();
+        if (!plan.failures().empty() && workers > 1) {
+          EXPECT_EQ(r.stats.failures_recovered, 1u);
+          EXPECT_GT(r.stats.checkpoint_bytes, 0u);
+          EXPECT_GT(r.stats.restored_bytes, 0u);
+        }
+      }
+    }
+  }
+  ASSERT_EQ(unsetenv("GAL_TASK_THREADS"), 0);
+}
+
+TEST(FaultParityTest, WccBitIdenticalAcrossWorkersThreadsAndFaults) {
+  Graph g = ErdosRenyi(400, 0.01, 3);
+  const WccResult baseline = Wcc(g);
+
+  for (const char* threads : {"1", "8"}) {
+    ASSERT_EQ(setenv("GAL_TASK_THREADS", threads, 1), 0);
+    for (uint32_t workers : {1u, 2u, 4u}) {
+      for (const FaultPlan& plan : ParitySchedules()) {
+        TlavConfig config;
+        config.num_workers = workers;
+        config.faults = plan;
+        const WccResult r = Wcc(g, config);
+        EXPECT_EQ(r.component, baseline.component)
+            << "W=" << workers << " threads=" << threads;
+        EXPECT_EQ(r.num_components, baseline.num_components);
+      }
+    }
+  }
+  ASSERT_EQ(unsetenv("GAL_TASK_THREADS"), 0);
+}
+
+TEST(FaultParityTest, DistGcnRecoveryIsBitIdentical) {
+  PlantedDatasetOptions data;
+  data.num_vertices = 300;
+  data.num_classes = 3;
+  NodeClassificationDataset ds = MakePlantedDataset(data);
+
+  for (uint32_t workers : {1u, 2u, 4u}) {
+    DistGcnConfig clean;
+    clean.num_workers = workers;
+    clean.epochs = 8;
+    clean.faults = FaultPlan{};
+    const DistGcnReport clean_report = TrainDistGcn(ds, clean);
+
+    DistGcnConfig faulty = clean;
+    faulty.faults = FaultPlan{}.CheckpointEvery(3).FailWorkerAt(0, 4);
+    const DistGcnReport r = TrainDistGcn(ds, faulty);
+
+    EXPECT_EQ(r.epoch_loss, clean_report.epoch_loss) << "W=" << workers;
+    EXPECT_EQ(r.epoch_test_accuracy, clean_report.epoch_test_accuracy);
+    EXPECT_EQ(r.final_test_accuracy, clean_report.final_test_accuracy);
+    EXPECT_EQ(r.failures_recovered, 1u);
+    EXPECT_EQ(r.recomputed_epochs, 2u);  // checkpoint at 2, failed at 4
+    EXPECT_GT(r.checkpoints_taken, 0u);
+    EXPECT_GT(r.checkpoint_bytes, 0u);
+    EXPECT_GT(r.restored_bytes, 0u);
+  }
+}
+
+TEST(FaultParityTest, DistGcnRecoveryUnderStalenessAndEc) {
+  // The checkpoint blob carries the stale channels and EC residuals, so
+  // recovery is bit-identical even when the wire is lossy and stale.
+  PlantedDatasetOptions data;
+  data.num_vertices = 250;
+  data.num_classes = 3;
+  NodeClassificationDataset ds = MakePlantedDataset(data);
+
+  DistGcnConfig clean;
+  clean.num_workers = 2;
+  clean.epochs = 8;
+  clean.sync = SyncMode::kBoundedStaleness;
+  clean.staleness_bound = 3;
+  clean.quantization = Quantization::kInt8;
+  clean.error_compensation = true;
+  clean.faults = FaultPlan{};
+  const DistGcnReport clean_report = TrainDistGcn(ds, clean);
+
+  DistGcnConfig faulty = clean;
+  faulty.faults = FaultPlan{}.CheckpointEvery(2).FailWorkerAt(1, 4);
+  const DistGcnReport r = TrainDistGcn(ds, faulty);
+  EXPECT_EQ(r.epoch_loss, clean_report.epoch_loss);
+  EXPECT_EQ(r.final_test_accuracy, clean_report.final_test_accuracy);
+  EXPECT_EQ(r.failures_recovered, 1u);
+}
+
+TEST(FaultParityTest, TriangleCountBitIdenticalUnderFaults) {
+  Graph g = Rmat(10, 8, 5);
+  const TriangleCountResult serial = SerialTriangleCount(g);
+
+  for (uint32_t workers : {2u, 4u}) {
+    ClusterRuntime cluster(ClusterOptions{workers, {}});
+    TaskEngineConfig config;
+    config.cluster = &cluster;
+    config.faults =
+        FaultPlan{}.CheckpointEvery(4).FailWorkerAt(0, 9).SlowWorker(1, 2.0);
+    const TriangleCountResult r = TaskTriangleCount(g, config);
+    EXPECT_EQ(r.triangles, serial.triangles) << "W=" << workers;
+    EXPECT_EQ(r.intersection_ops, serial.intersection_ops);
+    EXPECT_EQ(r.failures_recovered, 1u);
+    EXPECT_EQ(r.recomputed_rounds, 2u);  // checkpoint at 7, failed at 9
+    EXPECT_GT(r.checkpoints_taken, 0u);
+    EXPECT_GT(r.checkpoint_bytes, 0u);
+  }
+}
+
+TEST(FaultParityTest, CheckpointBytesAreExactOnTheLedger) {
+  // Failure at a checkpoint boundary recomputes nothing, so the faulty
+  // run's extra cross-worker bytes are exactly the checkpoint ring
+  // charges plus the one restore — the ledger-exactness contract.
+  Graph g = Path(60);
+  WccOptions clean;
+  clean.engine.num_workers = 2;
+  clean.direction.mode = DirectionMode::kPushOnly;  // same engine both runs
+  ClusterRuntime clean_cluster(ClusterOptions{2, {}});
+  clean.engine.cluster = &clean_cluster;
+  const WccResult clean_result = Wcc(g, clean);
+
+  WccOptions faulty = clean;
+  ClusterRuntime faulty_cluster(ClusterOptions{2, {}});
+  faulty.engine.cluster = &faulty_cluster;
+  faulty.engine.faults = FaultPlan{}.CheckpointEvery(5).FailWorkerAt(0, 9);
+  const WccResult faulty_result = Wcc(g, faulty);
+
+  EXPECT_EQ(faulty_result.component, clean_result.component);
+  EXPECT_EQ(faulty_result.stats.recomputed_supersteps, 0u);
+  const uint64_t clean_cross = clean_cluster.ledger().Snapshot().cross_bytes;
+  const uint64_t faulty_cross = faulty_cluster.ledger().Snapshot().cross_bytes;
+  EXPECT_EQ(faulty_cross - clean_cross,
+            faulty_result.stats.checkpoint_bytes +
+                faulty_result.stats.restored_bytes);
+}
+
+// --- live rebalancing -------------------------------------------------------
+
+TEST(RebalanceTest, PageRankRebalancePreservesRanksAndBooksMigration) {
+  Graph g = ErdosRenyi(500, 0.01, 11);
+  PageRankOptions clean;
+  clean.iterations = 30;
+  clean.engine.num_workers = 4;
+  const PageRankResult baseline = PageRank(g, clean);
+
+  PageRankOptions rebalanced = clean;
+  rebalanced.engine.faults =
+      FaultPlan{}.SlowWorker(0, 8.0).Rebalance(RebalanceConfig{});
+  ClusterRuntime cluster(ClusterOptions{4, {}});
+  rebalanced.engine.cluster = &cluster;
+  const PageRankResult r = PageRank(g, rebalanced);
+
+  EXPECT_EQ(r.ranks, baseline.ranks);
+  EXPECT_GE(r.stats.rebalances, 1u);
+  EXPECT_GT(r.stats.migrated_vertices, 0u);
+  EXPECT_GT(r.stats.migration_bytes, 0u);
+  // The migration's bytes really landed on the shared ledger.
+  EXPECT_GE(cluster.ledger().Snapshot().cross_bytes,
+            r.stats.migration_bytes);
+}
+
+TEST(RebalanceTest, WccRebalanceKeepsComponents) {
+  Graph g = ErdosRenyi(400, 0.012, 19);
+  const WccResult baseline = Wcc(g);
+  TlavConfig config;
+  config.num_workers = 4;
+  config.faults = FaultPlan{}.SlowWorker(1, 6.0).Rebalance(RebalanceConfig{});
+  const WccResult r = Wcc(g, config);
+  EXPECT_EQ(r.component, baseline.component);
+  EXPECT_EQ(r.num_components, baseline.num_components);
+}
+
+TEST(RebalanceTest, RebalanceComposesWithFailureRecovery) {
+  Graph g = ErdosRenyi(300, 0.02, 23);
+  PageRankOptions clean;
+  clean.iterations = 25;
+  clean.engine.num_workers = 4;
+  const PageRankResult baseline = PageRank(g, clean);
+
+  PageRankOptions options = clean;
+  options.engine.faults = FaultPlan{}
+                              .CheckpointEvery(5)
+                              .FailWorkerAt(2, 12)
+                              .SlowWorker(0, 8.0)
+                              .Rebalance(RebalanceConfig{});
+  const PageRankResult r = PageRank(g, options);
+  EXPECT_EQ(r.ranks, baseline.ranks);
+  EXPECT_EQ(r.stats.failures_recovered, 1u);
+  EXPECT_GE(r.stats.rebalances, 1u);
+}
+
+TEST(RebalanceTest, DistGcnRebalancePreservesTraining) {
+  // Unlike the TLAV engines (integer folds, bit-exact under any
+  // partition), dist-GCN's local/remote adjacency split changes float
+  // summation order when vertices migrate, so a rebalanced run matches
+  // the clean one in math, not in ULPs: training quality is asserted
+  // with a tolerance, while the migration accounting is exact.
+  PlantedDatasetOptions data;
+  data.num_vertices = 300;
+  data.num_classes = 3;
+  NodeClassificationDataset ds = MakePlantedDataset(data);
+
+  DistGcnConfig clean;
+  clean.num_workers = 4;
+  clean.epochs = 10;
+  clean.faults = FaultPlan{};
+  const DistGcnReport clean_report = TrainDistGcn(ds, clean);
+
+  DistGcnConfig rebalanced = clean;
+  rebalanced.faults =
+      FaultPlan{}.SlowWorker(0, 8.0).Rebalance(RebalanceConfig{});
+  const DistGcnReport r = TrainDistGcn(ds, rebalanced);
+  ASSERT_EQ(r.epoch_loss.size(), clean_report.epoch_loss.size());
+  EXPECT_NEAR(r.final_test_accuracy, clean_report.final_test_accuracy, 0.1);
+  EXPECT_GE(r.rebalances, 1u);
+  EXPECT_GT(r.migration_bytes, 0u);
+}
+
+}  // namespace
+}  // namespace gal

@@ -250,17 +250,13 @@ TEST(TlavEngineTest, MirroringHelpsEvenWithoutCombiner) {
   EXPECT_LT(b.stats.cross_worker_messages, a.stats.cross_worker_messages);
 }
 
-// --- checkpointing / fault tolerance (LWCP) ----------------------------------
+// --- checkpointing / fault tolerance (shared FaultPlan) ----------------------
 
 TEST(TlavEngineTest, CheckpointsAreTakenAndAccounted) {
   Graph g = Path(64);
   TlavConfig config;
   config.num_workers = 2;
-  config.checkpoint_every = 10;
-  TlavEngine<VertexId, VertexId> engine(&g, config);
-  WccResult unused = Wcc(g);  // reference computed separately below
-  (void)unused;
-  // Run hash-min manually through the engine config with checkpoints.
+  config.faults = FaultPlan{}.CheckpointEvery(10);
   WccResult r = Wcc(g, config);
   EXPECT_GT(r.stats.checkpoints_taken, 3u);
   EXPECT_GT(r.stats.checkpoint_bytes, 0u);
@@ -271,8 +267,7 @@ TEST(TlavEngineTest, RecoveryFromInjectedFailureMatchesCleanRun) {
   Graph g = ErdosRenyi(300, 0.01, 9);
   WccResult clean = Wcc(g);
   TlavConfig faulty;
-  faulty.checkpoint_every = 3;
-  faulty.fail_at_superstep = 7;
+  faulty.faults = FaultPlan{}.CheckpointEvery(3).FailWorkerAt(1, 7);
   WccResult recovered = Wcc(g, faulty);
   EXPECT_EQ(recovered.component, clean.component);
   EXPECT_EQ(recovered.stats.failures_recovered, 1u);
@@ -285,8 +280,8 @@ TEST(TlavEngineTest, RecoveryWorksForPageRankWithAggregators) {
   PageRankOptions clean_options;
   PageRankResult clean = PageRank(g, clean_options);
   PageRankOptions faulty_options;
-  faulty_options.engine.checkpoint_every = 4;
-  faulty_options.engine.fail_at_superstep = 9;
+  faulty_options.engine.faults =
+      FaultPlan{}.CheckpointEvery(4).FailWorkerAt(0, 9);
   PageRankResult recovered = PageRank(g, faulty_options);
   ASSERT_EQ(recovered.stats.failures_recovered, 1u);
   for (VertexId v = 0; v < g.NumVertices(); ++v) {
@@ -297,16 +292,28 @@ TEST(TlavEngineTest, RecoveryWorksForPageRankWithAggregators) {
 TEST(TlavEngineTest, MoreFrequentCheckpointsLessRecomputation) {
   Graph g = Path(256);
   TlavConfig sparse_cp;
-  sparse_cp.checkpoint_every = 50;
-  sparse_cp.fail_at_superstep = 148;
+  sparse_cp.faults = FaultPlan{}.CheckpointEvery(50).FailWorkerAt(0, 148);
   TlavConfig dense_cp;
-  dense_cp.checkpoint_every = 5;
-  dense_cp.fail_at_superstep = 148;
+  dense_cp.faults = FaultPlan{}.CheckpointEvery(5).FailWorkerAt(0, 148);
   WccResult a = Wcc(g, sparse_cp);
   WccResult b = Wcc(g, dense_cp);
   EXPECT_EQ(a.component, b.component);
   EXPECT_GT(a.stats.recomputed_supersteps, b.stats.recomputed_supersteps);
   EXPECT_GT(b.stats.checkpoint_bytes, a.stats.checkpoint_bytes);
+}
+
+TEST(TlavEngineTest, FailureBeforeFirstCheckpointRestoresInitialState) {
+  Graph g = ErdosRenyi(200, 0.015, 5);
+  WccResult clean = Wcc(g);
+  TlavConfig faulty;
+  // Checkpoints every 10 supersteps; the failure lands at superstep 4,
+  // before any interval checkpoint — recovery replays from the initial
+  // snapshot (rounds 0..4 recomputed).
+  faulty.faults = FaultPlan{}.CheckpointEvery(10).FailWorkerAt(0, 4);
+  WccResult recovered = Wcc(g, faulty);
+  EXPECT_EQ(recovered.component, clean.component);
+  EXPECT_EQ(recovered.stats.failures_recovered, 1u);
+  EXPECT_EQ(recovered.stats.recomputed_supersteps, 5u);
 }
 
 // --- PageRank ---------------------------------------------------------------
